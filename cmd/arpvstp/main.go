@@ -1,0 +1,54 @@
+// Command arpvstp reproduces the paper's Figure 2 demo: hosts A and B
+// ping each other across the 4-NetFPGA + 2-NIC testbed, once bridged by
+// ARP-Path and once by IEEE 802.1D STP, over several link-delay profiles.
+// It prints the per-ping latency series (the demo UI's graph, as ASCII),
+// the steady-state comparison table, and the headline latency ratios.
+//
+// Usage:
+//
+//	arpvstp [-seed N] [-pings N] [-interval D] [-csv] [-graphs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed (same seed, same run)")
+	pings := flag.Int("pings", 20, "pings per scenario")
+	interval := flag.Duration("interval", 100*time.Millisecond, "ping spacing")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	graphs := flag.Bool("graphs", true, "render per-scenario latency graphs")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "arpvstp: unexpected arguments")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultFigure2Config()
+	cfg.Seed = *seed
+	cfg.Pings = *pings
+	cfg.Interval = *interval
+
+	rows := experiments.RunFigure2(cfg)
+	table := experiments.Figure2Table(rows)
+	speedups := experiments.Figure2Speedups(rows)
+	if *csv {
+		fmt.Print(table.CSV())
+		fmt.Print(speedups.CSV())
+		return
+	}
+	fmt.Println(table)
+	fmt.Println(speedups)
+	if *graphs {
+		for _, r := range rows {
+			fmt.Println(r.Series.ASCII(72, 8))
+		}
+	}
+}

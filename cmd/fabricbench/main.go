@@ -1,0 +1,80 @@
+// Command fabricbench runs the extended experiments derived from the
+// paper's §2.2 claims (DESIGN.md T1–T4): the loop-freedom/no-blocking
+// properties table, load distribution on a fat tree, ARP-proxy broadcast
+// suppression, and the repair ablation.
+//
+// Usage:
+//
+//	fabricbench -exp properties|load|proxy|repair|all [-seed N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/topo"
+)
+
+// lockWindows is the T5 sweep: below, near and above the test ring's
+// flood traversal time.
+func lockWindows() []time.Duration {
+	return []time.Duration{
+		time.Millisecond,
+		5 * time.Millisecond,
+		20 * time.Millisecond,
+		200 * time.Millisecond,
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: properties, load, proxy, repair, lockwindow, tablesize or all")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "fabricbench: unexpected arguments")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var tables []*metrics.Table
+	switch *exp {
+	case "properties":
+		tables = append(tables, experiments.T1Table(experiments.RunT1Properties(*seed, 6)))
+	case "load":
+		ap := experiments.RunT2Load(*seed, topo.ARPPath)
+		st := experiments.RunT2Load(*seed, topo.STP)
+		tables = append(tables, experiments.T2Table([]*experiments.T2Result{ap, st}))
+	case "proxy":
+		tables = append(tables, experiments.T3Table(experiments.RunT3Proxy(*seed, []int{4, 8, 16, 32})))
+	case "repair":
+		tables = append(tables, experiments.T4Table(experiments.RunT4Repair(*seed)))
+	case "lockwindow":
+		tables = append(tables, experiments.T5Table(experiments.RunT5LockWindow(*seed, lockWindows())))
+	case "tablesize":
+		tables = append(tables, experiments.T6Table(experiments.RunT6TableSize(*seed, []int{8, 16, 32})))
+	case "all":
+		tables = append(tables, experiments.T1Table(experiments.RunT1Properties(*seed, 6)))
+		ap := experiments.RunT2Load(*seed, topo.ARPPath)
+		st := experiments.RunT2Load(*seed, topo.STP)
+		tables = append(tables, experiments.T2Table([]*experiments.T2Result{ap, st}))
+		tables = append(tables, experiments.T3Table(experiments.RunT3Proxy(*seed, []int{4, 8, 16, 32})))
+		tables = append(tables, experiments.T4Table(experiments.RunT4Repair(*seed)))
+		tables = append(tables, experiments.T5Table(experiments.RunT5LockWindow(*seed, lockWindows())))
+		tables = append(tables, experiments.T6Table(experiments.RunT6TableSize(*seed, []int{8, 16, 32})))
+	default:
+		fmt.Fprintf(os.Stderr, "fabricbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// arp-vs-stp: the Figure 2 comparison, compact.
+//
+// The same physical testbed — hosts A and B behind NIC bridges, four
+// NetFPGA bridges with a redundant mesh whose diagonal shortcut is a slow
+// cable — is bridged once with ARP-Path and once with IEEE 802.1D STP.
+// STP picks paths by hop cost and bridge IDs, so it happily uses the slow
+// diagonal; ARP-Path races real latency and routes around it.
+//
+// Run with:
+//
+//	go run ./examples/arp-vs-stp
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func measure(protocol string) {
+	n := repro.Figure2Topology(1, protocol, "slow-diagonal")
+	a, b := n.Host("A"), n.Host("B")
+
+	// First exchange pays resolution/discovery; then ten steady pings.
+	var rtts []time.Duration
+	n.Engine.At(n.Now(), func() {
+		a.PingSeries(b.IP(), 11, 56, 50*time.Millisecond, 2*time.Second,
+			func(rs []repro.PingResult) {
+				for _, r := range rs[1:] {
+					if r.Err == nil {
+						rtts = append(rtts, r.RTT)
+					}
+				}
+			})
+	})
+	n.RunFor(time.Minute)
+
+	var sum time.Duration
+	for _, r := range rtts {
+		sum += r
+	}
+	mean := time.Duration(0)
+	if len(rtts) > 0 {
+		mean = sum / time.Duration(len(rtts))
+	}
+	fmt.Printf("%-8s steady-state RTT over %2d pings: %v\n", protocol, len(rtts), mean.Round(time.Microsecond))
+}
+
+func main() {
+	fmt.Println("A <-> B across the demo testbed, slow-diagonal profile:")
+	measure("arppath")
+	measure("stp")
+	fmt.Println("\nSTP's tree crosses the slow diagonal (fewest hops); ARP-Path's")
+	fmt.Println("discovery race found the detour with lower real latency (§3.1).")
+}

@@ -1,0 +1,178 @@
+// Package bridge provides the chassis shared by every bridge protocol in
+// this repository (ARP-Path, 802.1D STP, plain learning). The chassis owns
+// the ports, gives the bridge a MAC identity, floods frames
+// deterministically, and — when enabled — runs the HELLO neighbour
+// discovery that lets ARP-Path bridges tell trunk (bridge-facing) ports
+// from edge (host-facing) ports without configuring hosts (DESIGN.md §2).
+package bridge
+
+import (
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/netsim"
+)
+
+// Protocol is the per-frame logic a concrete bridge plugs into its Chassis.
+// All callbacks run on the simulation goroutine.
+type Protocol interface {
+	// OnFrame handles a received frame that the chassis did not consume
+	// (everything except HELLOs).
+	OnFrame(in *netsim.Port, frame []byte)
+	// OnPortStatus reports a link transition after the chassis has updated
+	// its own bookkeeping.
+	OnPortStatus(p *netsim.Port, up bool)
+	// OnStart runs once when the bridge is started, before any traffic.
+	OnStart()
+}
+
+// Chassis implements netsim.Node on behalf of a bridge protocol.
+type Chassis struct {
+	net   *netsim.Network
+	name  string
+	numID int
+	mac   layers.MAC
+	proto Protocol
+
+	ports []*netsim.Port
+	trunk map[*netsim.Port]bool
+	nbr   map[*netsim.Port]uint64
+
+	// HelloEnabled turns on neighbour discovery. ARP-Path bridges enable
+	// it; the STP and learning baselines do not need it.
+	HelloEnabled bool
+
+	stats ChassisStats
+}
+
+// ChassisStats counts chassis-level events.
+type ChassisStats struct {
+	HellosSent     uint64
+	HellosReceived uint64
+	Flooded        uint64 // frames flooded by FloodExcept
+}
+
+// NewChassis builds a chassis for the named bridge. numID seeds the bridge
+// MAC (layers.BridgeMAC) and the PathCtl bridge identifier.
+func NewChassis(net *netsim.Network, name string, numID int, proto Protocol) *Chassis {
+	return &Chassis{
+		net:   net,
+		name:  name,
+		numID: numID,
+		mac:   layers.BridgeMAC(numID),
+		proto: proto,
+		trunk: make(map[*netsim.Port]bool),
+		nbr:   make(map[*netsim.Port]uint64),
+	}
+}
+
+// Name implements netsim.Node.
+func (c *Chassis) Name() string { return c.name }
+
+// MAC returns the bridge's own address (source of HELLO/PathFail frames).
+func (c *Chassis) MAC() layers.MAC { return c.mac }
+
+// NumID returns the numeric bridge identifier.
+func (c *Chassis) NumID() int { return c.numID }
+
+// Net returns the owning network.
+func (c *Chassis) Net() *netsim.Network { return c.net }
+
+// Now returns the current virtual time.
+func (c *Chassis) Now() time.Duration { return c.net.Now() }
+
+// Stats returns a snapshot of the chassis counters.
+func (c *Chassis) Stats() ChassisStats { return c.stats }
+
+// AttachPort implements netsim.Node.
+func (c *Chassis) AttachPort(p *netsim.Port) { c.ports = append(c.ports, p) }
+
+// Ports returns the bridge's ports in cabling order.
+func (c *Chassis) Ports() []*netsim.Port { return c.ports }
+
+// Port returns the i-th port.
+func (c *Chassis) Port(i int) *netsim.Port { return c.ports[i] }
+
+// Start announces the bridge: it runs the protocol's OnStart and sends the
+// initial HELLO burst. Call once after cabling, before running the
+// simulation (the topology builder does this).
+func (c *Chassis) Start() {
+	c.net.Engine.At(c.net.Now(), func() {
+		c.proto.OnStart()
+		if c.HelloEnabled {
+			for _, p := range c.ports {
+				c.sendHello(p)
+			}
+		}
+	})
+}
+
+// IsTrunk reports whether p faces another bridge (a HELLO was seen since
+// the last down transition). Meaningless unless HelloEnabled.
+func (c *Chassis) IsTrunk(p *netsim.Port) bool { return c.trunk[p] }
+
+// IsEdge reports whether p faces a host.
+func (c *Chassis) IsEdge(p *netsim.Port) bool { return !c.trunk[p] }
+
+// Neighbor returns the bridge ID learned from HELLOs on trunk port p.
+// Two ports with the same neighbor are parallel links to one bridge —
+// forwarding a frame "back" over a parallel link is still a hairpin.
+func (c *Chassis) Neighbor(p *netsim.Port) (uint64, bool) {
+	id, ok := c.nbr[p]
+	return id, ok
+}
+
+// HandleFrame implements netsim.Node: HELLOs are consumed here, everything
+// else goes to the protocol.
+func (c *Chassis) HandleFrame(p *netsim.Port, frame []byte) {
+	if layers.FrameEtherType(frame) == layers.EtherTypePathCtl &&
+		layers.FrameDst(frame) == layers.PathCtlMulticast {
+		var eth layers.Ethernet
+		var ctl layers.PathCtl
+		if eth.DecodeFromBytes(frame) == nil && ctl.DecodeFromBytes(eth.Payload()) == nil &&
+			ctl.Type == layers.PathCtlHello {
+			c.stats.HellosReceived++
+			c.trunk[p] = true
+			c.nbr[p] = ctl.BridgeID
+			return
+		}
+	}
+	c.proto.OnFrame(p, frame)
+}
+
+// PortStatusChanged implements netsim.Node.
+func (c *Chassis) PortStatusChanged(p *netsim.Port, up bool) {
+	if !up {
+		// The neighbour may be replaced while the link is down; rediscover.
+		delete(c.trunk, p)
+		delete(c.nbr, p)
+	} else if c.HelloEnabled {
+		c.sendHello(p)
+	}
+	c.proto.OnPortStatus(p, up)
+}
+
+// sendHello emits one HELLO on p.
+func (c *Chassis) sendHello(p *netsim.Port) {
+	frame, err := layers.Serialize(
+		&layers.Ethernet{Dst: layers.PathCtlMulticast, Src: c.mac, EtherType: layers.EtherTypePathCtl},
+		&layers.PathCtl{Type: layers.PathCtlHello, BridgeID: uint64(c.numID)},
+	)
+	if err != nil {
+		panic("bridge: cannot serialize HELLO: " + err.Error())
+	}
+	c.stats.HellosSent++
+	p.Send(frame)
+}
+
+// FloodExcept sends frame on every up port except in (which may be nil to
+// flood everywhere). Ports transmit in cabling order, keeping the race
+// between flooded copies deterministic for a given topology and seed.
+func (c *Chassis) FloodExcept(in *netsim.Port, frame []byte) {
+	for _, p := range c.ports {
+		if p != in && p.Up() {
+			p.Send(frame)
+			c.stats.Flooded++
+		}
+	}
+}

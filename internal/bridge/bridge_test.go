@@ -1,0 +1,217 @@
+package bridge
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/netsim"
+)
+
+// stubProto records protocol callbacks.
+type stubProto struct {
+	frames  int
+	status  []bool
+	started int
+}
+
+func (s *stubProto) OnFrame(_ *netsim.Port, _ []byte)     { s.frames++ }
+func (s *stubProto) OnPortStatus(_ *netsim.Port, up bool) { s.status = append(s.status, up) }
+func (s *stubProto) OnStart()                             { s.started++ }
+
+// stubBridge couples a chassis with a stub protocol as a netsim.Node.
+type stubBridge struct {
+	*Chassis
+	proto *stubProto
+}
+
+func newStubBridge(net *netsim.Network, name string, id int, hello bool) *stubBridge {
+	p := &stubProto{}
+	b := &stubBridge{proto: p}
+	b.Chassis = NewChassis(net, name, id, p)
+	b.HelloEnabled = hello
+	return b
+}
+
+// sink is a dumb endpoint that records received frames.
+type sink struct {
+	name string
+	got  [][]byte
+	port *netsim.Port
+}
+
+func (s *sink) Name() string                             { return s.name }
+func (s *sink) AttachPort(p *netsim.Port)                { s.port = p }
+func (s *sink) HandleFrame(_ *netsim.Port, f []byte)     { s.got = append(s.got, f) }
+func (s *sink) PortStatusChanged(_ *netsim.Port, _ bool) {}
+
+func cfg() netsim.LinkConfig { return netsim.DefaultLinkConfig() }
+
+func TestChassisIdentity(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	b := newStubBridge(net, "br", 7, false)
+	if b.Name() != "br" || b.NumID() != 7 || b.MAC() != layers.BridgeMAC(7) {
+		t.Fatal("identity mismatch")
+	}
+	if b.Net() != net {
+		t.Fatal("network accessor")
+	}
+}
+
+func TestStartRunsProtocolOnce(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	b := newStubBridge(net, "br", 1, false)
+	other := newStubBridge(net, "o", 2, false)
+	net.Connect(b, other, cfg())
+	b.Start()
+	net.RunFor(time.Millisecond)
+	if b.proto.started != 1 {
+		t.Fatalf("OnStart ran %d times", b.proto.started)
+	}
+}
+
+func TestHelloMarksTrunks(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	b1 := newStubBridge(net, "b1", 1, true)
+	b2 := newStubBridge(net, "b2", 2, true)
+	h := &sink{name: "h"}
+	net.Connect(b1, b2, cfg())
+	net.Connect(b1, h, cfg())
+	b1.Start()
+	b2.Start()
+	net.RunFor(time.Millisecond)
+	if !b1.IsTrunk(b1.Port(0)) || b1.IsEdge(b1.Port(0)) {
+		t.Fatal("bridge-facing port not marked trunk")
+	}
+	if b1.IsTrunk(b1.Port(1)) || !b1.IsEdge(b1.Port(1)) {
+		t.Fatal("host-facing port marked trunk")
+	}
+	// HELLOs are consumed by the chassis, never passed to the protocol.
+	if b1.proto.frames != 0 {
+		t.Fatalf("protocol saw %d frames, want 0", b1.proto.frames)
+	}
+	if b1.Stats().HellosReceived == 0 || b1.Stats().HellosSent == 0 {
+		t.Fatal("hello counters not bumped")
+	}
+}
+
+func TestHelloDisabledSendsNothing(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	b1 := newStubBridge(net, "b1", 1, false)
+	b2 := newStubBridge(net, "b2", 2, false)
+	net.Connect(b1, b2, cfg())
+	b1.Start()
+	b2.Start()
+	net.RunFor(time.Millisecond)
+	if b1.Stats().HellosSent != 0 || b2.Stats().HellosReceived != 0 {
+		t.Fatal("hello sent despite being disabled")
+	}
+	if b2.IsTrunk(b2.Port(0)) {
+		t.Fatal("trunk marked without hello")
+	}
+}
+
+func TestTrunkClearedOnLinkDownAndRediscovered(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	b1 := newStubBridge(net, "b1", 1, true)
+	b2 := newStubBridge(net, "b2", 2, true)
+	l := net.Connect(b1, b2, cfg())
+	b1.Start()
+	b2.Start()
+	net.RunFor(time.Millisecond)
+	if !b1.IsTrunk(b1.Port(0)) {
+		t.Fatal("precondition: trunk")
+	}
+	net.Engine.At(net.Now(), func() { l.SetUp(false) })
+	net.RunFor(time.Millisecond)
+	if b1.IsTrunk(b1.Port(0)) {
+		t.Fatal("trunk flag survived link down")
+	}
+	net.Engine.At(net.Now(), func() { l.SetUp(true) })
+	net.RunFor(time.Millisecond)
+	if !b1.IsTrunk(b1.Port(0)) {
+		t.Fatal("trunk not rediscovered after link up")
+	}
+	// Protocol saw both transitions.
+	if len(b1.proto.status) != 2 || b1.proto.status[0] || !b1.proto.status[1] {
+		t.Fatalf("status callbacks %v", b1.proto.status)
+	}
+}
+
+func TestFloodExceptSkipsIngressAndDownPorts(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	b := newStubBridge(net, "b", 1, false)
+	s1, s2, s3 := &sink{name: "s1"}, &sink{name: "s2"}, &sink{name: "s3"}
+	net.Connect(b, s1, cfg())
+	l2 := net.Connect(b, s2, cfg())
+	net.Connect(b, s3, cfg())
+	b.Start()
+	frame, _ := layers.Serialize(
+		&layers.Ethernet{Dst: layers.BroadcastMAC, Src: layers.HostMAC(1), EtherType: layers.EtherTypeIPv4},
+		layers.Payload([]byte{1}),
+	)
+	net.Engine.At(0, func() { l2.SetUp(false) })
+	net.Engine.At(time.Millisecond, func() { b.FloodExcept(b.Port(0), frame) })
+	net.Run()
+	if len(s1.got) != 0 {
+		t.Fatal("flood echoed out the ingress port")
+	}
+	if len(s2.got) != 0 {
+		t.Fatal("flood used a down port")
+	}
+	if len(s3.got) != 1 {
+		t.Fatalf("s3 got %d frames, want 1", len(s3.got))
+	}
+	if b.Stats().Flooded != 1 {
+		t.Fatalf("Flooded = %d, want 1", b.Stats().Flooded)
+	}
+}
+
+func TestFloodExceptNilFloodsEverywhere(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	b := newStubBridge(net, "b", 1, false)
+	s1, s2 := &sink{name: "s1"}, &sink{name: "s2"}
+	net.Connect(b, s1, cfg())
+	net.Connect(b, s2, cfg())
+	b.Start()
+	frame, _ := layers.Serialize(
+		&layers.Ethernet{Dst: layers.BroadcastMAC, Src: layers.HostMAC(1), EtherType: layers.EtherTypeIPv4},
+		layers.Payload([]byte{1}),
+	)
+	net.Engine.At(0, func() { b.FloodExcept(nil, frame) })
+	net.Run()
+	if len(s1.got) != 1 || len(s2.got) != 1 {
+		t.Fatal("nil-except flood missed a port")
+	}
+}
+
+func TestNonHelloFramesReachProtocol(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	b := newStubBridge(net, "b", 1, true)
+	s := &sink{name: "s"}
+	net.Connect(b, s, cfg())
+	b.Start()
+	frame, _ := layers.Serialize(
+		&layers.Ethernet{Dst: layers.HostMAC(9), Src: layers.HostMAC(1), EtherType: layers.EtherTypeIPv4},
+		layers.Payload([]byte{1}),
+	)
+	net.Engine.At(0, func() { s.port.Send(frame) })
+	net.Run()
+	if b.proto.frames != 1 {
+		t.Fatalf("protocol frames = %d, want 1", b.proto.frames)
+	}
+}
+
+func TestPortsAccessors(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	b := newStubBridge(net, "b", 1, false)
+	s1, s2 := &sink{name: "s1"}, &sink{name: "s2"}
+	net.Connect(b, s1, cfg())
+	net.Connect(b, s2, cfg())
+	if len(b.Ports()) != 2 {
+		t.Fatalf("Ports() = %d", len(b.Ports()))
+	}
+	if b.Port(0).Index() != 0 || b.Port(1).Index() != 1 {
+		t.Fatal("port order broken")
+	}
+}

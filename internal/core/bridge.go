@@ -1,0 +1,353 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/bridge"
+	"repro/internal/layers"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Config tunes an ARP-Path bridge. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// LockTimeout is the race window: how long a locked entry filters
+	// duplicate flood copies and may carry the returning reply. It must
+	// exceed the network's flood traversal time.
+	LockTimeout time.Duration
+	// LearnedTimeout is the lifetime of confirmed path entries; traffic
+	// refreshes it.
+	LearnedTimeout time.Duration
+	// RepairTimeout bounds how long frames buffer while a PathRequest is
+	// outstanding before they are dropped.
+	RepairTimeout time.Duration
+	// RepairBuffer is the maximum number of frames buffered per unknown
+	// destination during repair.
+	RepairBuffer int
+	// Proxy enables the in-switch ARP Proxy (§2.2, EtherProxy [5]).
+	Proxy bool
+	// ProxyTimeout is the proxy cache lifetime for snooped IP→MAC
+	// bindings.
+	ProxyTimeout time.Duration
+	// DisableRepair turns §2.1.4 off entirely: unicast table misses are
+	// silently dropped. Exists only for the repair ablation (T4), which
+	// shows the dataplane blackholes without it.
+	DisableRepair bool
+}
+
+// DefaultConfig returns the defaults used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		LockTimeout:    200 * time.Millisecond,
+		LearnedTimeout: 120 * time.Second,
+		RepairTimeout:  500 * time.Millisecond,
+		RepairBuffer:   64,
+		Proxy:          false,
+		ProxyTimeout:   60 * time.Second,
+	}
+}
+
+// Stats counts every protocol event an ARP-Path bridge takes part in.
+type Stats struct {
+	// Discovery.
+	BroadcastLocked   uint64 // new locks created by broadcast first copies
+	BroadcastRelayed  uint64 // broadcast frames flooded onward
+	BroadcastRaceDrop uint64 // duplicate copies discarded (slower paths)
+	PathsConfirmed    uint64 // locked→learned upgrades by replies
+
+	// Unicast dataplane.
+	Forwarded   uint64 // unicast frames forwarded along the path
+	HairpinDrop uint64 // destination resolved to the ingress port
+	SrcPortDrop uint64 // unicast from a source locked to another port
+
+	// Repair (§2.1.4).
+	RepairsStarted   uint64
+	PathFailsSent    uint64
+	PathFailsRelayed uint64
+	PathRequestsSent uint64
+	PathRepliesSent  uint64
+	RepairReleased   uint64 // buffered frames released after repair
+	RepairDropped    uint64 // buffered frames dropped (timeout/overflow)
+	EntriesPurged    uint64 // entries flushed by link failures
+
+	// Proxy (§2.2).
+	ProxyConverted uint64 // broadcast requests converted to unicast
+	ProxyMisses    uint64 // requests that had to flood anyway
+}
+
+// repair tracks one outstanding PathRequest for a destination.
+type repair struct {
+	nonce    uint32
+	src      layers.MAC
+	buffered [][]byte
+	timer    *sim.Timer
+}
+
+// Bridge is an ARP-Path bridge. It is fully transparent: hosts run
+// unmodified ARP/IP stacks (§2.2 "zero configuration").
+type Bridge struct {
+	*bridge.Chassis
+	cfg     Config
+	table   *LockTable
+	repairs map[layers.MAC]*repair
+	proxy   *proxyCache
+	stats   Stats
+}
+
+// New creates an ARP-Path bridge. HELLO neighbour discovery is enabled so
+// Path Repair can identify edge (host-facing) ports.
+func New(net *netsim.Network, name string, numID int, cfg Config) *Bridge {
+	if cfg.LockTimeout <= 0 || cfg.LearnedTimeout <= 0 {
+		panic("core: lock and learned timeouts must be positive")
+	}
+	if cfg.RepairTimeout <= 0 || cfg.RepairBuffer <= 0 {
+		panic("core: repair timeout and buffer must be positive")
+	}
+	b := &Bridge{
+		cfg:     cfg,
+		table:   NewLockTable(cfg.LockTimeout, cfg.LearnedTimeout),
+		repairs: make(map[layers.MAC]*repair),
+	}
+	b.Chassis = bridge.NewChassis(net, name, numID, b)
+	b.HelloEnabled = true
+	if cfg.Proxy {
+		b.proxy = newProxyCache(cfg.ProxyTimeout)
+	}
+	return b
+}
+
+// Table exposes the locking table; experiments use it to reconstruct
+// locked paths (Figure 1) and to measure table sizes.
+func (b *Bridge) Table() *LockTable { return b.table }
+
+// Stats returns a snapshot of the protocol counters.
+func (b *Bridge) Stats() Stats { return b.stats }
+
+// Config returns the bridge configuration.
+func (b *Bridge) Config() Config { return b.cfg }
+
+// OnStart implements bridge.Protocol.
+func (b *Bridge) OnStart() {}
+
+// OnPortStatus implements bridge.Protocol: a dead link invalidates every
+// path through it immediately — the next unicast miss triggers repair.
+func (b *Bridge) OnPortStatus(p *netsim.Port, up bool) {
+	if !up {
+		before := b.table.Len()
+		b.table.FlushPort(p)
+		b.stats.EntriesPurged += uint64(before - b.table.Len())
+	}
+}
+
+// OnFrame implements bridge.Protocol: the ARP-Path dataplane (§2.1).
+func (b *Bridge) OnFrame(in *netsim.Port, frame []byte) {
+	dst := layers.FrameDst(frame)
+	if dst.IsMulticast() {
+		b.handleBroadcast(in, frame)
+		return
+	}
+	b.handleUnicast(in, frame)
+}
+
+// pathEstablishing classifies broadcast frames that create/refresh paths:
+// ARP Requests and PathRequests (§2.1.3: "other multicast and broadcast
+// frames do not establish new paths").
+func pathEstablishingBroadcast(frame []byte) bool {
+	switch layers.FrameEtherType(frame) {
+	case layers.EtherTypeARP:
+		var eth layers.Ethernet
+		var arp layers.ARP
+		if eth.DecodeFromBytes(frame) == nil && arp.DecodeFromBytes(eth.Payload()) == nil {
+			return arp.Operation == layers.ARPRequest
+		}
+	case layers.EtherTypePathCtl:
+		var eth layers.Ethernet
+		var ctl layers.PathCtl
+		if eth.DecodeFromBytes(frame) == nil && ctl.DecodeFromBytes(eth.Payload()) == nil {
+			return ctl.Type == layers.PathCtlRequest
+		}
+	}
+	return false
+}
+
+// handleBroadcast implements §2.1.1's locking race and §2.1.3's loop-free
+// flooding.
+func (b *Bridge) handleBroadcast(in *netsim.Port, frame []byte) {
+	now := b.Now()
+	src := layers.FrameSrc(frame)
+	establishing := pathEstablishingBroadcast(frame)
+
+	if e, ok := b.table.Get(src, now); ok {
+		switch {
+		case e.Port == in:
+			// Frames from the bound port pass. A fresh establishing frame
+			// restarts the race window on this port.
+			if establishing {
+				b.table.Lock(src, in, now)
+			}
+		case e.Guarded(now):
+			// A slower copy of the flood (or a loop copy) inside the race
+			// window: discard (§2.1.1). This holds even after the reply
+			// confirmed the entry — the window outlives confirmation.
+			b.stats.BroadcastRaceDrop++
+			return
+		case establishing:
+			// Race window over, learned entry, new ARP/Path Request from
+			// another direction: start a new race. The first copy wins
+			// the lock (possibly moving the port — that is how paths can
+			// change between exchanges); its window filters duplicates.
+			b.table.Lock(src, in, now)
+			b.stats.BroadcastLocked++
+		default:
+			// Non-establishing broadcast must still respect the
+			// first-port rule (§2.1.3).
+			b.stats.BroadcastRaceDrop++
+			return
+		}
+	} else {
+		// First copy from this source: lock it to the arrival port. The
+		// first-port rule applies to every broadcast (§2.1.3), but only
+		// path-establishing frames create new races afterwards.
+		b.table.Lock(src, in, now)
+		b.stats.BroadcastLocked++
+	}
+
+	// ARP Proxy interception (before flooding).
+	if b.proxy != nil && layers.FrameEtherType(frame) == layers.EtherTypeARP {
+		if b.proxyHandleBroadcast(in, frame, now) {
+			return
+		}
+	}
+
+	// If this is a PathRequest for a host attached to one of our edge
+	// ports, answer with a PathReply on the destination's behalf.
+	if layers.FrameEtherType(frame) == layers.EtherTypePathCtl {
+		if b.answerPathRequest(in, frame, now) {
+			return
+		}
+	}
+
+	b.stats.BroadcastRelayed++
+	b.FloodExcept(in, frame)
+}
+
+// pathEstablishingUnicast classifies unicasts that confirm a path: ARP
+// Replies and PathReplies (§2.1.2).
+func pathEstablishingUnicast(frame []byte) bool {
+	switch layers.FrameEtherType(frame) {
+	case layers.EtherTypeARP:
+		var eth layers.Ethernet
+		var arp layers.ARP
+		if eth.DecodeFromBytes(frame) == nil && arp.DecodeFromBytes(eth.Payload()) == nil {
+			return arp.Operation == layers.ARPReply
+		}
+	case layers.EtherTypePathCtl:
+		var eth layers.Ethernet
+		var ctl layers.PathCtl
+		if eth.DecodeFromBytes(frame) == nil && ctl.DecodeFromBytes(eth.Payload()) == nil {
+			return ctl.Type == layers.PathCtlReply
+		}
+	}
+	return false
+}
+
+// handleUnicast implements §2.1.2 (reply confirmation), §2.1.3 (path
+// forwarding) and the §2.1.4 repair trigger.
+func (b *Bridge) handleUnicast(in *netsim.Port, frame []byte) {
+	now := b.Now()
+	src, dst := layers.FrameSrc(frame), layers.FrameDst(frame)
+	establishing := pathEstablishingUnicast(frame)
+
+	// PathFail is control traffic for the bridges themselves.
+	if layers.FrameEtherType(frame) == layers.EtherTypePathCtl && !establishing {
+		b.handlePathFail(in, frame, now)
+		return
+	}
+
+	// Source side: maintain the reverse half of the symmetric path.
+	if e, ok := b.table.Get(src, now); ok {
+		switch {
+		case e.Port == in:
+			if establishing {
+				// Reply confirms the sender's position: lock → learned.
+				if e.State == StateLocked {
+					b.stats.PathsConfirmed++
+				}
+				b.table.Learn(src, in, now)
+			} else {
+				b.table.Refresh(src, now)
+			}
+		case e.Guarded(now):
+			// The sender's position is still race-locked elsewhere:
+			// discard the duplicate from the slower path (§2.1.1).
+			b.stats.SrcPortDrop++
+			return
+		case establishing:
+			// A reply on a new port re-establishes the path (repair).
+			b.table.Learn(src, in, now)
+		default:
+			// Data violating the symmetric path: discard; repair or
+			// re-ARP will rebuild state.
+			b.stats.SrcPortDrop++
+			return
+		}
+	} else {
+		// Unknown source: learn it so the reverse path stays alive.
+		b.table.Learn(src, in, now)
+	}
+
+	// Proxy snooping of unicast ARP replies.
+	if b.proxy != nil && layers.FrameEtherType(frame) == layers.EtherTypeARP {
+		b.proxySnoop(frame, now)
+	}
+
+	// A PathReply releases frames that were buffered awaiting this path.
+	if layers.FrameEtherType(frame) == layers.EtherTypePathCtl && establishing {
+		b.completeRepair(src, in, now)
+	}
+
+	// Destination side.
+	e, ok := b.table.Get(dst, now)
+	switch {
+	case !ok:
+		// Table miss: the entry expired or a link/bridge failed (§2.1.4).
+		// Never flood unknown unicast — without a spanning tree that loops.
+		b.startRepair(in, frame, src, dst, now)
+	case e.Port == in || b.sameNeighbor(e.Port, in):
+		// Hairpin: the frame would go back where it came from — including
+		// over a parallel link to the same neighbouring bridge, which a
+		// port comparison alone cannot see on multigraphs.
+		b.stats.HairpinDrop++
+	default:
+		if establishing {
+			if e.State == StateLocked {
+				b.stats.PathsConfirmed++
+			}
+			b.table.Learn(dst, e.Port, now)
+		} else {
+			b.table.Refresh(dst, now)
+		}
+		b.stats.Forwarded++
+		e.Port.Send(frame)
+	}
+}
+
+// sameNeighbor reports whether two distinct trunk ports lead to the same
+// neighbouring bridge (parallel links).
+func (b *Bridge) sameNeighbor(p, q *netsim.Port) bool {
+	if p == q {
+		return true
+	}
+	pn, ok1 := b.Neighbor(p)
+	qn, ok2 := b.Neighbor(q)
+	return ok1 && ok2 && pn == qn
+}
+
+// EntryFor reports the port and state the bridge currently binds mac to.
+func (b *Bridge) EntryFor(mac layers.MAC) (Entry, bool) {
+	return b.table.Get(mac, b.Now())
+}
+
+var _ bridge.Protocol = (*Bridge)(nil)
+var _ netsim.Node = (*Bridge)(nil)

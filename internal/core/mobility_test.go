@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	hostpkg "repro/internal/host"
+	"repro/internal/netsim"
+)
+
+// TestHostMobilityGratuitousARP models a station re-homing from one edge
+// bridge to another (laptop moved to a different wall jack): the old link
+// dies, the new one comes up, the station announces itself with a
+// gratuitous ARP, and the fabric re-locks its position — no bridge
+// configuration, no spanning-tree reconvergence.
+func TestHostMobilityGratuitousARP(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	mob := hostpkg.New(net, "mob", 1)
+	peer := hostpkg.New(net, "peer", 2)
+	b1 := New(net, "b1", 1, DefaultConfig())
+	b2 := New(net, "b2", 2, DefaultConfig())
+	b3 := New(net, "b3", 3, DefaultConfig())
+	cfg := netsim.DefaultLinkConfig()
+	// Triangle b1-b2-b3; peer on b3; mob pre-cabled to b1 (up) and b2
+	// (down) — the "other wall jack".
+	net.Connect(b1, b2, cfg)
+	net.Connect(b2, b3, cfg)
+	net.Connect(b1, b3, cfg)
+	net.Connect(peer, b3, cfg)
+	oldJack := net.Connect(mob, b1, cfg)
+	newJack := net.Connect(mob, b2, cfg)
+	newJack.SetUp(false)
+	for _, b := range []*Bridge{b1, b2, b3} {
+		b.Start()
+	}
+	net.RunFor(time.Millisecond)
+
+	// Establish connectivity from the original location.
+	var rtt1 time.Duration
+	net.Engine.At(net.Now(), func() {
+		mob.Ping(peer.IP(), 0, time.Second, func(r hostpkg.PingResult) { rtt1 = r.RTT })
+	})
+	net.RunFor(2 * time.Second)
+	if rtt1 <= 0 {
+		t.Fatal("no connectivity before the move")
+	}
+	if e, ok := b1.EntryFor(mob.MAC()); !ok || !b1.IsEdge(e.Port) {
+		t.Fatal("b1 should hold mob on an edge port")
+	}
+
+	// Move: old jack dies, new jack comes up, station announces itself.
+	net.Engine.At(net.Now(), func() {
+		oldJack.SetUp(false)
+		newJack.SetUp(true)
+	})
+	net.Engine.At(net.Now()+10*time.Millisecond, func() { mob.AnnounceLocation() })
+	net.RunFor(50 * time.Millisecond) // within the lock window
+
+	// The announcement's race must have re-locked mob behind b2. (Nobody
+	// answers a gratuitous ARP, so these locks stay unconfirmed and would
+	// expire without traffic — the pings below confirm them.)
+	if e, ok := b2.EntryFor(mob.MAC()); !ok || !b2.IsEdge(e.Port) {
+		t.Fatal("b2 did not learn mob's new position from the gratuitous ARP")
+	}
+	if _, ok := b3.EntryFor(mob.MAC()); !ok {
+		t.Fatal("the announcement flood did not reach b3")
+	}
+
+	// Bidirectional traffic from the new location, without any host
+	// flushing caches (the peer's ARP cache still maps mob's IP to the
+	// same MAC — only the fabric's idea of "where" changed).
+	var rtt2 time.Duration
+	net.Engine.At(net.Now(), func() {
+		mob.Ping(peer.IP(), 0, time.Second, func(r hostpkg.PingResult) { rtt2 = r.RTT })
+	})
+	net.RunFor(2 * time.Second)
+	if rtt2 <= 0 {
+		t.Fatal("no connectivity after the move")
+	}
+	var rtt3 time.Duration
+	net.Engine.At(net.Now(), func() {
+		peer.Ping(mob.IP(), 0, time.Second, func(r hostpkg.PingResult) { rtt3 = r.RTT })
+	})
+	net.RunFor(2 * time.Second)
+	if rtt3 <= 0 {
+		t.Fatal("peer cannot reach the moved station")
+	}
+}
+
+// TestMobilityNeedsAnnouncement documents the protocol's conservative
+// rule: unicast frames from a source bound to a *different* port are
+// discarded (§2.1.1 — that rule is what makes flooding loop-free), so a
+// silently moved station is unreachable until it re-announces (gratuitous
+// ARP, as every real OS sends on link-up) or re-ARPs. The second half of
+// the test shows the re-ARP healing the path.
+func TestMobilityNeedsAnnouncement(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	mob := hostpkg.New(net, "mob", 1)
+	peer := hostpkg.New(net, "peer", 2)
+	b1 := New(net, "b1", 1, DefaultConfig())
+	b2 := New(net, "b2", 2, DefaultConfig())
+	cfg := netsim.DefaultLinkConfig()
+	net.Connect(b1, b2, cfg)
+	net.Connect(peer, b2, cfg)
+	oldJack := net.Connect(mob, b1, cfg)
+	newJack := net.Connect(mob, b2, cfg)
+	newJack.SetUp(false)
+	b1.Start()
+	b2.Start()
+	net.RunFor(time.Millisecond)
+
+	net.Engine.At(net.Now(), func() {
+		mob.Ping(peer.IP(), 0, time.Second, func(hostpkg.PingResult) {})
+	})
+	net.RunFor(time.Second)
+
+	net.Engine.At(net.Now(), func() {
+		oldJack.SetUp(false)
+		newJack.SetUp(true)
+	})
+	net.RunFor(time.Millisecond)
+
+	// mob transmits from the new jack WITHOUT announcing: b2 still binds
+	// mob toward b1, so the frames are discarded as path violations.
+	dropsBefore := b2.Stats().SrcPortDrop
+	var rtt time.Duration
+	net.Engine.At(net.Now(), func() {
+		mob.Ping(peer.IP(), 0, time.Second, func(r hostpkg.PingResult) { rtt = r.RTT })
+	})
+	net.RunFor(2 * time.Second)
+	if rtt > 0 {
+		t.Fatal("silent move should not be reachable — the first-port rule must hold")
+	}
+	if b2.Stats().SrcPortDrop == dropsBefore {
+		t.Fatal("mismatched-source frames were not counted as drops")
+	}
+
+	// A re-ARP (establishing broadcast) re-locks mob's position and heals
+	// everything — this is what a host's ARP cache expiry does naturally.
+	net.Engine.At(net.Now(), func() {
+		mob.ARP().Flush()
+		mob.Ping(peer.IP(), 0, time.Second, func(r hostpkg.PingResult) { rtt = r.RTT })
+	})
+	net.RunFor(2 * time.Second)
+	if rtt <= 0 {
+		t.Fatal("re-ARP did not heal the path after the move")
+	}
+	if e, ok := b2.EntryFor(mob.MAC()); !ok || !b2.IsEdge(e.Port) {
+		t.Fatal("b2 did not re-learn the moved station")
+	}
+}

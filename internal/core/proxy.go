@@ -1,0 +1,106 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/netsim"
+)
+
+// proxyCache is the in-switch ARP Proxy of §2.2 (after EtherProxy [5]):
+// edge bridges snoop ARP traffic, and when a broadcast request arrives for
+// a binding they already know — with a live path to the owner — they
+// convert the broadcast into a unicast request forwarded along that path.
+// The owner still answers (so both hosts' caches stay consistent and the
+// path entries refresh end to end), but the network-wide flood is
+// suppressed.
+type proxyCache struct {
+	timeout time.Duration
+	ip2mac  map[layers.Addr4]proxyEntry
+}
+
+type proxyEntry struct {
+	mac     layers.MAC
+	expires time.Duration
+}
+
+func newProxyCache(timeout time.Duration) *proxyCache {
+	if timeout <= 0 {
+		panic("core: proxy timeout must be positive")
+	}
+	return &proxyCache{timeout: timeout, ip2mac: make(map[layers.Addr4]proxyEntry)}
+}
+
+// learn records a sender binding.
+func (c *proxyCache) learn(ip layers.Addr4, mac layers.MAC, now time.Duration) {
+	if ip.IsZero() || mac.IsZero() || mac.IsMulticast() {
+		return
+	}
+	c.ip2mac[ip] = proxyEntry{mac: mac, expires: now + c.timeout}
+}
+
+// lookup returns a live binding.
+func (c *proxyCache) lookup(ip layers.Addr4, now time.Duration) (layers.MAC, bool) {
+	e, ok := c.ip2mac[ip]
+	if !ok {
+		return layers.MAC{}, false
+	}
+	if e.expires <= now {
+		delete(c.ip2mac, ip)
+		return layers.MAC{}, false
+	}
+	return e.mac, true
+}
+
+// proxySnoop caches the sender binding of any ARP packet passing through.
+func (b *Bridge) proxySnoop(frame []byte, now time.Duration) {
+	var eth layers.Ethernet
+	var arp layers.ARP
+	if eth.DecodeFromBytes(frame) != nil || arp.DecodeFromBytes(eth.Payload()) != nil {
+		return
+	}
+	b.proxy.learn(arp.SenderIP, arp.SenderHW, now)
+}
+
+// proxyHandleBroadcast intercepts a broadcast ARP Request arriving on an
+// edge port. When the target's binding is cached and a live learned path
+// entry for it exists, the request is rewritten into a unicast toward the
+// target and forwarded on the established path — EtherProxy's
+// broadcast-to-unicast conversion. It reports true when the flood was
+// suppressed. Conversion (rather than answering locally) keeps the full
+// ARP exchange between the end hosts, so the target learns the requester
+// and the path entries refresh exactly as with a real exchange.
+func (b *Bridge) proxyHandleBroadcast(in *netsim.Port, frame []byte, now time.Duration) bool {
+	var eth layers.Ethernet
+	var arp layers.ARP
+	if eth.DecodeFromBytes(frame) != nil || arp.DecodeFromBytes(eth.Payload()) != nil {
+		return false
+	}
+	b.proxy.learn(arp.SenderIP, arp.SenderHW, now)
+	if arp.Operation != layers.ARPRequest || !b.IsEdge(in) || arp.IsGratuitous() {
+		return false
+	}
+	mac, ok := b.proxy.lookup(arp.TargetIP, now)
+	if !ok {
+		b.stats.ProxyMisses++
+		return false
+	}
+	e, ok := b.table.Get(mac, now)
+	if !ok || e.State != StateLearned || e.Port == in {
+		b.stats.ProxyMisses++
+		return false
+	}
+	unicast, err := layers.Serialize(
+		&layers.Ethernet{Dst: mac, Src: arp.SenderHW, EtherType: layers.EtherTypeARP},
+		&arp,
+	)
+	if err != nil {
+		panic("core: serialize proxied ARP request: " + err.Error())
+	}
+	b.stats.ProxyConverted++
+	// Hand the rewritten frame to the normal unicast dataplane as if it
+	// had arrived this way: the source entry refreshes and the frame
+	// follows the learned path to the target.
+	b.handleUnicast(in, unicast)
+	return true
+}

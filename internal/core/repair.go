@@ -1,0 +1,175 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/netsim"
+)
+
+// startRepair handles a unicast table miss for dst (§2.1.4): buffer the
+// frame, then emulate an ARP exchange — tell src's edge bridge to flood a
+// PathRequest (via PathFail), or flood it ourselves if we cannot reach src.
+func (b *Bridge) startRepair(in *netsim.Port, frame []byte, src, dst layers.MAC, now time.Duration) {
+	if b.cfg.DisableRepair {
+		b.stats.RepairDropped++
+		return
+	}
+	r, pending := b.repairs[dst]
+	if !pending {
+		r = &repair{
+			nonce: b.Net().Engine.Rand().Uint32(),
+			src:   src,
+		}
+		b.repairs[dst] = r
+		b.stats.RepairsStarted++
+		r.timer = b.Net().Engine.After(b.cfg.RepairTimeout, func() {
+			b.stats.RepairDropped += uint64(len(r.buffered))
+			delete(b.repairs, dst)
+		})
+		// Kick off the control exchange. On a transit bridge the frame
+		// arrived on the very port that leads back to src, so the
+		// PathFail goes out the ingress side; only src's edge bridge
+		// converts the failure into the PathRequest flood.
+		if e, ok := b.table.Get(src, now); ok {
+			if b.IsEdge(e.Port) {
+				// src hangs off this bridge: emulate its ARP Request.
+				b.originatePathRequest(src, dst, r.nonce)
+			} else {
+				// Report the failure toward src's edge bridge, tearing
+				// down stale dst entries en route.
+				b.sendPathFail(e.Port, src, dst, r.nonce)
+			}
+		} else {
+			// No route toward src at all: flood the request from here.
+			b.originatePathRequest(src, dst, r.nonce)
+		}
+	}
+	if len(r.buffered) >= b.cfg.RepairBuffer {
+		b.stats.RepairDropped++
+		return
+	}
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	r.buffered = append(r.buffered, cp)
+}
+
+// completeRepair releases frames buffered for dst now that a confirming
+// reply has arrived via port out.
+func (b *Bridge) completeRepair(dst layers.MAC, out *netsim.Port, _ time.Duration) {
+	r, ok := b.repairs[dst]
+	if !ok {
+		return
+	}
+	delete(b.repairs, dst)
+	r.timer.Stop()
+	for _, f := range r.buffered {
+		b.stats.RepairReleased++
+		b.stats.Forwarded++
+		out.Send(f)
+	}
+}
+
+// sendPathFail emits a PathFail toward src out the given port.
+func (b *Bridge) sendPathFail(out *netsim.Port, src, dst layers.MAC, nonce uint32) {
+	frame, err := layers.Serialize(
+		&layers.Ethernet{Dst: src, Src: b.MAC(), EtherType: layers.EtherTypePathCtl},
+		&layers.PathCtl{Type: layers.PathCtlFail, BridgeID: uint64(b.NumID()), Src: src, Dst: dst, Nonce: nonce},
+	)
+	if err != nil {
+		panic("core: serialize PathFail: " + err.Error())
+	}
+	b.stats.PathFailsSent++
+	out.Send(frame)
+}
+
+// handlePathFail processes a PathFail addressed toward Src: clear the
+// stale Dst entry, then either relay the failure toward Src or — if Src
+// hangs off one of our edge ports — convert it into a PathRequest flood.
+func (b *Bridge) handlePathFail(in *netsim.Port, frame []byte, now time.Duration) {
+	var eth layers.Ethernet
+	var ctl layers.PathCtl
+	if eth.DecodeFromBytes(frame) != nil || ctl.DecodeFromBytes(eth.Payload()) != nil ||
+		ctl.Type != layers.PathCtlFail {
+		return
+	}
+	// Tear down the stale path toward the unreachable destination.
+	b.table.Delete(ctl.Dst)
+
+	e, ok := b.table.Get(ctl.Src, now)
+	switch {
+	case ok && b.IsEdge(e.Port):
+		// We are Src's edge bridge: emulate Src's ARP Request (§2.1.4).
+		b.originatePathRequest(ctl.Src, ctl.Dst, ctl.Nonce)
+	case ok && e.Port != in:
+		// Keep walking toward Src.
+		b.stats.PathFailsRelayed++
+		e.Port.Send(frame)
+	default:
+		// Cannot make progress toward Src (entry missing or it points back
+		// where the failure came from): flood the request from here.
+		b.originatePathRequest(ctl.Src, ctl.Dst, ctl.Nonce)
+	}
+}
+
+// originatePathRequest floods a PathRequest that the whole fabric treats
+// exactly like an ARP Request broadcast from src: every bridge re-locks
+// src's position, rebuilding the minimum-latency reverse path.
+func (b *Bridge) originatePathRequest(src, dst layers.MAC, nonce uint32) {
+	frame, err := layers.Serialize(
+		// The frame is sourced from src's own MAC so the locking race
+		// works unchanged; hosts never see it (bridges consume PathCtl).
+		&layers.Ethernet{Dst: layers.BroadcastMAC, Src: src, EtherType: layers.EtherTypePathCtl},
+		&layers.PathCtl{Type: layers.PathCtlRequest, BridgeID: uint64(b.NumID()), Src: src, Dst: dst, Nonce: nonce},
+	)
+	if err != nil {
+		panic("core: serialize PathRequest: " + err.Error())
+	}
+	b.stats.PathRequestsSent++
+	now := b.Now()
+	// Re-arm the race window on src's current binding before flooding.
+	// Without the guard, a copy of this very flood can loop back here over
+	// a parallel link and steal the lock — which once corrupted a pair of
+	// bridges into a permanent unicast ping-pong (see
+	// TestRandomFailureSchedulesStayConnected). Guard (not Lock): the
+	// entry must survive an unanswered repair, or the edge bridge would
+	// forget its own attached host.
+	var except *netsim.Port
+	if e, ok := b.table.Get(src, now); ok {
+		b.table.Guard(src, now)
+		except = e.Port
+	}
+	b.stats.BroadcastRelayed++
+	b.FloodExcept(except, frame)
+}
+
+// answerPathRequest replies to a PathRequest when the requested
+// destination hangs off one of this bridge's edge ports, completing the
+// emulated ARP exchange on the host's behalf. Reports whether the request
+// was consumed.
+func (b *Bridge) answerPathRequest(in *netsim.Port, frame []byte, now time.Duration) bool {
+	var eth layers.Ethernet
+	var ctl layers.PathCtl
+	if eth.DecodeFromBytes(frame) != nil || ctl.DecodeFromBytes(eth.Payload()) != nil ||
+		ctl.Type != layers.PathCtlRequest {
+		return false
+	}
+	e, ok := b.table.Get(ctl.Dst, now)
+	if !ok || !b.IsEdge(e.Port) || e.Port == in {
+		return false
+	}
+	// The request just locked Src to the ingress port; reply along it in
+	// Dst's name, which confirms Dst's path at every bridge on the way.
+	reply, err := layers.Serialize(
+		&layers.Ethernet{Dst: ctl.Src, Src: ctl.Dst, EtherType: layers.EtherTypePathCtl},
+		&layers.PathCtl{Type: layers.PathCtlReply, BridgeID: uint64(b.NumID()), Src: ctl.Src, Dst: ctl.Dst, Nonce: ctl.Nonce},
+	)
+	if err != nil {
+		panic("core: serialize PathReply: " + err.Error())
+	}
+	b.stats.PathRepliesSent++
+	in.Send(reply)
+	// Also release any frames we were buffering for Dst ourselves.
+	b.completeRepair(ctl.Dst, e.Port, now)
+	return true
+}

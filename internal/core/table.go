@@ -1,0 +1,198 @@
+// Package core implements the paper's contribution: ARP-Path (FastPath)
+// low-latency transparent bridges. Bridges exploit the race between flooded
+// copies of an ARP Request to lock the minimum-latency path toward the
+// source (§2.1.1), confirm it with the unicast ARP Reply (§2.1.2), forward
+// all traffic over the established symmetric paths (§2.1.3), and repair
+// broken paths with PathFail / PathRequest / PathReply control frames
+// (§2.1.4). The optional in-switch ARP Proxy (§2.2, EtherProxy [5])
+// suppresses redundant ARP floods.
+package core
+
+import (
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/netsim"
+)
+
+// EntryState is the state of a locking-table entry.
+type EntryState uint8
+
+// Entry states.
+const (
+	// StateLocked marks an address locked to the port where the first copy
+	// of a broadcast arrived; the race window. Frames from that address
+	// arriving on other ports are discarded while the lock is live.
+	StateLocked EntryState = iota
+	// StateLearned marks a confirmed path entry (the ARP/Path Reply passed
+	// through, or traffic refreshed it).
+	StateLearned
+)
+
+// String names the state.
+func (s EntryState) String() string {
+	switch s {
+	case StateLocked:
+		return "locked"
+	case StateLearned:
+		return "learned"
+	default:
+		return "state(?)"
+	}
+}
+
+// Entry is one locking-table binding.
+type Entry struct {
+	Port    *netsim.Port
+	State   EntryState
+	Expires time.Duration
+	// LockedUntil is the end of the race window. While it lies in the
+	// future, the binding's port must not move: copies of the flood
+	// arriving on other ports are discarded even if the entry has already
+	// been confirmed (learned) by the returning reply. Without this guard
+	// a slow race copy arriving after confirmation would steal the lock
+	// and drag the path onto the slower branch.
+	LockedUntil time.Duration
+}
+
+// Guarded reports whether the race window is still open at time now.
+func (e Entry) Guarded(now time.Duration) bool { return now < e.LockedUntil }
+
+// LockTable is the ARP-Path locking table: MAC → (port, locked|learned,
+// expiry). It is the bridge's only forwarding state — there is no routing
+// protocol and no tree (§1).
+type LockTable struct {
+	lockTimeout    time.Duration
+	learnedTimeout time.Duration
+	entries        map[layers.MAC]Entry
+}
+
+// NewLockTable builds an empty table with the two ARP-Path timeouts: the
+// short race window for locked entries and the long lifetime for
+// confirmed (learned) entries.
+func NewLockTable(lockTimeout, learnedTimeout time.Duration) *LockTable {
+	if lockTimeout <= 0 || learnedTimeout <= 0 {
+		panic("core: timeouts must be positive")
+	}
+	return &LockTable{
+		lockTimeout:    lockTimeout,
+		learnedTimeout: learnedTimeout,
+		entries:        make(map[layers.MAC]Entry),
+	}
+}
+
+// Get returns the live entry for mac, evicting it lazily if expired.
+func (t *LockTable) Get(mac layers.MAC, now time.Duration) (Entry, bool) {
+	e, ok := t.entries[mac]
+	if !ok {
+		return Entry{}, false
+	}
+	if e.Expires <= now {
+		delete(t.entries, mac)
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Lock binds mac to port in the locked state, starting (or restarting)
+// the race window.
+func (t *LockTable) Lock(mac layers.MAC, port *netsim.Port, now time.Duration) {
+	if mac.IsMulticast() || mac.IsZero() {
+		return
+	}
+	t.entries[mac] = Entry{
+		Port:        port,
+		State:       StateLocked,
+		Expires:     now + t.lockTimeout,
+		LockedUntil: now + t.lockTimeout,
+	}
+}
+
+// Learn binds mac to port in the learned state (path confirmed). A
+// confirmation on the entry's existing port preserves the remaining race
+// window so late flood copies stay filtered.
+func (t *LockTable) Learn(mac layers.MAC, port *netsim.Port, now time.Duration) {
+	if mac.IsMulticast() || mac.IsZero() {
+		return
+	}
+	lockedUntil := time.Duration(0)
+	if old, ok := t.entries[mac]; ok && old.Port == port {
+		lockedUntil = old.LockedUntil
+	}
+	t.entries[mac] = Entry{
+		Port:        port,
+		State:       StateLearned,
+		Expires:     now + t.learnedTimeout,
+		LockedUntil: lockedUntil,
+	}
+}
+
+// Guard re-arms the race window on mac's current binding without moving
+// the port, shortening the entry's remaining lifetime, or downgrading a
+// learned entry. Used when a bridge originates a PathRequest on a host's
+// behalf: copies of that flood returning over other ports must be
+// filtered exactly as for a host-sent request, but the bridge must not
+// forget its own attached host if the repair goes unanswered.
+func (t *LockTable) Guard(mac layers.MAC, now time.Duration) {
+	e, ok := t.Get(mac, now)
+	if !ok {
+		return
+	}
+	e.LockedUntil = now + t.lockTimeout
+	if e.Expires < e.LockedUntil {
+		e.Expires = e.LockedUntil
+	}
+	t.entries[mac] = e
+}
+
+// Refresh extends the current entry's lifetime without changing its state
+// or port. Refreshing a missing or expired entry is a no-op.
+func (t *LockTable) Refresh(mac layers.MAC, now time.Duration) {
+	e, ok := t.Get(mac, now)
+	if !ok {
+		return
+	}
+	switch e.State {
+	case StateLocked:
+		e.Expires = now + t.lockTimeout
+	case StateLearned:
+		e.Expires = now + t.learnedTimeout
+	}
+	t.entries[mac] = e
+}
+
+// Delete removes mac's entry (stale-path teardown during repair).
+func (t *LockTable) Delete(mac layers.MAC) { delete(t.entries, mac) }
+
+// FlushPort removes every entry bound to port (link failure).
+func (t *LockTable) FlushPort(port *netsim.Port) {
+	for mac, e := range t.entries {
+		if e.Port == port {
+			delete(t.entries, mac)
+		}
+	}
+}
+
+// Len returns the number of stored entries including not-yet-swept ones.
+func (t *LockTable) Len() int { return len(t.entries) }
+
+// FlushExpired sweeps all expired entries eagerly.
+func (t *LockTable) FlushExpired(now time.Duration) {
+	for mac, e := range t.entries {
+		if e.Expires <= now {
+			delete(t.entries, mac)
+		}
+	}
+}
+
+// Snapshot returns a copy of the live entries; used by experiments to
+// reconstruct the path a flow has locked (Figure 1's bubbles).
+func (t *LockTable) Snapshot(now time.Duration) map[layers.MAC]Entry {
+	out := make(map[layers.MAC]Entry, len(t.entries))
+	for mac, e := range t.entries {
+		if e.Expires > now {
+			out[mac] = e
+		}
+	}
+	return out
+}

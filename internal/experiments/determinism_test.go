@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// The simulator's central promise: same seed, same run — down to every
+// RTT, path and repair time. These tests re-run whole experiments and
+// compare the complete result structures.
+
+func TestFigure2Deterministic(t *testing.T) {
+	cfg := DefaultFigure2Config()
+	cfg.Pings = 5
+	cfg.Profiles = []topo.Figure2Profile{topo.ProfileSlowDiagonal}
+	a := RunFigure2(cfg)
+	b := RunFigure2(cfg)
+	if len(a) != len(b) {
+		t.Fatal("row counts differ")
+	}
+	for i := range a {
+		if a[i].FirstRTT != b[i].FirstRTT ||
+			a[i].RTTs.Mean() != b[i].RTTs.Mean() ||
+			!reflect.DeepEqual(a[i].Path, b[i].Path) {
+			t.Fatalf("row %d diverged between identical runs", i)
+		}
+	}
+	// A different seed must (in general) shift the absolute timings of
+	// the TCP ISNs etc.; paths may match, but at least the run must not
+	// be byte-identical to the seeded RNG draws. We settle for the runs
+	// simply succeeding — seed sensitivity is covered in internal/sim.
+}
+
+func TestFigure3Deterministic(t *testing.T) {
+	cfg := DefaultFigure3Config()
+	cfg.StreamSize = 4 << 20
+	a := RunFigure3(cfg, topo.ARPPath)
+	b := RunFigure3(cfg, topo.ARPPath)
+	if len(a.Failures) != len(b.Failures) {
+		t.Fatal("failure counts differ")
+	}
+	for i := range a.Failures {
+		if a.Failures[i] != b.Failures[i] {
+			t.Fatalf("failure %d diverged: %+v vs %+v", i, a.Failures[i], b.Failures[i])
+		}
+	}
+	if a.TransferTime != b.TransferTime {
+		t.Fatalf("transfer times diverged: %v vs %v", a.TransferTime, b.TransferTime)
+	}
+	if a.Report.Received != b.Report.Received || a.Report.TotalStall != b.Report.TotalStall {
+		t.Fatal("stream reports diverged")
+	}
+}
+
+func TestT2Deterministic(t *testing.T) {
+	a := RunT2Load(7, topo.ARPPath)
+	b := RunT2Load(7, topo.ARPPath)
+	if a.UsedLinks != b.UsedLinks || a.Jain != b.Jain ||
+		a.Delivered != b.Delivered || a.MaxBusy != b.MaxBusy {
+		t.Fatalf("T2 diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,40 @@
+// Package app contains the workloads the demo runs on its hosts: the
+// latency pinger of the Figure 2 comparison, the HTTP-like video streamer
+// of the Figure 3 path-repair demo, and a UDP load generator for the
+// load-distribution experiment (T2).
+package app
+
+import (
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/layers"
+	"repro/internal/metrics"
+)
+
+// PingReport is the outcome of a ping series.
+type PingReport struct {
+	Sent, Lost int
+	RTTs       metrics.Distribution
+	// Series holds per-ping RTT in microseconds over virtual time (the
+	// demo UI's latency graph).
+	Series *metrics.Series
+}
+
+// RunPingSeries runs count pings from a to dstIP spaced by interval and
+// returns the report through done.
+func RunPingSeries(a *host.Host, dstIP layers.Addr4, count int, interval time.Duration, done func(*PingReport)) {
+	rep := &PingReport{Series: metrics.NewSeries("rtt", "µs")}
+	a.PingSeries(dstIP, count, 56, interval, 2*time.Second, func(results []host.PingResult) {
+		rep.Sent = len(results)
+		for _, r := range results {
+			if r.Err != nil {
+				rep.Lost++
+				continue
+			}
+			rep.RTTs.Add(r.RTT)
+			rep.Series.Add(r.Sent, float64(r.RTT)/float64(time.Microsecond))
+		}
+		done(rep)
+	})
+}

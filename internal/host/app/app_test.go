@@ -1,0 +1,151 @@
+package app
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+func figure2(proto topo.Protocol) *topo.Built {
+	return topo.Figure2(topo.DefaultOptions(proto, 1), topo.ProfileUniform)
+}
+
+func TestRunPingSeries(t *testing.T) {
+	n := figure2(topo.ARPPath)
+	var rep *PingReport
+	n.Engine.At(n.Now(), func() {
+		RunPingSeries(n.Host("A"), n.Host("B").IP(), 20, 10*time.Millisecond, func(r *PingReport) { rep = r })
+	})
+	n.RunFor(10 * time.Second)
+	if rep == nil {
+		t.Fatal("report never delivered")
+	}
+	if rep.Sent != 20 || rep.Lost != 0 {
+		t.Fatalf("sent=%d lost=%d", rep.Sent, rep.Lost)
+	}
+	if rep.RTTs.Count() != 20 || rep.Series.Len() != 20 {
+		t.Fatal("sample accounting")
+	}
+	if rep.RTTs.Max() <= 0 {
+		t.Fatal("implausible RTTs")
+	}
+}
+
+func TestStreamCompletes(t *testing.T) {
+	n := figure2(topo.ARPPath)
+	cfg := DefaultStreamConfig()
+	cfg.Size = 1 << 20
+	var rep *StreamReport
+	n.Engine.At(n.Now(), func() {
+		StartStream(n.Host("A"), n.Host("B"), cfg, func(r *StreamReport) { rep = r })
+	})
+	n.RunFor(time.Minute)
+	if rep == nil {
+		t.Fatal("stream never finished")
+	}
+	if !rep.Complete || rep.Aborted || rep.Received != cfg.Size {
+		t.Fatalf("report: complete=%v aborted=%v received=%d", rep.Complete, rep.Aborted, rep.Received)
+	}
+	if len(rep.Stalls) != 0 {
+		t.Fatalf("unexpected stalls on a healthy fabric: %v", rep.Stalls)
+	}
+	if rep.Goodput.Len() == 0 {
+		t.Fatal("no goodput samples")
+	}
+	if rep.Finished <= rep.Connected || rep.Connected < rep.Started {
+		t.Fatal("timeline out of order")
+	}
+}
+
+func TestStreamObservesOutageAsStall(t *testing.T) {
+	// Cut the only path briefly mid-stream on a line topology: the client
+	// must record a stall roughly as long as the outage, then finish.
+	opts := topo.DefaultOptions(topo.ARPPath, 1)
+	n := topo.Line(opts, 2)
+	cfg := DefaultStreamConfig()
+	cfg.Size = 4 << 20
+	var rep *StreamReport
+	n.Engine.At(n.Now(), func() {
+		StartStream(n.Host("H1"), n.Host("H2"), cfg, func(r *StreamReport) { rep = r })
+	})
+	mid := n.Link("S1-S2")
+	outage := 300 * time.Millisecond
+	n.Engine.At(n.Now()+10*time.Millisecond, func() { mid.SetUp(false) })
+	n.Engine.At(n.Now()+10*time.Millisecond+outage, func() { mid.SetUp(true) })
+	n.RunFor(5 * time.Minute)
+	if rep == nil || !rep.Complete {
+		t.Fatal("stream did not survive the outage")
+	}
+	if len(rep.Stalls) == 0 {
+		t.Fatal("outage not recorded as a stall")
+	}
+	if rep.TotalStall < outage/2 {
+		t.Fatalf("TotalStall = %v, outage was %v", rep.TotalStall, outage)
+	}
+}
+
+func TestStreamAbortReported(t *testing.T) {
+	// Permanently partition mid-stream; the client must eventually report
+	// an abort rather than hanging.
+	n := topo.Line(topo.DefaultOptions(topo.ARPPath, 1), 2)
+	cfg := DefaultStreamConfig()
+	cfg.Size = 4 << 20
+	var rep *StreamReport
+	n.Engine.At(n.Now(), func() {
+		StartStream(n.Host("H1"), n.Host("H2"), cfg, func(r *StreamReport) { rep = r })
+	})
+	n.Engine.At(n.Now()+10*time.Millisecond, func() { n.Link("S1-S2").SetUp(false) })
+	n.RunFor(10 * time.Minute)
+	if rep == nil {
+		t.Fatal("no report after permanent partition")
+	}
+	if !rep.Aborted || rep.Complete {
+		t.Fatalf("report: aborted=%v complete=%v", rep.Aborted, rep.Complete)
+	}
+}
+
+func TestStreamConfigValidation(t *testing.T) {
+	n := topo.Line(topo.DefaultOptions(topo.ARPPath, 1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size stream accepted")
+		}
+	}()
+	StartStream(n.Host("H1"), n.Host("H2"), StreamConfig{Port: 80}, nil)
+}
+
+func TestFlowAndSink(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	h1 := host.New(net, "h1", 1)
+	h2 := host.New(net, "h2", 2)
+	net.Connect(h1, h2, netsim.DefaultLinkConfig()) // direct cable
+	sink := NewSink(h2, 7000)
+	var res FlowResult
+	net.Engine.At(0, func() {
+		StartFlow(h1, FlowConfig{
+			DstIP: h2.IP(), DstPort: 7000, SrcPort: 7001,
+			PayloadSize: 500, Interval: time.Millisecond, Count: 25,
+		}, func(r FlowResult) { res = r })
+	})
+	net.RunFor(10 * time.Second)
+	if res.Sent != 25 {
+		t.Fatalf("sent = %d", res.Sent)
+	}
+	if sink.Count() != 25 {
+		t.Fatalf("sink got %d datagrams", sink.Count())
+	}
+}
+
+func TestFlowConfigValidation(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	h := host.New(net, "h", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad flow config accepted")
+		}
+	}()
+	StartFlow(h, FlowConfig{Count: 0}, nil)
+}

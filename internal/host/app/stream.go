@@ -1,0 +1,154 @@
+package app
+
+import (
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/metrics"
+)
+
+// StreamConfig describes the Figure 3 video stream.
+type StreamConfig struct {
+	// Port is the server's listening port (the demo's HTTP server).
+	Port uint16
+	// Size is the total video size in bytes.
+	Size int
+	// Bucket is the goodput-timeline bucket width.
+	Bucket time.Duration
+	// StallThreshold: a gap between deliveries longer than this counts as
+	// a playback stall (the visible glitch in the demo's video).
+	StallThreshold time.Duration
+}
+
+// DefaultStreamConfig matches the demo scale: an 8 MiB clip over HTTP.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		Port:           80,
+		Size:           8 << 20,
+		Bucket:         50 * time.Millisecond,
+		StallThreshold: 100 * time.Millisecond,
+	}
+}
+
+// Stall is one playback interruption observed by the client.
+type Stall struct {
+	Start    time.Duration // when delivery stopped (virtual time)
+	Duration time.Duration // how long until bytes flowed again
+}
+
+// StreamReport is the client-side account of one streaming session.
+type StreamReport struct {
+	Started   time.Duration
+	Connected time.Duration
+	Finished  time.Duration // zero if the stream never completed
+	Received  int
+	Complete  bool
+	Aborted   bool
+	Stalls    []Stall
+	// Goodput is delivered bits per second per bucket (the demo's
+	// throughput graph).
+	Goodput *metrics.Series
+	// TotalStall sums all stall durations — the demo's "minimal effect on
+	// the streamed video" claim, quantified.
+	TotalStall time.Duration
+}
+
+// Streamer runs a video streaming session between two hosts.
+type Streamer struct {
+	cfg    StreamConfig
+	report *StreamReport
+	onDone func(*StreamReport)
+
+	server *host.Host
+	client *host.Host
+
+	lastByteAt  time.Duration
+	bucketStart time.Duration
+	bucketBits  float64
+	finished    bool
+}
+
+// StartStream makes server serve cfg.Size bytes on cfg.Port and client
+// fetch them, HTTP-style. onDone fires when the stream completes or
+// aborts. The returned Streamer exposes the live report for mid-stream
+// probes.
+func StartStream(server, client *host.Host, cfg StreamConfig, onDone func(*StreamReport)) *Streamer {
+	if cfg.Size <= 0 || cfg.Bucket <= 0 || cfg.StallThreshold <= 0 {
+		panic("app: invalid stream config")
+	}
+	now := client.Net().Now()
+	s := &Streamer{
+		cfg:    cfg,
+		onDone: onDone,
+		server: server,
+		client: client,
+		report: &StreamReport{
+			Started: now,
+			Goodput: metrics.NewSeries("goodput", "Mb/s"),
+		},
+		lastByteAt:  now,
+		bucketStart: now,
+	}
+	server.Listen(cfg.Port, func(c *host.Conn) {
+		// Serve the whole "video file"; TCP-lite paces it out.
+		c.Write(make([]byte, cfg.Size))
+		c.Close()
+	})
+	client.Dial(server.IP(), cfg.Port, func(c *host.Conn) {
+		s.report.Connected = client.Net().Now()
+		s.lastByteAt = s.report.Connected
+		c.OnData = s.onData
+		c.OnClose = s.onClose
+		c.OnAbort = s.onAbort
+	})
+	return s
+}
+
+// Report returns the live report (final once onDone has fired).
+func (s *Streamer) Report() *StreamReport { return s.report }
+
+func (s *Streamer) onData(p []byte) {
+	now := s.client.Net().Now()
+	if gap := now - s.lastByteAt; gap > s.cfg.StallThreshold {
+		s.report.Stalls = append(s.report.Stalls, Stall{Start: s.lastByteAt, Duration: gap})
+		s.report.TotalStall += gap
+	}
+	s.lastByteAt = now
+	s.report.Received += len(p)
+	// Goodput bucketing.
+	for now-s.bucketStart >= s.cfg.Bucket {
+		s.flushBucket()
+	}
+	s.bucketBits += float64(len(p) * 8)
+}
+
+func (s *Streamer) flushBucket() {
+	mbps := s.bucketBits / s.cfg.Bucket.Seconds() / 1e6
+	s.report.Goodput.Add(s.bucketStart, mbps)
+	s.bucketStart += s.cfg.Bucket
+	s.bucketBits = 0
+}
+
+func (s *Streamer) onClose() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.flushBucket()
+	s.report.Finished = s.client.Net().Now()
+	s.report.Complete = s.report.Received == s.cfg.Size
+	if s.onDone != nil {
+		s.onDone(s.report)
+	}
+}
+
+func (s *Streamer) onAbort() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.report.Aborted = true
+	if s.onDone != nil {
+		s.onDone(s.report)
+	}
+}

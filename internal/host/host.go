@@ -1,0 +1,186 @@
+// Package host implements the simulated end stations of the demo: an
+// unmodified Ethernet/ARP/IPv4 stack with ICMP echo, UDP sockets and the
+// TCP-lite reliable transport. Hosts are deliberately ordinary — the
+// paper's central transparency claim (§2.2) is that ARP-Path needs no host
+// changes, so everything here is plain textbook networking with no
+// knowledge of the bridging protocol underneath.
+package host
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Stats counts host-level traffic.
+type Stats struct {
+	FramesRx, FramesTx   uint64
+	ARPRequestsTx        uint64
+	ARPRepliesTx         uint64
+	ARPResolves          uint64 // successful resolutions
+	ARPFailures          uint64 // resolutions that timed out
+	EchoRequestsRx       uint64
+	EchoRepliesTx        uint64
+	IPRx, IPTx           uint64
+	DroppedUnknownProto  uint64
+	DroppedPendingARP    uint64 // packets dropped from a full pending queue
+	DroppedForeignFrames uint64 // frames not addressed to this host
+}
+
+// Host is one simulated end station. It normally has a single NIC; for
+// mobility scenarios it may be cabled to several ports with at most one
+// link up at a time (a station that re-homes to another edge bridge), and
+// it always transmits on its first up port.
+type Host struct {
+	net   *netsim.Network
+	name  string
+	mac   layers.MAC
+	ip    layers.Addr4
+	ports []*netsim.Port
+
+	arp   *arpCache
+	icmp  *icmpEndpoint
+	udp   map[uint16]*UDPSocket
+	tcp   *tcpHost
+	stats Stats
+}
+
+// New creates host number n named name: MAC 02:00:00::n, IP 10.0.n.
+func New(net *netsim.Network, name string, n int) *Host {
+	h := &Host{
+		net:  net,
+		name: name,
+		mac:  layers.HostMAC(n),
+		ip:   layers.HostIP(n),
+		udp:  make(map[uint16]*UDPSocket),
+	}
+	h.arp = newARPCache(h, DefaultARPConfig())
+	h.icmp = newICMPEndpoint(h)
+	h.tcp = newTCPHost(h)
+	net.AddNode(h)
+	return h
+}
+
+// Name implements netsim.Node.
+func (h *Host) Name() string { return h.name }
+
+// MAC returns the host's hardware address.
+func (h *Host) MAC() layers.MAC { return h.mac }
+
+// IP returns the host's IPv4 address.
+func (h *Host) IP() layers.Addr4 { return h.ip }
+
+// Net returns the owning network.
+func (h *Host) Net() *netsim.Network { return h.net }
+
+// Stats returns a snapshot of the traffic counters.
+func (h *Host) Stats() Stats { return h.stats }
+
+// ARP returns the host's ARP resolver (exposed for experiments measuring
+// cache behaviour).
+func (h *Host) ARP() *ARPView { return &ARPView{h.arp} }
+
+// now returns the current virtual time.
+func (h *Host) now() time.Duration { return h.net.Now() }
+
+// engine returns the simulation engine.
+func (h *Host) engine() *sim.Engine { return h.net.Engine }
+
+// AttachPort implements netsim.Node.
+func (h *Host) AttachPort(p *netsim.Port) { h.ports = append(h.ports, p) }
+
+// Port returns the host's active NIC port: the first attached port whose
+// link is up (or the first port if all are down). It panics when the host
+// was never cabled.
+func (h *Host) Port() *netsim.Port {
+	if len(h.ports) == 0 {
+		panic(fmt.Sprintf("host %s: no NIC attached", h.name))
+	}
+	for _, p := range h.ports {
+		if p.Up() {
+			return p
+		}
+	}
+	return h.ports[0]
+}
+
+// PortStatusChanged implements netsim.Node. Hosts keep their state across
+// link flaps; TCP retransmission handles the outage.
+func (h *Host) PortStatusChanged(_ *netsim.Port, _ bool) {}
+
+// send transmits a fully framed packet on the active port.
+func (h *Host) send(frame []byte) {
+	h.stats.FramesTx++
+	h.Port().Send(frame)
+}
+
+// HandleFrame implements netsim.Node: the NIC filter plus protocol
+// dispatch.
+func (h *Host) HandleFrame(_ *netsim.Port, frame []byte) {
+	dst := layers.FrameDst(frame)
+	if dst != h.mac && !dst.IsBroadcast() {
+		h.stats.DroppedForeignFrames++
+		return
+	}
+	h.stats.FramesRx++
+	var eth layers.Ethernet
+	if eth.DecodeFromBytes(frame) != nil {
+		return
+	}
+	switch eth.EtherType {
+	case layers.EtherTypeARP:
+		h.arp.handleFrame(&eth)
+	case layers.EtherTypeIPv4:
+		h.handleIPv4(&eth)
+	default:
+		// PathCtl, BPDUs, anything else: hosts ignore bridge traffic.
+		h.stats.DroppedUnknownProto++
+	}
+}
+
+// handleIPv4 dispatches a received IPv4 packet.
+func (h *Host) handleIPv4(eth *layers.Ethernet) {
+	var ip layers.IPv4
+	if ip.DecodeFromBytes(eth.Payload()) != nil {
+		return
+	}
+	if ip.Dst != h.ip && !ip.Dst.IsBroadcast() {
+		return
+	}
+	h.stats.IPRx++
+	switch ip.Protocol {
+	case layers.IPProtoICMP:
+		h.icmp.handle(&ip)
+	case layers.IPProtoUDP:
+		h.handleUDP(&ip)
+	case layers.IPProtoTCPLite:
+		h.tcp.handle(&ip)
+	default:
+		h.stats.DroppedUnknownProto++
+	}
+}
+
+// sendIP resolves dst's MAC and transmits the transport layers under an
+// IPv4 header. Packets are queued while resolution is in flight.
+func (h *Host) sendIP(dst layers.Addr4, proto uint8, transport ...layers.SerializableLayer) {
+	h.arp.resolve(dst, func(mac layers.MAC, err error) {
+		if err != nil {
+			return // resolution failed; transports retransmit on their own
+		}
+		ls := make([]layers.SerializableLayer, 0, 2+len(transport))
+		ls = append(ls,
+			&layers.Ethernet{Dst: mac, Src: h.mac, EtherType: layers.EtherTypeIPv4},
+			&layers.IPv4{TTL: 64, Protocol: proto, Src: h.ip, Dst: dst},
+		)
+		ls = append(ls, transport...)
+		frame, err := layers.Serialize(ls...)
+		if err != nil {
+			panic(fmt.Sprintf("host %s: serialize: %v", h.name, err))
+		}
+		h.stats.IPTx++
+		h.send(frame)
+	})
+}

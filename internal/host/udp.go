@@ -1,0 +1,76 @@
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/layers"
+)
+
+// Datagram is a received UDP payload with its source.
+type Datagram struct {
+	SrcIP   layers.Addr4
+	SrcPort uint16
+	Data    []byte
+}
+
+// UDPSocket is a bound UDP port on a host.
+type UDPSocket struct {
+	h     *Host
+	port  uint16
+	onRx  func(Datagram)
+	rx    uint64
+	tx    uint64
+	drops uint64
+}
+
+// UDP binds port on the host. onRx is invoked for each received datagram
+// on the simulation goroutine; it may be nil for transmit-only sockets.
+func (h *Host) UDP(port uint16, onRx func(Datagram)) *UDPSocket {
+	if _, taken := h.udp[port]; taken {
+		panic(fmt.Sprintf("host %s: UDP port %d already bound", h.name, port))
+	}
+	s := &UDPSocket{h: h, port: port, onRx: onRx}
+	h.udp[port] = s
+	return s
+}
+
+// Close releases the port.
+func (s *UDPSocket) Close() { delete(s.h.udp, s.port) }
+
+// Port returns the bound local port.
+func (s *UDPSocket) Port() uint16 { return s.port }
+
+// Received returns the number of datagrams delivered to onRx.
+func (s *UDPSocket) Received() uint64 { return s.rx }
+
+// Sent returns the number of datagrams transmitted.
+func (s *UDPSocket) Sent() uint64 { return s.tx }
+
+// SendTo transmits payload to dst:dstPort.
+func (s *UDPSocket) SendTo(dst layers.Addr4, dstPort uint16, payload []byte) {
+	s.tx++
+	s.h.sendIP(dst, layers.IPProtoUDP,
+		&layers.UDP{SrcPort: s.port, DstPort: dstPort, SrcIP: s.h.ip, DstIP: dst},
+		layers.Payload(payload),
+	)
+}
+
+// handleUDP dispatches a received UDP datagram to its socket.
+func (h *Host) handleUDP(ip *layers.IPv4) {
+	var u layers.UDP
+	if u.DecodeFromBytes(ip.Payload()) != nil {
+		return
+	}
+	if u.VerifyChecksum(ip.Src, ip.Dst) != nil {
+		return
+	}
+	s, ok := h.udp[u.DstPort]
+	if !ok {
+		h.stats.DroppedUnknownProto++
+		return
+	}
+	s.rx++
+	if s.onRx != nil {
+		s.onRx(Datagram{SrcIP: ip.Src, SrcPort: u.SrcPort, Data: u.Payload()})
+	}
+}

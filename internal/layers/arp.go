@@ -1,0 +1,61 @@
+package layers
+
+import "encoding/binary"
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// arpLen is the length of an Ethernet/IPv4 ARP packet.
+const arpLen = 28
+
+// ARP is an Ethernet/IPv4 ARP packet (RFC 826). Only htype=1 (Ethernet),
+// ptype=IPv4 is supported, which is all the paper's network carries.
+type ARP struct {
+	Operation uint16
+	SenderHW  MAC
+	SenderIP  Addr4
+	TargetHW  MAC
+	TargetIP  Addr4
+}
+
+// LayerName implements SerializableLayer and DecodingLayer.
+func (*ARP) LayerName() string { return "ARP" }
+
+// DecodeFromBytes resets a from data.
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < arpLen {
+		return ErrTruncated
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != 1 ||
+		EtherType(binary.BigEndian.Uint16(data[2:4])) != EtherTypeIPv4 ||
+		data[4] != 6 || data[5] != 4 {
+		return ErrBadVersion
+	}
+	a.Operation = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderHW[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetHW[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	return nil
+}
+
+// SerializeTo prepends the 28-byte ARP packet.
+func (a *ARP) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	p := b.PrependBytes(arpLen)
+	binary.BigEndian.PutUint16(p[0:2], 1) // htype: Ethernet
+	binary.BigEndian.PutUint16(p[2:4], uint16(EtherTypeIPv4))
+	p[4], p[5] = 6, 4
+	binary.BigEndian.PutUint16(p[6:8], a.Operation)
+	copy(p[8:14], a.SenderHW[:])
+	copy(p[14:18], a.SenderIP[:])
+	copy(p[18:24], a.TargetHW[:])
+	copy(p[24:28], a.TargetIP[:])
+	return nil
+}
+
+// IsGratuitous reports whether the packet announces the sender's own
+// binding (sender IP == target IP).
+func (a *ARP) IsGratuitous() bool { return a.SenderIP == a.TargetIP }

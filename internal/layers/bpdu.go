@@ -1,0 +1,128 @@
+package layers
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// BPDU types (IEEE 802.1D-1998 §9.3).
+const (
+	BPDUTypeConfig uint8 = 0x00
+	BPDUTypeTCN    uint8 = 0x80
+)
+
+// BPDU flag bits.
+const (
+	BPDUFlagTopologyChange    uint8 = 0x01
+	BPDUFlagTopologyChangeAck uint8 = 0x80
+)
+
+const (
+	configBPDULen = 35
+	tcnBPDULen    = 4
+)
+
+// BridgeID is a 802.1D bridge identifier: 16-bit priority and 48-bit MAC,
+// compared as a single big-endian 64-bit value (lower wins the election).
+type BridgeID uint64
+
+// MakeBridgeID combines a priority and a bridge MAC.
+func MakeBridgeID(priority uint16, mac MAC) BridgeID {
+	return BridgeID(uint64(priority)<<48 | mac.Uint64())
+}
+
+// Priority extracts the priority half.
+func (id BridgeID) Priority() uint16 { return uint16(id >> 48) }
+
+// MAC extracts the address half.
+func (id BridgeID) MAC() MAC { return MACFromUint64(uint64(id) & 0xFFFF_FFFF_FFFF) }
+
+// BPDU is an 802.1D bridge protocol data unit. Real BPDUs ride LLC
+// (DSAP/SSAP 0x42); we carry them under EtherTypeBPDU instead — see
+// DESIGN.md for the substitution note. Field semantics follow the standard.
+type BPDU struct {
+	Type  uint8 // BPDUTypeConfig or BPDUTypeTCN
+	Flags uint8
+
+	// Config-BPDU fields (ignored for TCN):
+	RootID   BridgeID
+	RootCost uint32
+	SenderID BridgeID
+	PortID   uint16
+	// Timer fields; the standard transmits them in 1/256 s units, and the
+	// codec performs that conversion.
+	MessageAge   time.Duration
+	MaxAge       time.Duration
+	HelloTime    time.Duration
+	ForwardDelay time.Duration
+}
+
+// LayerName implements SerializableLayer and DecodingLayer.
+func (*BPDU) LayerName() string { return "BPDU" }
+
+// durTo256ths converts a duration to 1/256-second wire units.
+func durTo256ths(d time.Duration) uint16 {
+	return uint16(d * 256 / time.Second)
+}
+
+// durFrom256ths converts 1/256-second wire units to a duration.
+func durFrom256ths(v uint16) time.Duration {
+	return time.Duration(v) * time.Second / 256
+}
+
+// DecodeFromBytes resets b from data.
+func (b *BPDU) DecodeFromBytes(data []byte) error {
+	if len(data) < tcnBPDULen {
+		return ErrTruncated
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != 0 || data[2] != 0 {
+		return ErrBadVersion // protocol ID and version must be 0 (STP)
+	}
+	b.Type = data[3]
+	switch b.Type {
+	case BPDUTypeTCN:
+		*b = BPDU{Type: BPDUTypeTCN}
+		return nil
+	case BPDUTypeConfig:
+	default:
+		return ErrBadVersion
+	}
+	if len(data) < configBPDULen {
+		return ErrTruncated
+	}
+	b.Flags = data[4]
+	b.RootID = BridgeID(binary.BigEndian.Uint64(data[5:13]))
+	b.RootCost = binary.BigEndian.Uint32(data[13:17])
+	b.SenderID = BridgeID(binary.BigEndian.Uint64(data[17:25]))
+	b.PortID = binary.BigEndian.Uint16(data[25:27])
+	b.MessageAge = durFrom256ths(binary.BigEndian.Uint16(data[27:29]))
+	b.MaxAge = durFrom256ths(binary.BigEndian.Uint16(data[29:31]))
+	b.HelloTime = durFrom256ths(binary.BigEndian.Uint16(data[31:33]))
+	b.ForwardDelay = durFrom256ths(binary.BigEndian.Uint16(data[33:35]))
+	return nil
+}
+
+// SerializeTo prepends the BPDU.
+func (b *BPDU) SerializeTo(sb *SerializeBuffer, _ SerializeOptions) error {
+	if b.Type == BPDUTypeTCN {
+		h := sb.PrependBytes(tcnBPDULen)
+		binary.BigEndian.PutUint16(h[0:2], 0)
+		h[2] = 0
+		h[3] = BPDUTypeTCN
+		return nil
+	}
+	h := sb.PrependBytes(configBPDULen)
+	binary.BigEndian.PutUint16(h[0:2], 0)
+	h[2] = 0
+	h[3] = BPDUTypeConfig
+	h[4] = b.Flags
+	binary.BigEndian.PutUint64(h[5:13], uint64(b.RootID))
+	binary.BigEndian.PutUint32(h[13:17], b.RootCost)
+	binary.BigEndian.PutUint64(h[17:25], uint64(b.SenderID))
+	binary.BigEndian.PutUint16(h[25:27], b.PortID)
+	binary.BigEndian.PutUint16(h[27:29], durTo256ths(b.MessageAge))
+	binary.BigEndian.PutUint16(h[29:31], durTo256ths(b.MaxAge))
+	binary.BigEndian.PutUint16(h[31:33], durTo256ths(b.HelloTime))
+	binary.BigEndian.PutUint16(h[33:35], durTo256ths(b.ForwardDelay))
+	return nil
+}

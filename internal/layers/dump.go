@@ -1,0 +1,77 @@
+package layers
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summarize renders a one-line human-readable description of a raw frame,
+// decoding as many layers as it recognizes. It is the repository's
+// LayerString equivalent, used by traces and the -trace flags of the demo
+// binaries. Undecodable content degrades gracefully to a byte count.
+func Summarize(frame []byte) string {
+	var sb strings.Builder
+	var eth Ethernet
+	if err := eth.DecodeFromBytes(frame); err != nil {
+		return fmt.Sprintf("malformed frame (%d bytes)", len(frame))
+	}
+	fmt.Fprintf(&sb, "%s > %s %s", eth.Src, eth.Dst, eth.EtherType)
+	body := eth.Payload()
+	switch eth.EtherType {
+	case EtherTypeARP:
+		var a ARP
+		if a.DecodeFromBytes(body) == nil {
+			if a.Operation == ARPRequest {
+				fmt.Fprintf(&sb, " who-has %s tell %s(%s)", a.TargetIP, a.SenderIP, a.SenderHW)
+			} else {
+				fmt.Fprintf(&sb, " %s is-at %s", a.SenderIP, a.SenderHW)
+			}
+		}
+	case EtherTypePathCtl:
+		var p PathCtl
+		if p.DecodeFromBytes(body) == nil {
+			fmt.Fprintf(&sb, " %s src=%s dst=%s nonce=%d", p.Type, p.Src, p.Dst, p.Nonce)
+		}
+	case EtherTypeBPDU:
+		var b BPDU
+		if b.DecodeFromBytes(body) == nil {
+			if b.Type == BPDUTypeTCN {
+				sb.WriteString(" TCN")
+			} else {
+				fmt.Fprintf(&sb, " root=%016x cost=%d sender=%016x age=%v",
+					uint64(b.RootID), b.RootCost, uint64(b.SenderID), b.MessageAge)
+			}
+		}
+	case EtherTypeIPv4:
+		var ip IPv4
+		if ip.DecodeFromBytes(body) != nil {
+			break
+		}
+		fmt.Fprintf(&sb, " %s > %s", ip.Src, ip.Dst)
+		switch ip.Protocol {
+		case IPProtoICMP:
+			var ic ICMPEcho
+			if ic.DecodeFromBytes(ip.Payload()) == nil {
+				kind := "echo-request"
+				if ic.Type == ICMPEchoReply {
+					kind = "echo-reply"
+				}
+				fmt.Fprintf(&sb, " %s id=%d seq=%d", kind, ic.Ident, ic.Seq)
+			}
+		case IPProtoUDP:
+			var u UDP
+			if u.DecodeFromBytes(ip.Payload()) == nil {
+				fmt.Fprintf(&sb, " udp %d>%d len=%d", u.SrcPort, u.DstPort, len(u.Payload()))
+			}
+		case IPProtoTCPLite:
+			var t TCPLite
+			if t.DecodeFromBytes(ip.Payload()) == nil {
+				fmt.Fprintf(&sb, " tcpl %d>%d [%s] seq=%d ack=%d len=%d",
+					t.SrcPort, t.DstPort, t.FlagString(), t.Seq, t.Ack, len(t.Payload()))
+			}
+		default:
+			fmt.Fprintf(&sb, " proto=%d", ip.Protocol)
+		}
+	}
+	return sb.String()
+}

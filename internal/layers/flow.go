@@ -1,0 +1,138 @@
+package layers
+
+import "fmt"
+
+// EndpointKind tells how an Endpoint's bytes are interpreted.
+type EndpointKind uint8
+
+// Endpoint kinds.
+const (
+	EndpointInvalid EndpointKind = iota
+	EndpointMAC
+	EndpointIPv4
+	EndpointPort
+)
+
+// String names the kind.
+func (k EndpointKind) String() string {
+	switch k {
+	case EndpointMAC:
+		return "MAC"
+	case EndpointIPv4:
+		return "IPv4"
+	case EndpointPort:
+		return "Port"
+	default:
+		return "invalid"
+	}
+}
+
+// Endpoint is a hashable address at some layer, usable as a map key —
+// the gopacket Endpoint idiom with a fixed-size array to stay
+// allocation-free.
+type Endpoint struct {
+	kind EndpointKind
+	len  uint8
+	raw  [6]byte
+}
+
+// MACEndpoint wraps a MAC address.
+func MACEndpoint(m MAC) Endpoint {
+	e := Endpoint{kind: EndpointMAC, len: 6}
+	copy(e.raw[:], m[:])
+	return e
+}
+
+// IPv4Endpoint wraps an IPv4 address.
+func IPv4Endpoint(a Addr4) Endpoint {
+	e := Endpoint{kind: EndpointIPv4, len: 4}
+	copy(e.raw[:], a[:])
+	return e
+}
+
+// PortEndpoint wraps a transport port.
+func PortEndpoint(p uint16) Endpoint {
+	return Endpoint{kind: EndpointPort, len: 2, raw: [6]byte{byte(p >> 8), byte(p)}}
+}
+
+// Kind returns the endpoint's kind.
+func (e Endpoint) Kind() EndpointKind { return e.kind }
+
+// String renders the endpoint per its kind.
+func (e Endpoint) String() string {
+	switch e.kind {
+	case EndpointMAC:
+		var m MAC
+		copy(m[:], e.raw[:])
+		return m.String()
+	case EndpointIPv4:
+		var a Addr4
+		copy(a[:], e.raw[:4])
+		return a.String()
+	case EndpointPort:
+		return fmt.Sprintf("%d", uint16(e.raw[0])<<8|uint16(e.raw[1]))
+	default:
+		return "invalid"
+	}
+}
+
+// FastHash returns a quick non-cryptographic hash (FNV-1a over kind and
+// bytes), suitable for load balancing.
+func (e Endpoint) FastHash() uint64 {
+	h := uint64(fnvOffset)
+	h = (h ^ uint64(e.kind)) * fnvPrime
+	for i := uint8(0); i < e.len; i++ {
+		h = (h ^ uint64(e.raw[i])) * fnvPrime
+	}
+	return h
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Flow is a directed (src, dst) endpoint pair, comparable and map-key
+// friendly. Its FastHash is symmetric: A→B hashes like B→A, so both
+// directions of a conversation land in the same bucket (the gopacket
+// guarantee the load-distribution experiment relies on).
+type Flow struct {
+	src, dst Endpoint
+}
+
+// NewFlow builds a flow from two endpoints of the same kind.
+func NewFlow(src, dst Endpoint) (Flow, error) {
+	if src.kind != dst.kind || src.kind == EndpointInvalid {
+		return Flow{}, fmt.Errorf("layers: flow endpoints %v/%v mismatch", src.kind, dst.kind)
+	}
+	return Flow{src: src, dst: dst}, nil
+}
+
+// MACFlow is the link-layer flow of a frame.
+func MACFlow(src, dst MAC) Flow { return Flow{src: MACEndpoint(src), dst: MACEndpoint(dst)} }
+
+// IPv4Flow is the network-layer flow of a packet.
+func IPv4Flow(src, dst Addr4) Flow { return Flow{src: IPv4Endpoint(src), dst: IPv4Endpoint(dst)} }
+
+// Src returns the source endpoint.
+func (f Flow) Src() Endpoint { return f.src }
+
+// Dst returns the destination endpoint.
+func (f Flow) Dst() Endpoint { return f.dst }
+
+// Reverse returns the flow with endpoints swapped.
+func (f Flow) Reverse() Flow { return Flow{src: f.dst, dst: f.src} }
+
+// String renders "src->dst".
+func (f Flow) String() string { return f.src.String() + "->" + f.dst.String() }
+
+// FastHash returns a direction-independent hash: f and f.Reverse() hash
+// identically (XOR of the endpoint hashes, as in gopacket).
+func (f Flow) FastHash() uint64 { return f.src.FastHash() ^ f.dst.FastHash() }
+
+// LinkFlow extracts the MAC flow from the last parsed frame.
+func (p *Parser) LinkFlow() Flow { return MACFlow(p.Eth.Src, p.Eth.Dst) }
+
+// NetworkFlow extracts the IPv4 flow from the last parsed frame; only
+// valid when Has(LayerIPv4).
+func (p *Parser) NetworkFlow() Flow { return IPv4Flow(p.IP.Src, p.IP.Dst) }

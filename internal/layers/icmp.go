@@ -1,0 +1,67 @@
+package layers
+
+import "encoding/binary"
+
+// ICMPv4 message types carried by the simulated hosts.
+const (
+	ICMPEchoReply   uint8 = 0
+	ICMPEchoRequest uint8 = 8
+)
+
+// icmpEchoLen is the fixed part of an echo message.
+const icmpEchoLen = 8
+
+// ICMPEcho is an ICMPv4 echo request/reply (RFC 792), the workload of the
+// Figure 2 latency comparison.
+type ICMPEcho struct {
+	Type     uint8 // ICMPEchoRequest or ICMPEchoReply
+	Checksum uint16
+	Ident    uint16
+	Seq      uint16
+
+	payload []byte
+}
+
+// LayerName implements SerializableLayer and DecodingLayer.
+func (*ICMPEcho) LayerName() string { return "ICMPEcho" }
+
+// Payload returns the echo data from the last decode.
+func (ic *ICMPEcho) Payload() []byte { return ic.payload }
+
+// DecodeFromBytes resets ic from data and verifies the checksum.
+func (ic *ICMPEcho) DecodeFromBytes(data []byte) error {
+	if len(data) < icmpEchoLen {
+		return ErrTruncated
+	}
+	if t := data[0]; t != ICMPEchoRequest && t != ICMPEchoReply {
+		return ErrBadVersion
+	}
+	if data[1] != 0 {
+		return ErrBadVersion // echo code must be 0
+	}
+	if Checksum(data) != 0 {
+		return ErrBadChecksum
+	}
+	ic.Type = data[0]
+	ic.Checksum = binary.BigEndian.Uint16(data[2:4])
+	ic.Ident = binary.BigEndian.Uint16(data[4:6])
+	ic.Seq = binary.BigEndian.Uint16(data[6:8])
+	ic.payload = data[icmpEchoLen:]
+	return nil
+}
+
+// SerializeTo prepends the echo header, computing the checksum over the
+// message when requested.
+func (ic *ICMPEcho) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	h := b.PrependBytes(icmpEchoLen)
+	h[0] = ic.Type
+	h[1] = 0
+	binary.BigEndian.PutUint16(h[2:4], 0)
+	binary.BigEndian.PutUint16(h[4:6], ic.Ident)
+	binary.BigEndian.PutUint16(h[6:8], ic.Seq)
+	if opts.ComputeChecksums {
+		ic.Checksum = Checksum(b.Bytes())
+	}
+	binary.BigEndian.PutUint16(h[2:4], ic.Checksum)
+	return nil
+}

@@ -1,0 +1,140 @@
+package layers
+
+import "encoding/binary"
+
+// IP protocol numbers carried in this repository.
+const (
+	IPProtoICMP    = 1
+	IPProtoTCPLite = 6 // TCP's number; our TCP-lite occupies its slot
+	IPProtoUDP     = 17
+)
+
+// ipv4MinLen is the header length without options.
+const ipv4MinLen = 20
+
+// IPv4 is an IPv4 header (RFC 791) without options support; the simulated
+// hosts never emit options, and decoding rejects them explicitly rather
+// than misparsing.
+type IPv4 struct {
+	TOS      uint8
+	Length   uint16 // total length; fixed up when FixLengths is set
+	ID       uint16
+	Flags    uint8  // upper 3 bits of the fragment word (DF=0b010)
+	FragOff  uint16 // 13-bit fragment offset in 8-byte units
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16 // fixed up when ComputeChecksums is set
+	Src, Dst Addr4
+
+	payload []byte
+}
+
+// LayerName implements SerializableLayer and DecodingLayer.
+func (*IPv4) LayerName() string { return "IPv4" }
+
+// Payload returns the bytes after the header from the last decode,
+// truncated to the header's Length field (stripping Ethernet padding).
+func (ip *IPv4) Payload() []byte { return ip.payload }
+
+// DecodeFromBytes resets ip from data and verifies the header checksum.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < ipv4MinLen {
+		return ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(data[0]&0x0F) * 4
+	if ihl != ipv4MinLen {
+		return ErrBadVersion // options unsupported
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return ErrBadChecksum
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	frag := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(frag >> 13)
+	ip.FragOff = frag & 0x1FFF
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	if int(ip.Length) < ihl || int(ip.Length) > len(data) {
+		return ErrTruncated
+	}
+	ip.payload = data[ihl:ip.Length]
+	return nil
+}
+
+// SerializeTo prepends the 20-byte header, fixing Length and Checksum per
+// opts.
+func (ip *IPv4) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if opts.FixLengths {
+		ip.Length = uint16(ipv4MinLen + b.Len())
+	}
+	h := b.PrependBytes(ipv4MinLen)
+	h[0] = 4<<4 | ipv4MinLen/4
+	h[1] = ip.TOS
+	binary.BigEndian.PutUint16(h[2:4], ip.Length)
+	binary.BigEndian.PutUint16(h[4:6], ip.ID)
+	binary.BigEndian.PutUint16(h[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1FFF)
+	h[8] = ip.TTL
+	h[9] = ip.Protocol
+	binary.BigEndian.PutUint16(h[10:12], 0)
+	copy(h[12:16], ip.Src[:])
+	copy(h[16:20], ip.Dst[:])
+	if opts.ComputeChecksums {
+		ip.Checksum = Checksum(h)
+	}
+	binary.BigEndian.PutUint16(h[10:12], ip.Checksum)
+	return nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum of data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for len(data) >= 2 {
+		sum += uint32(data[0])<<8 | uint32(data[1])
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum folds an IPv4 pseudo-header (RFC 768/793) into a partial
+// sum for transport checksums.
+func pseudoHeaderSum(src, dst Addr4, proto uint8, length int) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// transportChecksum computes a transport checksum over seg with the
+// pseudo-header for src/dst/proto.
+func transportChecksum(seg []byte, src, dst Addr4, proto uint8) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(seg))
+	for len(seg) >= 2 {
+		sum += uint32(seg[0])<<8 | uint32(seg[1])
+		seg = seg[2:]
+	}
+	if len(seg) == 1 {
+		sum += uint32(seg[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xFFFF + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,148 @@
+// Package layers implements wire codecs for every protocol this repository
+// speaks: Ethernet II, ARP, IPv4, ICMPv4 echo, UDP, the TCP-lite reliable
+// transport, IEEE 802.1D BPDUs, and the ARP-Path control frames (HELLO,
+// PathFail, PathRequest, PathReply).
+//
+// The package follows the gopacket conventions: each layer is a struct whose
+// DecodeFromBytes method resets it in place from a byte slice without
+// allocating, and whose SerializeTo method prepends itself onto a
+// SerializeBuffer so a whole packet is built innermost-layer-first. Length
+// and checksum fields are fixed up during serialization when
+// SerializeOptions request it.
+package layers
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EtherType identifies the payload protocol of an Ethernet II frame.
+type EtherType uint16
+
+// EtherTypes used in this repository. PathCtl and BPDU use the IEEE local
+// experimental EtherTypes; real 802.1D uses LLC encapsulation, which we do
+// not model (documented substitution — the demo's bridges only need BPDUs to
+// be distinguishable and non-forwardable).
+const (
+	EtherTypeIPv4    EtherType = 0x0800
+	EtherTypeARP     EtherType = 0x0806
+	EtherTypePathCtl EtherType = 0x88B5 // IEEE Std 802 local experimental 1
+	EtherTypeBPDU    EtherType = 0x88B6 // IEEE Std 802 local experimental 2
+)
+
+// String returns the conventional name of the EtherType.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	case EtherTypePathCtl:
+		return "PathCtl"
+	case EtherTypeBPDU:
+		return "BPDU"
+	default:
+		return fmt.Sprintf("EtherType(0x%04x)", uint16(t))
+	}
+}
+
+// Ethernet framing constants.
+const (
+	// EthernetHeaderLen is the length of an Ethernet II header (dst, src,
+	// EtherType), excluding the FCS which we account for in WireBytes.
+	EthernetHeaderLen = 14
+	// MinFrameLen is the minimum frame length excluding FCS; shorter frames
+	// are padded on serialization, as the standard requires.
+	MinFrameLen = 60
+	// MaxFrameLen is the maximum standard frame length excluding FCS.
+	MaxFrameLen = 1514
+	// EthernetPerFrameOverhead counts the bytes a frame occupies on the wire
+	// beyond its header+payload: preamble+SFD (8), FCS (4) and the minimum
+	// inter-frame gap (12). Serialization delay uses WireBytes, so 1 Gb/s
+	// links in the simulator pace frames exactly like the NetFPGA's MACs.
+	EthernetPerFrameOverhead = 8 + 4 + 12
+)
+
+// WireBytes returns the number of byte times frameLen occupies on the wire,
+// including padding to the minimum frame size, preamble, FCS and IFG.
+func WireBytes(frameLen int) int {
+	if frameLen < MinFrameLen {
+		frameLen = MinFrameLen
+	}
+	return frameLen + EthernetPerFrameOverhead
+}
+
+// Errors shared by the decoders.
+var (
+	ErrTruncated   = errors.New("layers: truncated packet")
+	ErrBadChecksum = errors.New("layers: bad checksum")
+	ErrBadVersion  = errors.New("layers: unsupported version")
+	ErrFrameTooBig = errors.New("layers: frame exceeds maximum size")
+)
+
+// SerializeOptions mirrors gopacket.SerializeOptions.
+type SerializeOptions struct {
+	// FixLengths recomputes length fields that depend on the payload.
+	FixLengths bool
+	// ComputeChecksums recomputes checksum fields from the serialized data.
+	ComputeChecksums bool
+}
+
+// FixAll is the common case: fix lengths and checksums.
+var FixAll = SerializeOptions{FixLengths: true, ComputeChecksums: true}
+
+// SerializableLayer is any layer that can write itself onto a
+// SerializeBuffer, prepending its header to whatever the buffer holds.
+type SerializableLayer interface {
+	SerializeTo(b *SerializeBuffer, opts SerializeOptions) error
+	LayerName() string
+}
+
+// DecodingLayer is any layer that can reset itself from bytes. Decoded
+// layers may alias the input slice; callers that mutate the input must copy
+// first (gopacket NoCopy semantics).
+type DecodingLayer interface {
+	DecodeFromBytes(data []byte) error
+	LayerName() string
+}
+
+// Serialize builds a packet from the given layers (outermost first) with
+// FixAll options and returns the bytes.
+func Serialize(ls ...SerializableLayer) ([]byte, error) {
+	buf := NewSerializeBuffer()
+	if err := SerializeLayers(buf, FixAll, ls...); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SerializeLayers clears buf and writes the layers innermost-last so they
+// wrap each other, mirroring gopacket.SerializeLayers.
+func SerializeLayers(buf *SerializeBuffer, opts SerializeOptions, ls ...SerializableLayer) error {
+	buf.Clear()
+	for i := len(ls) - 1; i >= 0; i-- {
+		if err := ls[i].SerializeTo(buf, opts); err != nil {
+			return fmt.Errorf("serializing %s: %w", ls[i].LayerName(), err)
+		}
+	}
+	return nil
+}
+
+// Payload is a raw application payload layer.
+type Payload []byte
+
+// LayerName implements SerializableLayer and DecodingLayer.
+func (Payload) LayerName() string { return "Payload" }
+
+// SerializeTo appends the payload bytes.
+func (p Payload) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	dst := b.PrependBytes(len(p))
+	copy(dst, p)
+	return nil
+}
+
+// DecodeFromBytes stores data as the payload. The slice is aliased.
+func (p *Payload) DecodeFromBytes(data []byte) error {
+	*p = data
+	return nil
+}

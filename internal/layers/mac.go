@@ -1,0 +1,155 @@
+package layers
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is a 48-bit IEEE 802 MAC address. Being an array, it is comparable
+// and usable as a map key, which the bridges' forwarding tables rely on
+// (same rationale as gopacket's fixed-size Endpoint).
+type MAC [6]byte
+
+// Well-known addresses.
+var (
+	// BroadcastMAC is the all-ones broadcast address.
+	BroadcastMAC = MAC{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	// ZeroMAC is the unset address.
+	ZeroMAC = MAC{}
+	// BPDUMulticast is the 802.1D bridge group address BPDUs are sent to.
+	BPDUMulticast = MAC{0x01, 0x80, 0xC2, 0x00, 0x00, 0x00}
+	// PathCtlMulticast is the reserved multicast address ARP-Path bridges
+	// use for HELLO neighbour discovery. Like BPDUs, frames to this address
+	// are consumed by bridges and never forwarded, so hosts stay untouched.
+	PathCtlMulticast = MAC{0x01, 0x80, 0xC2, 0x00, 0x0A, 0x70}
+)
+
+// String formats the address in the canonical aa:bb:cc:dd:ee:ff form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is the all-ones broadcast address.
+func (m MAC) IsBroadcast() bool { return m == BroadcastMAC }
+
+// IsMulticast reports whether the group bit (LSB of the first octet) is set.
+// Broadcast is a multicast address.
+func (m MAC) IsMulticast() bool { return m[0]&0x01 != 0 }
+
+// IsUnicast reports whether m addresses a single station.
+func (m MAC) IsUnicast() bool { return !m.IsMulticast() }
+
+// IsZero reports whether m is the unset address.
+func (m MAC) IsZero() bool { return m == ZeroMAC }
+
+// Uint64 returns the address as a 64-bit integer (upper 16 bits zero),
+// useful for compact logging and bridge-ID construction.
+func (m MAC) Uint64() uint64 {
+	var b [8]byte
+	copy(b[2:], m[:])
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// MACFromUint64 builds an address from the low 48 bits of v.
+func MACFromUint64(v uint64) MAC {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	var m MAC
+	copy(m[:], b[2:])
+	return m
+}
+
+// HostMAC returns the locally-administered unicast address assigned to the
+// n-th simulated host (02:00:00:xx:xx:xx).
+func HostMAC(n int) MAC {
+	return MAC{0x02, 0x00, 0x00, byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// BridgeMAC returns the locally-administered unicast address assigned to
+// the n-th simulated bridge (02:42:42:xx:xx:xx). Bridges source PathFail
+// frames and HELLOs from this address.
+func BridgeMAC(n int) MAC {
+	return MAC{0x02, 0x42, 0x42, byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// ParseMAC parses the aa:bb:cc:dd:ee:ff (or aa-bb-...) form.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	if len(s) != 17 {
+		return m, fmt.Errorf("layers: bad MAC %q", s)
+	}
+	for i := 0; i < 6; i++ {
+		hi, ok1 := fromHex(s[i*3])
+		lo, ok2 := fromHex(s[i*3+1])
+		if !ok1 || !ok2 {
+			return MAC{}, fmt.Errorf("layers: bad MAC %q", s)
+		}
+		m[i] = hi<<4 | lo
+		if i < 5 && s[i*3+2] != ':' && s[i*3+2] != '-' {
+			return MAC{}, fmt.Errorf("layers: bad MAC %q", s)
+		}
+	}
+	return m, nil
+}
+
+func fromHex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// Addr4 is an IPv4 address. Comparable, map-key friendly.
+type Addr4 [4]byte
+
+// String formats the address in dotted-quad form.
+func (a Addr4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IsZero reports whether a is 0.0.0.0.
+func (a Addr4) IsZero() bool { return a == Addr4{} }
+
+// IsBroadcast reports whether a is 255.255.255.255.
+func (a Addr4) IsBroadcast() bool { return a == Addr4{255, 255, 255, 255} }
+
+// HostIP returns the address 10.0.x.y assigned to the n-th simulated host.
+func HostIP(n int) Addr4 {
+	return Addr4{10, 0, byte(n >> 8), byte(n)}
+}
+
+// ParseAddr4 parses dotted-quad form.
+func ParseAddr4(s string) (Addr4, error) {
+	var a Addr4
+	part, idx := 0, 0
+	seen := false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if !seen || idx > 3 {
+				return Addr4{}, fmt.Errorf("layers: bad IPv4 %q", s)
+			}
+			a[idx] = byte(part)
+			idx++
+			part, seen = 0, false
+			continue
+		}
+		c := s[i]
+		if c < '0' || c > '9' {
+			return Addr4{}, fmt.Errorf("layers: bad IPv4 %q", s)
+		}
+		part = part*10 + int(c-'0')
+		if part > 255 {
+			return Addr4{}, fmt.Errorf("layers: bad IPv4 %q", s)
+		}
+		seen = true
+	}
+	if idx != 4 {
+		return Addr4{}, fmt.Errorf("layers: bad IPv4 %q", s)
+	}
+	return a, nil
+}

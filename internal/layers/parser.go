@@ -1,0 +1,160 @@
+package layers
+
+// LayerKind identifies a decoded layer in a Parser (the LayerType of this
+// codec, minus the global registry we do not need).
+type LayerKind uint8
+
+// Layer kinds a Parser can decode.
+const (
+	LayerEthernet LayerKind = iota
+	LayerARP
+	LayerIPv4
+	LayerICMPEcho
+	LayerUDP
+	LayerTCPLite
+	LayerPathCtl
+	LayerBPDU
+	LayerPayload
+)
+
+// String names the kind.
+func (k LayerKind) String() string {
+	switch k {
+	case LayerEthernet:
+		return "Ethernet"
+	case LayerARP:
+		return "ARP"
+	case LayerIPv4:
+		return "IPv4"
+	case LayerICMPEcho:
+		return "ICMPEcho"
+	case LayerUDP:
+		return "UDP"
+	case LayerTCPLite:
+		return "TCPLite"
+	case LayerPathCtl:
+		return "PathCtl"
+	case LayerBPDU:
+		return "BPDU"
+	case LayerPayload:
+		return "Payload"
+	default:
+		return "Layer(?)"
+	}
+}
+
+// Parser decodes a frame's full layer stack into preallocated layer
+// structs without any allocation — gopacket's DecodingLayerParser idiom.
+// After Parse, the fields corresponding to the kinds listed in Decoded
+// hold the frame's values; earlier contents of the other fields are
+// stale and must not be read.
+//
+//	var p layers.Parser
+//	for frame := range frames {
+//	    if err := p.Parse(frame); err != nil { continue }
+//	    if p.Has(layers.LayerICMPEcho) {
+//	        use(p.IP.Src, p.ICMP.Seq)
+//	    }
+//	}
+//
+// Parsers are not safe for concurrent use; give each goroutine its own.
+type Parser struct {
+	Eth  Ethernet
+	ARP  ARP
+	IP   IPv4
+	ICMP ICMPEcho
+	UDP  UDP
+	TCP  TCPLite
+	Ctl  PathCtl
+	BPDU BPDU
+	// Payload is the innermost undecoded bytes (transport payload, or the
+	// bytes after a layer the parser has no decoder for). Aliases the
+	// input frame.
+	Payload []byte
+	// Decoded lists the layers recognized, outermost first.
+	Decoded []LayerKind
+	// Truncated is set when an inner layer failed to decode; Decoded then
+	// holds the layers that did parse (gopacket DecodeFeedback-style).
+	Truncated bool
+}
+
+// Has reports whether kind was decoded by the last Parse.
+func (p *Parser) Has(kind LayerKind) bool {
+	for _, k := range p.Decoded {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Parse resets the parser and decodes frame as deep as it can. It returns
+// an error only when the outermost Ethernet header is unparseable; inner
+// failures set Truncated and keep whatever was decoded.
+func (p *Parser) Parse(frame []byte) error {
+	p.Decoded = p.Decoded[:0]
+	p.Payload = nil
+	p.Truncated = false
+	if err := p.Eth.DecodeFromBytes(frame); err != nil {
+		return err
+	}
+	p.Decoded = append(p.Decoded, LayerEthernet)
+	body := p.Eth.Payload()
+	switch p.Eth.EtherType {
+	case EtherTypeARP:
+		p.decodeInner(LayerARP, &p.ARP, body, nil)
+	case EtherTypePathCtl:
+		p.decodeInner(LayerPathCtl, &p.Ctl, body, nil)
+	case EtherTypeBPDU:
+		p.decodeInner(LayerBPDU, &p.BPDU, body, nil)
+	case EtherTypeIPv4:
+		p.decodeInner(LayerIPv4, &p.IP, body, p.parseTransport)
+	default:
+		p.setPayload(body)
+	}
+	return nil
+}
+
+// parseTransport continues below a decoded IPv4 header.
+func (p *Parser) parseTransport() {
+	body := p.IP.Payload()
+	switch p.IP.Protocol {
+	case IPProtoICMP:
+		p.decodeInner(LayerICMPEcho, &p.ICMP, body, func() { p.setPayload(p.ICMP.Payload()) })
+	case IPProtoUDP:
+		p.decodeInner(LayerUDP, &p.UDP, body, func() { p.setPayload(p.UDP.Payload()) })
+	case IPProtoTCPLite:
+		p.decodeInner(LayerTCPLite, &p.TCP, body, func() { p.setPayload(p.TCP.Payload()) })
+	default:
+		p.setPayload(body)
+	}
+}
+
+// decodeInner decodes one nested layer, marking truncation on failure and
+// descending via next on success.
+func (p *Parser) decodeInner(kind LayerKind, layer DecodingLayer, data []byte, next func()) {
+	if err := layer.DecodeFromBytes(data); err != nil {
+		p.Truncated = true
+		p.setPayload(data)
+		return
+	}
+	p.Decoded = append(p.Decoded, kind)
+	if next != nil {
+		next()
+	}
+}
+
+// setPayload records the innermost bytes and the payload pseudo-layer.
+func (p *Parser) setPayload(data []byte) {
+	p.Payload = data
+	if len(data) > 0 {
+		p.Decoded = append(p.Decoded, LayerPayload)
+	}
+}
+
+// IsStreamData reports whether the last parsed frame is a TCP-lite
+// segment carrying payload toward dstMAC — the hot predicate of the
+// Figure 3 measurement taps.
+func (p *Parser) IsStreamData(dstMAC MAC) bool {
+	return p.Has(LayerTCPLite) && len(p.TCP.Payload()) > 0 && p.Eth.Dst == dstMAC
+}

@@ -1,0 +1,198 @@
+package layers
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustSerialize(t testing.TB, ls ...SerializableLayer) []byte {
+	t.Helper()
+	raw, err := Serialize(ls...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestParserARPStack(t *testing.T) {
+	raw := mustSerialize(t,
+		&Ethernet{Dst: BroadcastMAC, Src: HostMAC(1), EtherType: EtherTypeARP},
+		&ARP{Operation: ARPRequest, SenderHW: HostMAC(1), SenderIP: HostIP(1), TargetIP: HostIP(2)},
+	)
+	var p Parser
+	if err := p.Parse(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Has(LayerEthernet) || !p.Has(LayerARP) {
+		t.Fatalf("decoded = %v", p.Decoded)
+	}
+	if p.ARP.TargetIP != HostIP(2) || p.Eth.Src != HostMAC(1) {
+		t.Fatal("fields not populated")
+	}
+	if p.Truncated {
+		t.Fatal("spurious truncation")
+	}
+}
+
+func TestParserUDPStack(t *testing.T) {
+	payload := []byte("data")
+	raw := mustSerialize(t,
+		&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: IPProtoUDP, Src: HostIP(1), Dst: HostIP(2)},
+		&UDP{SrcPort: 5, DstPort: 6, SrcIP: HostIP(1), DstIP: HostIP(2)},
+		Payload(payload),
+	)
+	var p Parser
+	if err := p.Parse(raw); err != nil {
+		t.Fatal(err)
+	}
+	want := []LayerKind{LayerEthernet, LayerIPv4, LayerUDP, LayerPayload}
+	if len(p.Decoded) != len(want) {
+		t.Fatalf("decoded = %v", p.Decoded)
+	}
+	for i, k := range want {
+		if p.Decoded[i] != k {
+			t.Fatalf("decoded = %v, want %v", p.Decoded, want)
+		}
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Fatalf("payload = %q", p.Payload)
+	}
+}
+
+func TestParserTCPStreamPredicate(t *testing.T) {
+	raw := mustSerialize(t,
+		&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: IPProtoTCPLite, Src: HostIP(1), Dst: HostIP(2)},
+		&TCPLite{SrcPort: 80, DstPort: 5000, Flags: TCPFlagACK | TCPFlagPSH, SrcIP: HostIP(1), DstIP: HostIP(2)},
+		Payload([]byte("segment")),
+	)
+	var p Parser
+	if err := p.Parse(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsStreamData(HostMAC(2)) {
+		t.Fatal("stream-data predicate missed")
+	}
+	if p.IsStreamData(HostMAC(3)) {
+		t.Fatal("stream-data predicate matched the wrong host")
+	}
+	// Pure ACK: no payload → not stream data.
+	ack := mustSerialize(t,
+		&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: IPProtoTCPLite, Src: HostIP(1), Dst: HostIP(2)},
+		&TCPLite{SrcPort: 80, DstPort: 5000, Flags: TCPFlagACK, SrcIP: HostIP(1), DstIP: HostIP(2)},
+	)
+	if err := p.Parse(ack); err != nil {
+		t.Fatal(err)
+	}
+	if p.IsStreamData(HostMAC(2)) {
+		t.Fatal("pure ACK classified as stream data")
+	}
+}
+
+func TestParserTruncatedInner(t *testing.T) {
+	raw := mustSerialize(t,
+		&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeIPv4},
+		Payload([]byte{0xDE, 0xAD}), // not a valid IPv4 header
+	)
+	var p Parser
+	if err := p.Parse(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Truncated {
+		t.Fatal("truncation not flagged")
+	}
+	if !p.Has(LayerEthernet) || p.Has(LayerIPv4) {
+		t.Fatalf("decoded = %v", p.Decoded)
+	}
+}
+
+func TestParserBadEthernet(t *testing.T) {
+	var p Parser
+	if err := p.Parse([]byte{1, 2, 3}); err == nil {
+		t.Fatal("bad frame accepted")
+	}
+}
+
+func TestParserReuseResets(t *testing.T) {
+	var p Parser
+	arp := mustSerialize(t,
+		&Ethernet{Dst: BroadcastMAC, Src: HostMAC(1), EtherType: EtherTypeARP},
+		&ARP{Operation: ARPRequest, SenderHW: HostMAC(1), SenderIP: HostIP(1), TargetIP: HostIP(2)},
+	)
+	icmp := mustSerialize(t,
+		&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: IPProtoICMP, Src: HostIP(1), Dst: HostIP(2)},
+		&ICMPEcho{Type: ICMPEchoRequest, Ident: 1, Seq: 2},
+	)
+	if err := p.Parse(arp); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Parse(icmp); err != nil {
+		t.Fatal(err)
+	}
+	if p.Has(LayerARP) {
+		t.Fatal("stale ARP kind survived reuse")
+	}
+	if !p.Has(LayerICMPEcho) {
+		t.Fatalf("decoded = %v", p.Decoded)
+	}
+}
+
+func TestLayerKindStrings(t *testing.T) {
+	kinds := []LayerKind{LayerEthernet, LayerARP, LayerIPv4, LayerICMPEcho,
+		LayerUDP, LayerTCPLite, LayerPathCtl, LayerBPDU, LayerPayload}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "Layer(?)" || seen[s] {
+			t.Fatalf("bad kind string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+// Property: the parser never panics and always starts with Ethernet when
+// it succeeds.
+func TestQuickParserRobust(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		var p Parser
+		if err := p.Parse(data); err == nil {
+			if len(p.Decoded) == 0 || p.Decoded[0] != LayerEthernet {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParserFullStack(b *testing.B) {
+	raw, err := Serialize(
+		&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: IPProtoTCPLite, Src: HostIP(1), Dst: HostIP(2)},
+		&TCPLite{SrcPort: 80, DstPort: 5000, Flags: TCPFlagACK | TCPFlagPSH, SrcIP: HostIP(1), DstIP: HostIP(2)},
+		Payload(make([]byte, 1000)),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var p Parser
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Parse(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package layers
+
+import "encoding/binary"
+
+// PathCtlType discriminates ARP-Path control messages (§2.1.4 of the paper
+// plus the HELLO neighbour discovery documented in DESIGN.md).
+type PathCtlType uint8
+
+// Control message types.
+const (
+	// PathCtlHello is exchanged between adjacent bridges so each side can
+	// tell trunk (bridge-facing) ports from edge (host-facing) ports. Hosts
+	// never see HELLOs: they ride a reserved multicast that bridges consume.
+	PathCtlHello PathCtlType = 1
+	// PathCtlFail reports a table miss for Dst back toward Src. Bridges on
+	// the way clear their stale Dst entries; the edge bridge of Src turns
+	// it into a PathRequest.
+	PathCtlFail PathCtlType = 2
+	// PathCtlRequest re-discovers a path: it is flooded and processed
+	// exactly like an ARP Request sourced by Src (frame src MAC = Src).
+	PathCtlRequest PathCtlType = 3
+	// PathCtlReply confirms the recovered path: unicast from Dst's edge
+	// bridge to Src, processed exactly like an ARP Reply from Dst.
+	PathCtlReply PathCtlType = 4
+)
+
+// String names the control type.
+func (t PathCtlType) String() string {
+	switch t {
+	case PathCtlHello:
+		return "HELLO"
+	case PathCtlFail:
+		return "PathFail"
+	case PathCtlRequest:
+		return "PathRequest"
+	case PathCtlReply:
+		return "PathReply"
+	default:
+		return "PathCtl(?)"
+	}
+}
+
+// pathCtlLen is the fixed message length.
+const pathCtlLen = 26
+
+// pathCtlVersion is the only protocol version in existence.
+const pathCtlVersion = 1
+
+// PathCtl is the ARP-Path control message body, carried under
+// EtherTypePathCtl.
+type PathCtl struct {
+	Type PathCtlType
+	// BridgeID identifies the originating bridge (HELLO, PathFail).
+	BridgeID uint64
+	// Src is the host whose path is being repaired (the flow's source).
+	Src MAC
+	// Dst is the host whose table entry was missing (the flow's target).
+	Dst MAC
+	// Nonce correlates a PathRequest with its PathReply and de-duplicates
+	// retries.
+	Nonce uint32
+}
+
+// LayerName implements SerializableLayer and DecodingLayer.
+func (*PathCtl) LayerName() string { return "PathCtl" }
+
+// DecodeFromBytes resets p from data.
+func (p *PathCtl) DecodeFromBytes(data []byte) error {
+	if len(data) < pathCtlLen {
+		return ErrTruncated
+	}
+	if data[1] != pathCtlVersion {
+		return ErrBadVersion
+	}
+	p.Type = PathCtlType(data[0])
+	if p.Type < PathCtlHello || p.Type > PathCtlReply {
+		return ErrBadVersion
+	}
+	p.BridgeID = binary.BigEndian.Uint64(data[2:10])
+	copy(p.Src[:], data[10:16])
+	copy(p.Dst[:], data[16:22])
+	p.Nonce = binary.BigEndian.Uint32(data[22:26])
+	return nil
+}
+
+// SerializeTo prepends the 26-byte message.
+func (p *PathCtl) SerializeTo(b *SerializeBuffer, _ SerializeOptions) error {
+	h := b.PrependBytes(pathCtlLen)
+	h[0] = byte(p.Type)
+	h[1] = pathCtlVersion
+	binary.BigEndian.PutUint64(h[2:10], p.BridgeID)
+	copy(h[10:16], p.Src[:])
+	copy(h[16:22], p.Dst[:])
+	binary.BigEndian.PutUint32(h[22:26], p.Nonce)
+	return nil
+}

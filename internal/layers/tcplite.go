@@ -1,0 +1,119 @@
+package layers
+
+import "encoding/binary"
+
+// TCP-lite flag bits.
+const (
+	TCPFlagSYN uint8 = 1 << 0
+	TCPFlagACK uint8 = 1 << 1
+	TCPFlagFIN uint8 = 1 << 2
+	TCPFlagRST uint8 = 1 << 3
+	TCPFlagPSH uint8 = 1 << 4
+)
+
+// tcpLiteHeaderLen is the fixed TCP-lite header length.
+const tcpLiteHeaderLen = 18
+
+// TCPLite is the segment header of the repository's simplified reliable
+// transport. It keeps TCP's essential machinery — byte sequence numbers,
+// cumulative ACKs, SYN/FIN handshakes, a receive window — and drops options,
+// urgent data and selective acknowledgment. The Figure 3 experiment streams
+// "HTTP video" over it; only ordered reliable delivery and loss-driven
+// retransmission behaviour matter there (see DESIGN.md substitutions).
+type TCPLite struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	SrcIP, DstIP     Addr4
+
+	payload []byte
+	raw     []byte
+}
+
+// LayerName implements SerializableLayer and DecodingLayer.
+func (*TCPLite) LayerName() string { return "TCPLite" }
+
+// Payload returns the segment body from the last decode.
+func (t *TCPLite) Payload() []byte { return t.payload }
+
+// HasFlag reports whether all bits of f are set.
+func (t *TCPLite) HasFlag(f uint8) bool { return t.Flags&f == f }
+
+// DecodeFromBytes resets t from data.
+func (t *TCPLite) DecodeFromBytes(data []byte) error {
+	if len(data) < tcpLiteHeaderLen {
+		return ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.Flags = data[12]
+	if data[13] != 0 {
+		return ErrBadVersion // reserved byte must be zero
+	}
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.raw = data
+	t.payload = data[tcpLiteHeaderLen:]
+	return nil
+}
+
+// VerifyChecksum checks the segment checksum with the IPv4 pseudo-header.
+func (t *TCPLite) VerifyChecksum(src, dst Addr4) error {
+	if transportChecksum(t.raw, src, dst, IPProtoTCPLite) != 0 {
+		return ErrBadChecksum
+	}
+	return nil
+}
+
+// SerializeTo prepends the segment header; ComputeChecksums needs
+// SrcIP/DstIP set.
+func (t *TCPLite) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	h := b.PrependBytes(tcpLiteHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(h[4:8], t.Seq)
+	binary.BigEndian.PutUint32(h[8:12], t.Ack)
+	h[12] = t.Flags
+	h[13] = 0
+	binary.BigEndian.PutUint16(h[14:16], t.Window)
+	binary.BigEndian.PutUint16(h[16:18], 0)
+	if opts.ComputeChecksums {
+		t.Checksum = transportChecksum(b.Bytes(), t.SrcIP, t.DstIP, IPProtoTCPLite)
+	}
+	binary.BigEndian.PutUint16(h[16:18], t.Checksum)
+	return nil
+}
+
+// FlagString renders the flag bits ("SYN|ACK").
+func (t *TCPLite) FlagString() string {
+	s := ""
+	add := func(name string) {
+		if s != "" {
+			s += "|"
+		}
+		s += name
+	}
+	if t.HasFlag(TCPFlagSYN) {
+		add("SYN")
+	}
+	if t.HasFlag(TCPFlagACK) {
+		add("ACK")
+	}
+	if t.HasFlag(TCPFlagFIN) {
+		add("FIN")
+	}
+	if t.HasFlag(TCPFlagRST) {
+		add("RST")
+	}
+	if t.HasFlag(TCPFlagPSH) {
+		add("PSH")
+	}
+	if s == "" {
+		s = "none"
+	}
+	return s
+}

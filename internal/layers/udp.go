@@ -1,0 +1,76 @@
+package layers
+
+import "encoding/binary"
+
+// udpHeaderLen is the UDP header length.
+const udpHeaderLen = 8
+
+// UDP is a UDP header (RFC 768). Transport checksums need the enclosing
+// IPv4 addresses; set SrcIP/DstIP before serializing with ComputeChecksums
+// (the caller-side analogue of gopacket's SetNetworkLayerForChecksum), and
+// pass them to VerifyChecksum after decoding.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+	SrcIP, DstIP     Addr4
+
+	payload []byte
+	raw     []byte
+}
+
+// LayerName implements SerializableLayer and DecodingLayer.
+func (*UDP) LayerName() string { return "UDP" }
+
+// Payload returns the datagram body from the last decode.
+func (u *UDP) Payload() []byte { return u.payload }
+
+// DecodeFromBytes resets u from data. Checksum verification is separate
+// (VerifyChecksum) because it needs the IPv4 pseudo-header.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < udpHeaderLen {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < udpHeaderLen || int(u.Length) > len(data) {
+		return ErrTruncated
+	}
+	u.raw = data[:u.Length]
+	u.payload = data[udpHeaderLen:u.Length]
+	return nil
+}
+
+// VerifyChecksum checks the datagram checksum using the given IPv4
+// addresses. A zero checksum means "not computed" and passes, per RFC 768.
+func (u *UDP) VerifyChecksum(src, dst Addr4) error {
+	if u.Checksum == 0 {
+		return nil
+	}
+	if transportChecksum(u.raw, src, dst, IPProtoUDP) != 0 {
+		return ErrBadChecksum
+	}
+	return nil
+}
+
+// SerializeTo prepends the UDP header, fixing Length and Checksum per opts.
+func (u *UDP) SerializeTo(b *SerializeBuffer, opts SerializeOptions) error {
+	if opts.FixLengths {
+		u.Length = uint16(udpHeaderLen + b.Len())
+	}
+	h := b.PrependBytes(udpHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(h[4:6], u.Length)
+	binary.BigEndian.PutUint16(h[6:8], 0)
+	if opts.ComputeChecksums {
+		u.Checksum = transportChecksum(b.Bytes(), u.SrcIP, u.DstIP, IPProtoUDP)
+		if u.Checksum == 0 {
+			u.Checksum = 0xFFFF // RFC 768: transmitted as all-ones
+		}
+	}
+	binary.BigEndian.PutUint16(h[6:8], u.Checksum)
+	return nil
+}

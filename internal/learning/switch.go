@@ -1,0 +1,76 @@
+package learning
+
+import (
+	"repro/internal/bridge"
+	"repro/internal/layers"
+	"repro/internal/netsim"
+)
+
+// Stats counts forwarding decisions of a learning switch.
+type Stats struct {
+	Forwarded      uint64 // unicast hits sent out one port
+	FloodedUnknown uint64 // unknown unicast floods
+	FloodedGroup   uint64 // broadcast/multicast floods
+	Filtered       uint64 // frames whose FIB entry pointed at the ingress port
+}
+
+// Switch is a plain IEEE 802.1D-style transparent learning bridge with no
+// loop protection. On loop-free topologies it behaves like the demo's NIC
+// bridges with STP converged; on looped topologies it melts down — which
+// the tests demonstrate on purpose.
+type Switch struct {
+	*bridge.Chassis
+	fib   *Table
+	stats Stats
+}
+
+// New creates a learning switch named name with the default aging time.
+func New(net *netsim.Network, name string, numID int) *Switch {
+	s := &Switch{}
+	s.Chassis = bridge.NewChassis(net, name, numID, s)
+	s.fib = NewTable(DefaultAging)
+	return s
+}
+
+// FIB exposes the forwarding table (tests and the STP baseline reuse it).
+func (s *Switch) FIB() *Table { return s.fib }
+
+// Stats returns a snapshot of the forwarding counters.
+func (s *Switch) ForwardingStats() Stats { return s.stats }
+
+// OnStart implements bridge.Protocol.
+func (s *Switch) OnStart() {}
+
+// OnPortStatus implements bridge.Protocol: dead ports forget their hosts.
+func (s *Switch) OnPortStatus(p *netsim.Port, up bool) {
+	if !up {
+		s.fib.FlushPort(p)
+	}
+}
+
+// OnFrame implements bridge.Protocol.
+func (s *Switch) OnFrame(in *netsim.Port, frame []byte) {
+	now := s.Now()
+	src, dst := layers.FrameSrc(frame), layers.FrameDst(frame)
+	s.fib.Learn(src, in, now)
+	if dst.IsMulticast() {
+		s.stats.FloodedGroup++
+		s.FloodExcept(in, frame)
+		return
+	}
+	out, ok := s.fib.Lookup(dst, now)
+	switch {
+	case !ok:
+		s.stats.FloodedUnknown++
+		s.FloodExcept(in, frame)
+	case out == in:
+		// Destination is on the segment the frame came from: filter.
+		s.stats.Filtered++
+	default:
+		s.stats.Forwarded++
+		out.Send(frame)
+	}
+}
+
+var _ bridge.Protocol = (*Switch)(nil)
+var _ netsim.Node = (*Switch)(nil)

@@ -1,0 +1,105 @@
+// Package learning implements the classic transparent learning switch: a
+// MAC forwarding table with aging, and a bridge that floods unknown
+// destinations. It is both a baseline on its own (safe only on loop-free
+// topologies) and the forwarding core the STP baseline gates with port
+// states.
+package learning
+
+import (
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/netsim"
+)
+
+// DefaultAging matches 802.1D's default filtering-database aging time.
+const DefaultAging = 300 * time.Second
+
+// Entry is one forwarding-table binding.
+type Entry struct {
+	Port    *netsim.Port
+	Expires time.Duration
+}
+
+// Table is a MAC learning table with lazy aging: expired entries are
+// dropped when touched, and FlushExpired sweeps eagerly when needed.
+type Table struct {
+	aging   time.Duration
+	entries map[layers.MAC]Entry
+}
+
+// NewTable returns an empty table with the given aging time.
+func NewTable(aging time.Duration) *Table {
+	if aging <= 0 {
+		aging = DefaultAging
+	}
+	return &Table{aging: aging, entries: make(map[layers.MAC]Entry)}
+}
+
+// Aging returns the current aging time.
+func (t *Table) Aging() time.Duration { return t.aging }
+
+// SetAging changes the aging time for future learns. 802.1D shortens it to
+// ForwardDelay during topology changes; existing entries keep their
+// deadlines until relearned or flushed.
+func (t *Table) SetAging(d time.Duration) {
+	if d <= 0 {
+		panic("learning: aging must be positive")
+	}
+	t.aging = d
+}
+
+// Learn binds mac to port, refreshing the expiry. Multicast source
+// addresses are invalid on the wire and ignored.
+func (t *Table) Learn(mac layers.MAC, port *netsim.Port, now time.Duration) {
+	if mac.IsMulticast() || mac.IsZero() {
+		return
+	}
+	t.entries[mac] = Entry{Port: port, Expires: now + t.aging}
+}
+
+// Lookup returns the live binding for mac, if any.
+func (t *Table) Lookup(mac layers.MAC, now time.Duration) (*netsim.Port, bool) {
+	e, ok := t.entries[mac]
+	if !ok {
+		return nil, false
+	}
+	if e.Expires <= now {
+		delete(t.entries, mac)
+		return nil, false
+	}
+	return e.Port, true
+}
+
+// Len returns the number of stored entries, including any not yet swept.
+func (t *Table) Len() int { return len(t.entries) }
+
+// FlushPort drops every binding pointing at port (used on link failure).
+func (t *Table) FlushPort(port *netsim.Port) {
+	for mac, e := range t.entries {
+		if e.Port == port {
+			delete(t.entries, mac)
+		}
+	}
+}
+
+// FlushAll clears the table.
+func (t *Table) FlushAll() { clear(t.entries) }
+
+// FlushExpired removes every entry at or past its deadline.
+func (t *Table) FlushExpired(now time.Duration) {
+	for mac, e := range t.entries {
+		if e.Expires <= now {
+			delete(t.entries, mac)
+		}
+	}
+}
+
+// Macs returns the currently stored addresses (unswept); test helper.
+func (t *Table) Macs() []layers.MAC {
+	out := make([]layers.MAC, 0, len(t.entries))
+	for mac := range t.entries {
+		out = append(out, mac)
+	}
+	return out
+}

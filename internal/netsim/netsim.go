@@ -1,0 +1,361 @@
+// Package netsim models the physical network of the demo: nodes (bridges
+// and hosts) joined by full-duplex Ethernet links with finite bit rate,
+// propagation delay and bounded output queues, plus link failure injection
+// and frame taps for tracing.
+//
+// It is the repository's substitute for the paper's NetFPGA testbed (see
+// DESIGN.md): serialization delay uses the exact Ethernet wire overhead
+// (preamble, FCS, inter-frame gap) so a 1 Gb/s simulated link paces frames
+// like the hardware MACs, and the flooded-copy races that ARP-Path depends
+// on are decided by arrival times computed from these models.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/sim"
+)
+
+// Node is anything that terminates links: a bridge or a host. All methods
+// are invoked from the simulation goroutine.
+type Node interface {
+	// Name returns the node's unique display name.
+	Name() string
+	// AttachPort is called once per port when the node is cabled.
+	AttachPort(p *Port)
+	// HandleFrame delivers a received frame. The slice is owned by the
+	// callee (each delivery gets a private copy); it may be retained.
+	HandleFrame(p *Port, frame []byte)
+	// PortStatusChanged reports link up/down transitions on p.
+	PortStatusChanged(p *Port, up bool)
+}
+
+// LinkConfig describes one link's physical properties. Both directions
+// share the configuration.
+type LinkConfig struct {
+	// Rate is the line rate in bits per second.
+	Rate int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Queue is the per-direction output queue capacity in bytes. Frames
+	// that would overflow it are tail-dropped.
+	Queue int
+}
+
+// DefaultLinkConfig matches the demo hardware: 1 Gb/s, a short wire, and a
+// NetFPGA-sized output queue.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{Rate: 1_000_000_000, Delay: 5 * time.Microsecond, Queue: 128 << 10}
+}
+
+// WithDelay returns a copy of c with the propagation delay replaced.
+func (c LinkConfig) WithDelay(d time.Duration) LinkConfig {
+	c.Delay = d
+	return c
+}
+
+// TapKind classifies tap events.
+type TapKind uint8
+
+// Tap event kinds.
+const (
+	// TapSend fires when a frame is accepted into a link's output queue.
+	TapSend TapKind = iota
+	// TapDeliver fires when a frame reaches the far port's node.
+	TapDeliver
+	// TapDropQueue fires when a frame is tail-dropped at a full queue.
+	TapDropQueue
+	// TapDropDown fires when a frame is discarded because the link is (or
+	// went) down.
+	TapDropDown
+)
+
+// String names the kind.
+func (k TapKind) String() string {
+	switch k {
+	case TapSend:
+		return "send"
+	case TapDeliver:
+		return "deliver"
+	case TapDropQueue:
+		return "drop-queue"
+	case TapDropDown:
+		return "drop-down"
+	default:
+		return "tap(?)"
+	}
+}
+
+// TapEvent is a single observation of a frame at a link.
+type TapEvent struct {
+	At    time.Duration
+	Kind  TapKind
+	From  *Port
+	To    *Port
+	Frame []byte // shared, do not mutate
+}
+
+// TapFunc observes frames network-wide.
+type TapFunc func(TapEvent)
+
+// Network owns the simulation engine, the nodes and the links.
+type Network struct {
+	Engine *sim.Engine
+
+	nodes  []Node
+	byNam  map[string]Node
+	nports map[Node]int
+	links  []*Link
+	taps   []TapFunc
+}
+
+// NewNetwork creates an empty network with a deterministic engine.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		Engine: sim.New(seed),
+		byNam:  make(map[string]Node),
+		nports: make(map[Node]int),
+	}
+}
+
+// AddNode registers a node. Connect registers implicitly; explicit
+// registration is only needed for nodes created before any cabling.
+func (n *Network) AddNode(node Node) {
+	if _, dup := n.byNam[node.Name()]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node name %q", node.Name()))
+	}
+	n.byNam[node.Name()] = node
+	n.nodes = append(n.nodes, node)
+}
+
+// Nodes returns the registered nodes in registration order.
+func (n *Network) Nodes() []Node { return n.nodes }
+
+// NodeByName looks a node up, returning nil if absent.
+func (n *Network) NodeByName(name string) Node { return n.byNam[name] }
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// Tap registers fn to observe every frame event in the network.
+func (n *Network) Tap(fn TapFunc) { n.taps = append(n.taps, fn) }
+
+func (n *Network) emit(ev TapEvent) {
+	for _, t := range n.taps {
+		t(ev)
+	}
+}
+
+// Connect cables nodes a and b with a new full-duplex link, assigning each
+// side the node's next free port index. Nodes are registered on first use.
+func (n *Network) Connect(a, b Node, cfg LinkConfig) *Link {
+	if cfg.Rate <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	if cfg.Queue <= 0 {
+		panic("netsim: link queue must be positive")
+	}
+	if cfg.Delay < 0 {
+		panic("netsim: negative propagation delay")
+	}
+	for _, node := range []Node{a, b} {
+		if _, ok := n.byNam[node.Name()]; !ok {
+			n.AddNode(node)
+		}
+	}
+	l := &Link{net: n, cfg: cfg, up: true}
+	ia := n.nports[a]
+	n.nports[a]++
+	ib := n.nports[b] // after a's increment so self-loops get distinct indices
+	n.nports[b]++
+	l.ports[0] = &Port{node: a, index: ia, link: l, side: 0}
+	l.ports[1] = &Port{node: b, index: ib, link: l, side: 1}
+	n.links = append(n.links, l)
+	a.AttachPort(l.ports[0])
+	b.AttachPort(l.ports[1])
+	return l
+}
+
+// Run drains the event queue (sim.Engine.Run).
+func (n *Network) Run() { n.Engine.Run() }
+
+// RunFor advances virtual time by d.
+func (n *Network) RunFor(d time.Duration) { n.Engine.RunFor(d) }
+
+// RunUntil advances virtual time to t.
+func (n *Network) RunUntil(t time.Duration) { n.Engine.RunUntil(t) }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.Engine.Now() }
+
+// ScheduleLinkDown fails l at time t.
+func (n *Network) ScheduleLinkDown(t time.Duration, l *Link) {
+	n.Engine.At(t, func() { l.SetUp(false) })
+}
+
+// ScheduleLinkUp restores l at time t.
+func (n *Network) ScheduleLinkUp(t time.Duration, l *Link) {
+	n.Engine.At(t, func() { l.SetUp(true) })
+}
+
+// PortStats counts traffic through one port.
+type PortStats struct {
+	TxFrames, TxBytes uint64
+	RxFrames, RxBytes uint64
+	DropsQueue        uint64 // frames tail-dropped on egress
+	DropsDown         uint64 // frames lost to a down link
+}
+
+// Port is one end of a link, owned by a node.
+type Port struct {
+	node  Node
+	index int
+	link  *Link
+	side  int
+	stats PortStats
+}
+
+// Node returns the owning node.
+func (p *Port) Node() Node { return p.node }
+
+// Index returns the port's index within its node (0-based, cabling order).
+func (p *Port) Index() int { return p.index }
+
+// Link returns the attached link.
+func (p *Port) Link() *Link { return p.link }
+
+// Peer returns the port at the other end of the link.
+func (p *Port) Peer() *Port { return p.link.ports[1-p.side] }
+
+// Up reports whether the attached link is up.
+func (p *Port) Up() bool { return p.link.up }
+
+// Stats returns a snapshot of the port's counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// String renders "node[index]".
+func (p *Port) String() string { return fmt.Sprintf("%s[%d]", p.node.Name(), p.index) }
+
+// Send transmits frame out this port. The frame is copied, so the caller
+// may reuse its buffer. Down links and full queues drop (with taps fired
+// and counters bumped) exactly like a real egress MAC.
+func (p *Port) Send(frame []byte) {
+	p.link.send(p, frame)
+}
+
+// linkDir is the per-direction transmission state of a link.
+type linkDir struct {
+	busyUntil   time.Duration // when the serializer frees up
+	queuedBytes int           // wire bytes accepted but not yet serialized
+	busyTotal   time.Duration // cumulative serialization time (utilization)
+}
+
+// Link is a full-duplex point-to-point Ethernet link.
+type Link struct {
+	net   *Network
+	cfg   LinkConfig
+	ports [2]*Port
+	dir   [2]linkDir
+	up    bool
+	epoch uint64 // bumped on every up/down transition; kills in-flight frames
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Up reports whether the link is up.
+func (l *Link) Up() bool { return l.up }
+
+// A returns the first-cabled port, B the second.
+func (l *Link) A() *Port { return l.ports[0] }
+
+// B returns the second-cabled port.
+func (l *Link) B() *Port { return l.ports[1] }
+
+// String renders "a[i]<->b[j]".
+func (l *Link) String() string {
+	return fmt.Sprintf("%s<->%s", l.ports[0], l.ports[1])
+}
+
+// BusyTime returns the cumulative serialization time in the direction away
+// from p, the basis of the load-distribution experiment's utilization.
+func (l *Link) BusyTime(p *Port) time.Duration {
+	return l.dir[p.side].busyTotal
+}
+
+// SetUp changes the link state, purging queued traffic on a down
+// transition and notifying both nodes. Must be called from the simulation
+// goroutine (inside an event, or via Network.ScheduleLink{Down,Up}).
+func (l *Link) SetUp(up bool) {
+	if l.up == up {
+		return
+	}
+	l.up = up
+	l.epoch++
+	now := l.net.Engine.Now()
+	for i := range l.dir {
+		l.dir[i].busyUntil = now
+		l.dir[i].queuedBytes = 0
+	}
+	for _, p := range l.ports {
+		p.node.PortStatusChanged(p, up)
+	}
+}
+
+// send implements Port.Send.
+func (l *Link) send(from *Port, frame []byte) {
+	e := l.net.Engine
+	now := e.Now()
+	if !l.up {
+		from.stats.DropsDown++
+		l.net.emit(TapEvent{At: now, Kind: TapDropDown, From: from, To: from.Peer(), Frame: frame})
+		return
+	}
+	wire := layers.WireBytes(len(frame))
+	d := &l.dir[from.side]
+	if d.queuedBytes+wire > l.cfg.Queue {
+		from.stats.DropsQueue++
+		l.net.emit(TapEvent{At: now, Kind: TapDropQueue, From: from, To: from.Peer(), Frame: frame})
+		return
+	}
+
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+
+	start := d.busyUntil
+	if start < now {
+		start = now
+	}
+	serialization := time.Duration(wire) * 8 * time.Duration(time.Second) / time.Duration(l.cfg.Rate)
+	txDone := start + serialization
+	arrival := txDone + l.cfg.Delay
+
+	d.queuedBytes += wire
+	d.busyUntil = txDone
+	d.busyTotal += serialization
+
+	from.stats.TxFrames++
+	from.stats.TxBytes += uint64(len(cp))
+	to := from.Peer()
+	l.net.emit(TapEvent{At: now, Kind: TapSend, From: from, To: to, Frame: cp})
+
+	epoch := l.epoch
+	e.At(txDone, func() {
+		if l.epoch == epoch {
+			l.dir[from.side].queuedBytes -= wire
+		}
+	})
+	e.At(arrival, func() {
+		if l.epoch != epoch || !l.up {
+			from.stats.DropsDown++
+			l.net.emit(TapEvent{At: e.Now(), Kind: TapDropDown, From: from, To: to, Frame: cp})
+			return
+		}
+		to.stats.RxFrames++
+		to.stats.RxBytes += uint64(len(cp))
+		l.net.emit(TapEvent{At: e.Now(), Kind: TapDeliver, From: from, To: to, Frame: cp})
+		to.node.HandleFrame(to, cp)
+	})
+}

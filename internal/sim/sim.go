@@ -1,0 +1,231 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// used by every other package in this repository.
+//
+// The kernel models virtual time as a time.Duration measured from the start
+// of the run. Events are callbacks scheduled at absolute virtual times and
+// are executed in (time, scheduling-order) order, which makes every run with
+// the same seed and the same inputs bit-for-bit reproducible. The paper's
+// NetFPGA testbed resolves races between flooded frame copies in hardware;
+// here the same races are resolved by the deterministic event order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// DefaultEventLimit bounds the number of events a single Run may process.
+// It exists purely as a runaway-loop backstop for buggy protocols (for
+// example a bridge that floods its own flood); well-formed simulations stay
+// far below it. Use SetEventLimit to raise it for very long runs.
+const DefaultEventLimit = 50_000_000
+
+// Timer is a handle to a scheduled event. The zero value is not a valid
+// Timer; handles are produced by Engine.At and Engine.After.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing: false means the event already ran (or was already stopped).
+// Stopping a nil Timer is a no-op that returns false.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.done {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Stopped reports whether the timer was canceled before it fired.
+func (t *Timer) Stopped() bool { return t != nil && t.ev != nil && t.ev.canceled }
+
+// When returns the virtual time the event is (or was) scheduled to fire at.
+func (t *Timer) When() time.Duration { return t.ev.at }
+
+type event struct {
+	at       time.Duration
+	seq      uint64 // tie-breaker: FIFO among events with equal timestamps
+	fn       func()
+	canceled bool
+	done     bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; all protocol code runs inside event callbacks on the
+// loop's goroutine, which is how the real dataplane pipeline of a bridge is
+// serialized per port anyway.
+type Engine struct {
+	now       time.Duration
+	seq       uint64
+	queue     eventHeap
+	rng       *rand.Rand
+	seed      int64
+	processed uint64
+	limit     uint64
+}
+
+// New returns an Engine whose random source is seeded with seed. Two engines
+// built with the same seed and fed the same schedule produce identical runs.
+func New(seed int64) *Engine {
+	return &Engine{
+		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
+		limit: DefaultEventLimit,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still queued (including canceled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetEventLimit replaces the runaway-loop backstop. n must be positive.
+func (e *Engine) SetEventLimit(n uint64) {
+	if n == 0 {
+		panic("sim: event limit must be positive")
+	}
+	e.limit = n
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is a programming error and panics; scheduling at the current time is
+// allowed and runs after all previously scheduled events for that time.
+func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time. Negative d
+// panics.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Step executes the next pending event, if any, and reports whether one ran.
+// Canceled events are discarded without counting as a step.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue went backwards") // unreachable by construction
+		}
+		e.now = ev.at
+		ev.done = true
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains. It panics if the event limit
+// is exceeded, which in practice means a protocol is generating events
+// faster than it consumes them (a forwarding loop).
+func (e *Engine) Run() {
+	start := e.processed
+	for e.Step() {
+		if e.processed-start > e.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v — probable forwarding loop", e.limit, e.now))
+		}
+	}
+}
+
+// RunUntil executes every event scheduled at or before t, then advances the
+// clock to exactly t. It panics on event-limit overrun like Run.
+func (e *Engine) RunUntil(t time.Duration) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
+	}
+	start := e.processed
+	for {
+		next, ok := e.peek()
+		if !ok || next > t {
+			break
+		}
+		e.Step()
+		if e.processed-start > e.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v — probable forwarding loop", e.limit, e.now))
+		}
+	}
+	e.now = t
+}
+
+// RunFor executes events for the next d of virtual time (RunUntil(Now()+d)).
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// peek returns the timestamp of the next live event.
+func (e *Engine) peek() (time.Duration, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}
+
+// NextEventAt returns the virtual time of the next pending live event.
+func (e *Engine) NextEventAt() (time.Duration, bool) { return e.peek() }

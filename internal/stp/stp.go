@@ -1,0 +1,677 @@
+// Package stp implements the IEEE 802.1D spanning tree protocol baseline
+// the paper's demo compares ARP-Path against (§3.1): config BPDU exchange,
+// root election, port roles and states with listening/learning delays,
+// message-age expiry, and topology-change notification with fast FIB aging.
+// Forwarding is a learning switch constrained to forwarding-state ports.
+//
+// The demo ran Linux bridge_utils STP on the NIC bridges and NetFPPGA
+// bridges; this package reproduces that behaviour including the slow
+// reconvergence (max-age plus twice forward-delay) that the Figure 3
+// experiment contrasts with ARP-Path repair.
+package stp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bridge"
+	"repro/internal/layers"
+	"repro/internal/learning"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Timers groups the 802.1D protocol timers.
+type Timers struct {
+	Hello        time.Duration
+	MaxAge       time.Duration
+	ForwardDelay time.Duration
+	// MsgAgeIncrement is added to the message age at each relay hop.
+	MsgAgeIncrement time.Duration
+	// Aging is the normal filtering-database aging time.
+	Aging time.Duration
+}
+
+// DefaultTimers returns the standard's default values, as used by the
+// demo's Linux bridges.
+func DefaultTimers() Timers {
+	return Timers{
+		Hello:           2 * time.Second,
+		MaxAge:          20 * time.Second,
+		ForwardDelay:    15 * time.Second,
+		MsgAgeIncrement: time.Second,
+		Aging:           learning.DefaultAging,
+	}
+}
+
+// FastTimers returns a 10x-accelerated profile for the repair-ablation
+// experiment (T4): the fastest STP can legally be tuned, still orders of
+// magnitude slower than ARP-Path repair.
+func FastTimers() Timers {
+	return Timers{
+		Hello:           200 * time.Millisecond,
+		MaxAge:          2 * time.Second,
+		ForwardDelay:    1500 * time.Millisecond,
+		MsgAgeIncrement: 100 * time.Millisecond,
+		Aging:           30 * time.Second,
+	}
+}
+
+// PortRole is the spanning-tree role assigned to a port.
+type PortRole uint8
+
+// Port roles.
+const (
+	RoleDesignated PortRole = iota
+	RoleRoot
+	RoleBlocked
+)
+
+// String names the role.
+func (r PortRole) String() string {
+	switch r {
+	case RoleDesignated:
+		return "designated"
+	case RoleRoot:
+		return "root"
+	case RoleBlocked:
+		return "blocked"
+	default:
+		return "role(?)"
+	}
+}
+
+// PortState is the 802.1D port state.
+type PortState uint8
+
+// Port states, in transition order.
+const (
+	StateDisabled PortState = iota
+	StateBlocking
+	StateListening
+	StateLearning
+	StateForwarding
+)
+
+// String names the state.
+func (s PortState) String() string {
+	switch s {
+	case StateDisabled:
+		return "disabled"
+	case StateBlocking:
+		return "blocking"
+	case StateListening:
+		return "listening"
+	case StateLearning:
+		return "learning"
+	case StateForwarding:
+		return "forwarding"
+	default:
+		return "state(?)"
+	}
+}
+
+// Stats counts protocol and dataplane events.
+type Stats struct {
+	ConfigTx, ConfigRx uint64
+	TCNTx, TCNRx       uint64
+	TopologyChanges    uint64
+	Forwarded          uint64
+	Flooded            uint64
+	Filtered           uint64
+	DiscardedByState   uint64
+}
+
+// priorityVector is the 802.1D comparison vector; lower is better.
+type priorityVector struct {
+	rootID   layers.BridgeID
+	cost     uint32
+	senderID layers.BridgeID
+	portID   uint16
+}
+
+// better reports whether a beats b.
+func (a priorityVector) better(b priorityVector) bool {
+	if a.rootID != b.rootID {
+		return a.rootID < b.rootID
+	}
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	if a.senderID != b.senderID {
+		return a.senderID < b.senderID
+	}
+	return a.portID < b.portID
+}
+
+// port is the per-port protocol state.
+type port struct {
+	np    *netsim.Port
+	id    uint16
+	cost  uint32
+	role  PortRole
+	state PortState
+
+	info       priorityVector // best config received here
+	infoValid  bool
+	infoAge    time.Duration // message age at storage time
+	infoTC     bool          // TC flag of the stored config
+	infoExpiry *sim.Timer
+
+	transition *sim.Timer // pending state progression
+	tcaPending bool       // set TCA on next config out this port
+}
+
+// Bridge is an 802.1D bridge.
+type Bridge struct {
+	*bridge.Chassis
+	id     layers.BridgeID
+	timers Timers
+	fib    *learning.Table
+	ports  map[*netsim.Port]*port
+	plist  []*port // cabling order, for deterministic iteration
+
+	rootID   layers.BridgeID
+	rootCost uint32
+	rootPort *port // nil when this bridge is root
+
+	helloTimer *sim.Timer
+	tcnTimer   *sim.Timer // TCN retransmission while unacknowledged
+	tcDeadline time.Duration
+	fastAging  bool
+	stopped    bool
+
+	stats Stats
+}
+
+// New creates an STP bridge with the given priority (lower wins root
+// election; 0x8000 is the standard default, making the election fall to
+// the lowest MAC — the paper's "tree rooted at an arbitrary switch").
+func New(net *netsim.Network, name string, numID int, priority uint16, timers Timers) *Bridge {
+	b := &Bridge{
+		timers: timers,
+		fib:    learning.NewTable(timers.Aging),
+		ports:  make(map[*netsim.Port]*port),
+	}
+	b.Chassis = bridge.NewChassis(net, name, numID, b)
+	b.id = layers.MakeBridgeID(priority, b.MAC())
+	b.rootID = b.id
+	return b
+}
+
+// ID returns the bridge identifier.
+func (b *Bridge) ID() layers.BridgeID { return b.id }
+
+// FIB exposes the forwarding table.
+func (b *Bridge) FIB() *learning.Table { return b.fib }
+
+// Stats returns a snapshot of the counters.
+func (b *Bridge) Stats() Stats { return b.stats }
+
+// IsRoot reports whether this bridge currently believes it is the root.
+func (b *Bridge) IsRoot() bool { return b.rootID == b.id }
+
+// RootID returns the believed root bridge ID.
+func (b *Bridge) RootID() layers.BridgeID { return b.rootID }
+
+// RootCost returns the believed cost to the root.
+func (b *Bridge) RootCost() uint32 { return b.rootCost }
+
+// Role returns the spanning-tree role of p.
+func (b *Bridge) Role(p *netsim.Port) PortRole { return b.ports[p].role }
+
+// State returns the 802.1D state of p.
+func (b *Bridge) State(p *netsim.Port) PortState { return b.ports[p].state }
+
+// ForwardingPorts returns the ports currently in the forwarding state.
+func (b *Bridge) ForwardingPorts() []*netsim.Port {
+	var out []*netsim.Port
+	for _, sp := range b.plist {
+		if sp.state == StateForwarding {
+			out = append(out, sp.np)
+		}
+	}
+	return out
+}
+
+// costFor maps a link rate to the 802.1D-1998 recommended path cost.
+func costFor(rate int64) uint32 {
+	switch {
+	case rate >= 10_000_000_000:
+		return 2
+	case rate >= 1_000_000_000:
+		return 4
+	case rate >= 100_000_000:
+		return 19
+	case rate >= 10_000_000:
+		return 100
+	default:
+		return 250
+	}
+}
+
+// OnStart implements bridge.Protocol: assume root, open all ports.
+func (b *Bridge) OnStart() {
+	for i, np := range b.Ports() {
+		sp := &port{
+			np:   np,
+			id:   uint16(0x80)<<8 | uint16(i+1),
+			cost: costFor(np.Link().Config().Rate),
+		}
+		b.ports[np] = sp
+		b.plist = append(b.plist, sp)
+		if np.Up() {
+			sp.state = StateBlocking
+		} else {
+			sp.state = StateDisabled
+		}
+	}
+	b.recompute()
+	b.helloTick()
+}
+
+// helloTick originates configs if root, then reschedules itself.
+func (b *Bridge) helloTick() {
+	if b.stopped {
+		return
+	}
+	if b.IsRoot() {
+		b.txAllDesignated()
+	}
+	b.helloTimer = b.Net().Engine.After(b.timers.Hello, b.helloTick)
+}
+
+// Stop quiesces the bridge: periodic timers are cancelled and incoming
+// BPDUs no longer arm new ones, so a drained simulation terminates. Used
+// by tests; a stopped bridge keeps forwarding data frames.
+func (b *Bridge) Stop() {
+	b.stopped = true
+	if b.helloTimer != nil {
+		b.helloTimer.Stop()
+	}
+	if b.tcnTimer != nil {
+		b.tcnTimer.Stop()
+	}
+	for _, sp := range b.plist {
+		if sp.transition != nil {
+			sp.transition.Stop()
+		}
+		if sp.infoExpiry != nil {
+			sp.infoExpiry.Stop()
+		}
+	}
+}
+
+// OnPortStatus implements bridge.Protocol.
+func (b *Bridge) OnPortStatus(np *netsim.Port, up bool) {
+	sp := b.ports[np]
+	if sp == nil { // link event before OnStart; OnStart will see Up()
+		return
+	}
+	wasForwarding := sp.state == StateForwarding
+	sp.infoValid = false
+	if sp.infoExpiry != nil {
+		sp.infoExpiry.Stop()
+	}
+	if sp.transition != nil {
+		sp.transition.Stop()
+	}
+	if up {
+		sp.state = StateBlocking
+	} else {
+		sp.state = StateDisabled
+		b.fib.FlushPort(np)
+	}
+	b.recompute()
+	if wasForwarding && !up {
+		b.topologyChange()
+	}
+}
+
+// OnFrame implements bridge.Protocol.
+func (b *Bridge) OnFrame(in *netsim.Port, frame []byte) {
+	if layers.FrameEtherType(frame) == layers.EtherTypeBPDU &&
+		layers.FrameDst(frame) == layers.BPDUMulticast {
+		b.handleBPDU(in, frame)
+		return
+	}
+	b.forward(in, frame)
+}
+
+// forward is the state-gated learning dataplane.
+func (b *Bridge) forward(in *netsim.Port, frame []byte) {
+	sp := b.ports[in]
+	if sp == nil {
+		return
+	}
+	now := b.Now()
+	b.maybeRestoreAging(now)
+	switch sp.state {
+	case StateLearning:
+		b.fib.Learn(layers.FrameSrc(frame), in, now)
+		b.stats.DiscardedByState++
+		return
+	case StateForwarding:
+		b.fib.Learn(layers.FrameSrc(frame), in, now)
+	default:
+		b.stats.DiscardedByState++
+		return
+	}
+	dst := layers.FrameDst(frame)
+	if dst.IsMulticast() {
+		b.stats.Flooded++
+		b.floodForwarding(in, frame)
+		return
+	}
+	out, ok := b.fib.Lookup(dst, now)
+	if ok && b.ports[out] != nil && b.ports[out].state != StateForwarding {
+		ok = false // stale binding behind a non-forwarding port
+	}
+	switch {
+	case !ok:
+		b.stats.Flooded++
+		b.floodForwarding(in, frame)
+	case out == in:
+		b.stats.Filtered++
+	default:
+		b.stats.Forwarded++
+		out.Send(frame)
+	}
+}
+
+// floodForwarding sends frame on every forwarding port except in.
+func (b *Bridge) floodForwarding(in *netsim.Port, frame []byte) {
+	for _, sp := range b.plist {
+		if sp.np != in && sp.state == StateForwarding && sp.np.Up() {
+			sp.np.Send(frame)
+		}
+	}
+}
+
+// handleBPDU processes a received BPDU.
+func (b *Bridge) handleBPDU(in *netsim.Port, frame []byte) {
+	sp := b.ports[in]
+	if sp == nil || sp.state == StateDisabled || b.stopped {
+		return
+	}
+	var eth layers.Ethernet
+	var bpdu layers.BPDU
+	if eth.DecodeFromBytes(frame) != nil || bpdu.DecodeFromBytes(eth.Payload()) != nil {
+		return
+	}
+	if bpdu.Type == layers.BPDUTypeTCN {
+		b.stats.TCNRx++
+		if sp.role == RoleDesignated {
+			sp.tcaPending = true
+			b.txConfig(sp) // immediate ack
+			b.propagateTC()
+		}
+		return
+	}
+	b.stats.ConfigRx++
+	recv := priorityVector{bpdu.RootID, bpdu.RootCost, bpdu.SenderID, bpdu.PortID}
+	stored := sp.info
+	if !sp.infoValid || recv.better(stored) || (recv.senderID == stored.senderID && recv.portID == stored.portID) {
+		// Superior info, or a refresh from the same designated port.
+		sp.info = recv
+		sp.infoValid = true
+		sp.infoAge = bpdu.MessageAge
+		sp.infoTC = bpdu.Flags&layers.BPDUFlagTopologyChange != 0
+		b.armInfoExpiry(sp, bpdu.MessageAge, bpdu.MaxAge)
+		b.recompute()
+		if sp == b.rootPort {
+			if bpdu.Flags&layers.BPDUFlagTopologyChangeAck != 0 && b.tcnTimer != nil {
+				b.tcnTimer.Stop()
+				b.tcnTimer = nil
+			}
+			if sp.infoTC {
+				b.enterFastAging()
+			} else {
+				b.maybeRestoreAging(b.Now())
+			}
+			// Relay through to our designated ports.
+			b.txAllDesignated()
+		}
+		return
+	}
+	// Inferior config on a designated port: reassert ourselves.
+	if sp.role == RoleDesignated {
+		b.txConfig(sp)
+	}
+}
+
+// armInfoExpiry (re)starts the message-age expiry for stored port info.
+func (b *Bridge) armInfoExpiry(sp *port, msgAge, maxAge time.Duration) {
+	if sp.infoExpiry != nil {
+		sp.infoExpiry.Stop()
+	}
+	if maxAge <= 0 {
+		maxAge = b.timers.MaxAge
+	}
+	life := maxAge - msgAge
+	if life <= 0 {
+		life = b.timers.MsgAgeIncrement
+	}
+	sp.infoExpiry = b.Net().Engine.After(life, func() {
+		// The designated bridge behind this port went silent for max-age:
+		// discard its information and re-run the election. Any port that
+		// reaches forwarding as a result triggers the topology-change
+		// machinery from enterState.
+		sp.infoValid = false
+		b.recompute()
+		if b.IsRoot() {
+			b.txAllDesignated()
+		}
+	})
+}
+
+// recompute runs root election and role assignment, then drives the port
+// state machines.
+func (b *Bridge) recompute() {
+	// Root election.
+	b.rootID = b.id
+	b.rootCost = 0
+	b.rootPort = nil
+	var bestVec priorityVector
+	for _, sp := range b.plist {
+		if !sp.infoValid || sp.state == StateDisabled {
+			continue
+		}
+		cand := priorityVector{sp.info.rootID, sp.info.cost + sp.cost, sp.info.senderID, sp.info.portID}
+		if cand.rootID < b.id {
+			if b.rootPort == nil || cand.better(bestVec) ||
+				(cand == bestVec && sp.id < b.rootPort.id) {
+				bestVec = cand
+				b.rootPort = sp
+			}
+		}
+	}
+	if b.rootPort != nil {
+		b.rootID = bestVec.rootID
+		b.rootCost = bestVec.cost
+	}
+
+	// Role assignment.
+	for _, sp := range b.plist {
+		if sp.state == StateDisabled {
+			continue
+		}
+		var role PortRole
+		switch {
+		case sp == b.rootPort:
+			role = RoleRoot
+		case !sp.infoValid:
+			role = RoleDesignated
+		default:
+			ours := priorityVector{b.rootID, b.rootCost, b.id, sp.id}
+			if ours.better(sp.info) {
+				role = RoleDesignated
+			} else {
+				role = RoleBlocked
+			}
+		}
+		b.setRole(sp, role)
+	}
+}
+
+// setRole applies a role and advances the state machine accordingly.
+func (b *Bridge) setRole(sp *port, role PortRole) {
+	sp.role = role
+	if role == RoleBlocked {
+		if sp.state != StateBlocking {
+			wasForwarding := sp.state == StateForwarding
+			sp.state = StateBlocking
+			if sp.transition != nil {
+				sp.transition.Stop()
+			}
+			b.fib.FlushPort(sp.np)
+			if wasForwarding {
+				b.topologyChange()
+			}
+		}
+		return
+	}
+	// Root or designated: progress toward forwarding.
+	if sp.state == StateBlocking {
+		b.enterState(sp, StateListening)
+	}
+}
+
+// enterState sets a port state and schedules the next transition.
+func (b *Bridge) enterState(sp *port, st PortState) {
+	sp.state = st
+	if sp.transition != nil {
+		sp.transition.Stop()
+		sp.transition = nil
+	}
+	switch st {
+	case StateListening:
+		sp.transition = b.Net().Engine.After(b.timers.ForwardDelay, func() {
+			b.enterState(sp, StateLearning)
+		})
+	case StateLearning:
+		sp.transition = b.Net().Engine.After(b.timers.ForwardDelay, func() {
+			b.enterState(sp, StateForwarding)
+		})
+	case StateForwarding:
+		b.stats.TopologyChanges++
+		b.topologyChange()
+	}
+}
+
+// topologyChange reacts to a detected topology change per 802.1D §8.8.
+func (b *Bridge) topologyChange() {
+	if b.stopped {
+		return
+	}
+	if b.IsRoot() {
+		b.tcDeadline = b.Now() + b.timers.MaxAge + b.timers.ForwardDelay
+		b.enterFastAging()
+		return
+	}
+	// Notify the root via TCN on the root port, retransmitting each hello
+	// until acknowledged.
+	if b.tcnTimer != nil {
+		b.tcnTimer.Stop()
+	}
+	var send func()
+	send = func() {
+		b.txTCN()
+		b.tcnTimer = b.Net().Engine.After(b.timers.Hello, send)
+	}
+	send()
+}
+
+// propagateTC pushes a received TCN toward the root.
+func (b *Bridge) propagateTC() {
+	b.topologyChange()
+}
+
+// enterFastAging shortens FIB aging for the TC period.
+func (b *Bridge) enterFastAging() {
+	now := b.Now()
+	if deadline := now + b.timers.MaxAge + b.timers.ForwardDelay; deadline > b.tcDeadline {
+		b.tcDeadline = deadline
+	}
+	if !b.fastAging {
+		b.fastAging = true
+		b.fib.SetAging(b.timers.ForwardDelay)
+		b.fib.FlushExpired(now)
+	}
+}
+
+// maybeRestoreAging returns to normal aging once the TC period lapses.
+func (b *Bridge) maybeRestoreAging(now time.Duration) {
+	if b.fastAging && now >= b.tcDeadline {
+		b.fastAging = false
+		b.fib.SetAging(b.timers.Aging)
+	}
+}
+
+// txAllDesignated transmits a config BPDU on every designated port.
+func (b *Bridge) txAllDesignated() {
+	for _, sp := range b.plist {
+		if sp.role == RoleDesignated && sp.state != StateDisabled {
+			b.txConfig(sp)
+		}
+	}
+}
+
+// txConfig transmits one config BPDU on sp.
+func (b *Bridge) txConfig(sp *port) {
+	var flags uint8
+	if sp.tcaPending {
+		flags |= layers.BPDUFlagTopologyChangeAck
+		sp.tcaPending = false
+	}
+	msgAge := time.Duration(0)
+	if !b.IsRoot() {
+		if b.rootPort != nil {
+			msgAge = b.rootPort.infoAge + b.timers.MsgAgeIncrement
+		}
+		if b.rootPort != nil && b.rootPort.infoTC {
+			flags |= layers.BPDUFlagTopologyChange
+		}
+	} else if b.Now() < b.tcDeadline {
+		flags |= layers.BPDUFlagTopologyChange
+	}
+	frame, err := layers.Serialize(
+		&layers.Ethernet{Dst: layers.BPDUMulticast, Src: b.MAC(), EtherType: layers.EtherTypeBPDU},
+		&layers.BPDU{
+			Type:         layers.BPDUTypeConfig,
+			Flags:        flags,
+			RootID:       b.rootID,
+			RootCost:     b.rootCost,
+			SenderID:     b.id,
+			PortID:       sp.id,
+			MessageAge:   msgAge,
+			MaxAge:       b.timers.MaxAge,
+			HelloTime:    b.timers.Hello,
+			ForwardDelay: b.timers.ForwardDelay,
+		},
+	)
+	if err != nil {
+		panic(fmt.Sprintf("stp: serialize config BPDU: %v", err))
+	}
+	b.stats.ConfigTx++
+	sp.np.Send(frame)
+}
+
+// txTCN transmits a TCN BPDU on the root port.
+func (b *Bridge) txTCN() {
+	if b.rootPort == nil {
+		return
+	}
+	frame, err := layers.Serialize(
+		&layers.Ethernet{Dst: layers.BPDUMulticast, Src: b.MAC(), EtherType: layers.EtherTypeBPDU},
+		&layers.BPDU{Type: layers.BPDUTypeTCN},
+	)
+	if err != nil {
+		panic(fmt.Sprintf("stp: serialize TCN: %v", err))
+	}
+	b.stats.TCNTx++
+	b.rootPort.np.Send(frame)
+}
+
+var _ bridge.Protocol = (*Bridge)(nil)
+var _ netsim.Node = (*Bridge)(nil)

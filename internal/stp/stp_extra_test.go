@@ -1,0 +1,137 @@
+package stp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/netsim"
+)
+
+// TestTCNStopsAfterTCA: a bridge that detected a topology change must
+// retransmit TCNs on its root port only until the designated bridge
+// acknowledges with the TCA flag.
+func TestTCNStopsAfterTCA(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	timers := DefaultTimers()
+	root := New(net, "root", 1, 0x1000, timers)
+	mid := New(net, "mid", 2, 0x8000, timers)
+	leaf := New(net, "leaf", 3, 0x8000, timers)
+	cfg := netsim.DefaultLinkConfig()
+	net.Connect(root, mid, cfg)
+	net.Connect(mid, leaf, cfg)
+	// A host port on the leaf to create a topology change when it opens.
+	h := newEndpoint("h", 1)
+	hostLink := net.Connect(leaf, h, cfg)
+	hostLink.SetUp(false)
+	for _, b := range []*Bridge{root, mid, leaf} {
+		b.Start()
+	}
+	net.RunFor(settle)
+
+	// Opening the host port drives it to forwarding ⇒ topology change ⇒
+	// TCNs from leaf toward the root until acknowledged.
+	net.Engine.At(net.Now(), func() { hostLink.SetUp(true) })
+	net.RunFor(settle)
+	tcnSent := leaf.Stats().TCNTx
+	if tcnSent == 0 {
+		t.Fatal("leaf never raised a TCN")
+	}
+	if mid.Stats().TCNRx == 0 {
+		t.Fatal("mid never saw the TCN")
+	}
+	// Once acknowledged, the retransmission stops: over the next several
+	// hello intervals the count must not keep climbing unboundedly.
+	net.RunFor(10 * timers.Hello)
+	if leaf.Stats().TCNTx > tcnSent+2 {
+		t.Fatalf("TCN kept retransmitting after TCA: %d → %d", tcnSent, leaf.Stats().TCNTx)
+	}
+}
+
+// TestFastAgingDuringTopologyChange: the TC flag from the root must drop
+// the FIB aging to forward-delay, and normal aging must return after the
+// TC period lapses.
+func TestFastAgingDuringTopologyChange(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	timers := DefaultTimers()
+	bs := buildRing(net, 3, timers)
+	h1, h2 := newEndpoint("h1", 1), newEndpoint("h2", 2)
+	net.Connect(h1, bs[0], cfg())
+	net.Connect(h2, bs[1], cfg())
+	net.RunFor(settle)
+
+	// Seed the FIBs.
+	net.Engine.At(net.Now(), func() { h1.send(layers.BroadcastMAC, 1) })
+	net.RunFor(time.Second)
+
+	normal := bs[1].FIB().Aging()
+	// Cut a forwarding ring link → TC propagates → fast aging at the
+	// bridges that hear the root's TC flag.
+	var cut *netsim.Link
+	for _, l := range net.Links() {
+		pa, pb := l.A(), l.B()
+		ba, okA := pa.Node().(*Bridge)
+		bb, okB := pb.Node().(*Bridge)
+		if okA && okB && ba.State(pa) == StateForwarding && bb.State(pb) == StateForwarding {
+			cut = l
+			break
+		}
+	}
+	net.Engine.At(net.Now(), func() { cut.SetUp(false) })
+	net.RunFor(10 * time.Second)
+	fastSeen := false
+	for _, b := range bs {
+		if b.FIB().Aging() == timers.ForwardDelay {
+			fastSeen = true
+		}
+	}
+	if !fastSeen {
+		t.Fatal("no bridge entered fast aging after the topology change")
+	}
+	// After the TC period (max-age + forward-delay) plus margin, traffic
+	// through the dataplane restores normal aging lazily.
+	net.RunFor(timers.MaxAge + timers.ForwardDelay + 5*time.Second)
+	net.Engine.At(net.Now(), func() { h1.send(layers.BroadcastMAC, 2) })
+	net.RunFor(5 * time.Second)
+	for _, b := range bs {
+		if got := b.FIB().Aging(); got != normal {
+			t.Fatalf("%s aging = %v after TC period, want %v", b.Name(), got, normal)
+		}
+	}
+}
+
+// TestBPDUIgnoredOnDownPort: BPDUs that arrive racing a link-down event
+// must not resurrect state on a disabled port.
+func TestBPDUIgnoredOnDownPort(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	b1 := New(net, "b1", 1, 0x8000, DefaultTimers())
+	b2 := New(net, "b2", 2, 0x8000, DefaultTimers())
+	l := net.Connect(b1, b2, cfg())
+	b1.Start()
+	b2.Start()
+	net.RunFor(settle)
+	net.Engine.At(net.Now(), func() { l.SetUp(false) })
+	net.RunFor(time.Second)
+	if b2.State(b2.Port(0)) != StateDisabled {
+		t.Fatalf("port state %v after link down", b2.State(b2.Port(0)))
+	}
+	// Both bridges must now consider themselves root of their own island.
+	if !b1.IsRoot() || !b2.IsRoot() {
+		t.Fatal("isolated bridges did not reclaim root")
+	}
+}
+
+// TestStopCancelsTimers: after Stop, a drained engine must terminate.
+func TestStopCancelsTimers(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	bs := buildRing(net, 3, DefaultTimers())
+	net.RunFor(10 * time.Second)
+	for _, b := range bs {
+		b.Stop()
+	}
+	// With every periodic timer cancelled the queue drains; Run returning
+	// is the assertion (a live hello timer would loop forever and trip
+	// the event limit instead).
+	net.Engine.SetEventLimit(100_000)
+	net.Run()
+}

@@ -1,0 +1,486 @@
+package stp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/netsim"
+)
+
+// endpoint is a minimal host that records frames addressed to it.
+type endpoint struct {
+	name string
+	mac  layers.MAC
+	port *netsim.Port
+	got  [][]byte
+}
+
+func newEndpoint(name string, n int) *endpoint {
+	return &endpoint{name: name, mac: layers.HostMAC(n)}
+}
+
+func (e *endpoint) Name() string                             { return e.name }
+func (e *endpoint) AttachPort(p *netsim.Port)                { e.port = p }
+func (e *endpoint) PortStatusChanged(_ *netsim.Port, _ bool) {}
+func (e *endpoint) HandleFrame(_ *netsim.Port, frame []byte) {
+	dst := layers.FrameDst(frame)
+	if dst == e.mac || dst.IsBroadcast() {
+		e.got = append(e.got, frame)
+	}
+}
+
+func (e *endpoint) send(dst layers.MAC, tag byte) {
+	frame, err := layers.Serialize(
+		&layers.Ethernet{Dst: dst, Src: e.mac, EtherType: layers.EtherTypeIPv4},
+		layers.Payload([]byte{tag}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	e.port.Send(frame)
+}
+
+func cfg() netsim.LinkConfig { return netsim.DefaultLinkConfig() }
+
+// buildRing builds n STP bridges in a ring and starts them.
+func buildRing(net *netsim.Network, n int, timers Timers) []*Bridge {
+	bs := make([]*Bridge, n)
+	for i := range bs {
+		bs[i] = New(net, "b"+string(rune('0'+i)), i+1, 0x8000, timers)
+	}
+	for i := range bs {
+		net.Connect(bs[i], bs[(i+1)%n], cfg())
+	}
+	for _, b := range bs {
+		b.Start()
+	}
+	return bs
+}
+
+// convergence time for default timers: listening+learning = 30s, plus
+// hello propagation slack.
+const settle = 35 * time.Second
+
+func TestRootElectionLowestID(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	bs := buildRing(net, 4, DefaultTimers())
+	net.RunFor(settle)
+	want := bs[0].ID() // lowest numID → lowest MAC → lowest bridge ID
+	for _, b := range bs {
+		if b.RootID() != want {
+			t.Fatalf("%s believes root %x, want %x", b.Name(), b.RootID(), want)
+		}
+	}
+	if !bs[0].IsRoot() || bs[1].IsRoot() {
+		t.Fatal("IsRoot misassigned")
+	}
+}
+
+func TestPriorityOverridesMAC(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	timers := DefaultTimers()
+	b1 := New(net, "b1", 1, 0x8000, timers)
+	b2 := New(net, "b2", 2, 0x1000, timers) // lower priority value wins
+	net.Connect(b1, b2, cfg())
+	b1.Start()
+	b2.Start()
+	net.RunFor(settle)
+	if !b2.IsRoot() {
+		t.Fatal("priority did not win election")
+	}
+	if b1.IsRoot() {
+		t.Fatal("b1 still believes it is root")
+	}
+}
+
+func TestRingBlocksExactlyOnePort(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	bs := buildRing(net, 4, DefaultTimers())
+	net.RunFor(settle)
+	blocked := 0
+	for _, b := range bs {
+		for _, p := range b.Ports() {
+			switch b.State(p) {
+			case StateForwarding:
+			case StateBlocking:
+				blocked++
+			default:
+				t.Fatalf("%s port %d in transient state %v after settle", b.Name(), p.Index(), b.State(p))
+			}
+		}
+	}
+	if blocked != 1 {
+		t.Fatalf("blocked ports = %d, want exactly 1 in a ring", blocked)
+	}
+}
+
+func TestActiveTopologyIsTree(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	bs := buildRing(net, 5, DefaultTimers())
+	net.RunFor(settle)
+	assertSpanningTree(t, bs)
+}
+
+// assertSpanningTree checks the forwarding adjacencies form a spanning tree
+// over the bridges: an edge is active only if both ends forward.
+func assertSpanningTree(t *testing.T, bs []*Bridge) {
+	t.Helper()
+	idx := map[*Bridge]int{}
+	for i, b := range bs {
+		idx[b] = i
+	}
+	stateOf := func(p *netsim.Port) PortState {
+		b := p.Node().(*Bridge)
+		return b.State(p)
+	}
+	// Collect active bridge-bridge edges.
+	type edge struct{ a, b int }
+	var edges []edge
+	seen := map[*netsim.Link]bool{}
+	for _, b := range bs {
+		for _, p := range b.Ports() {
+			l := p.Link()
+			if seen[l] || !l.Up() {
+				continue
+			}
+			seen[l] = true
+			pa, pb := l.A(), l.B()
+			ba, okA := pa.Node().(*Bridge)
+			bb, okB := pb.Node().(*Bridge)
+			if !okA || !okB {
+				continue
+			}
+			if stateOf(pa) == StateForwarding && stateOf(pb) == StateForwarding {
+				edges = append(edges, edge{idx[ba], idx[bb]})
+			}
+		}
+	}
+	if len(edges) != len(bs)-1 {
+		t.Fatalf("active edges = %d, want %d (spanning tree)", len(edges), len(bs)-1)
+	}
+	// Connectivity via union-find.
+	parent := make([]int, len(bs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		if ra == rb {
+			t.Fatal("cycle in active topology")
+		}
+		parent[ra] = rb
+	}
+	root := find(0)
+	for i := range bs {
+		if find(i) != root {
+			t.Fatal("active topology not connected")
+		}
+	}
+}
+
+func TestHostPortsReachForwarding(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	timers := DefaultTimers()
+	b := New(net, "b", 1, 0x8000, timers)
+	h := newEndpoint("h", 1)
+	net.Connect(h, b, cfg())
+	b.Start()
+	net.RunFor(time.Second)
+	if st := b.State(b.Port(0)); st != StateListening {
+		t.Fatalf("state after 1s = %v, want listening", st)
+	}
+	net.RunFor(15 * time.Second)
+	if st := b.State(b.Port(0)); st != StateLearning {
+		t.Fatalf("state after 16s = %v, want learning", st)
+	}
+	net.RunFor(15 * time.Second)
+	if st := b.State(b.Port(0)); st != StateForwarding {
+		t.Fatalf("state after 31s = %v, want forwarding", st)
+	}
+}
+
+func TestNoForwardingBeforeConvergence(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	h1, h2 := newEndpoint("h1", 1), newEndpoint("h2", 2)
+	b := New(net, "b", 1, 0x8000, DefaultTimers())
+	net.Connect(h1, b, cfg())
+	net.Connect(h2, b, cfg())
+	b.Start()
+	net.Engine.At(time.Second, func() { h1.send(layers.BroadcastMAC, 1) })
+	net.RunFor(5 * time.Second)
+	if len(h2.got) != 0 {
+		t.Fatal("frame forwarded while listening")
+	}
+	if b.Stats().DiscardedByState == 0 {
+		t.Fatal("discard not counted")
+	}
+}
+
+func TestEndToEndForwardingAfterConvergence(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	bs := buildRing(net, 4, DefaultTimers())
+	h1, h2 := newEndpoint("h1", 1), newEndpoint("h2", 2)
+	net.Connect(h1, bs[0], cfg())
+	net.Connect(h2, bs[2], cfg())
+	net.RunFor(settle)
+	net.Engine.At(net.Now(), func() { h1.send(layers.BroadcastMAC, 1) })
+	net.RunFor(time.Second)
+	if len(h2.got) != 1 {
+		t.Fatalf("h2 got %d broadcasts, want exactly 1 (no loop duplicates)", len(h2.got))
+	}
+	net.Engine.At(net.Now(), func() { h2.send(layers.HostMAC(1), 2) })
+	net.RunFor(time.Second)
+	if len(h1.got) != 1 {
+		t.Fatalf("h1 got %d frames, want 1", len(h1.got))
+	}
+}
+
+func TestBroadcastNoDuplicatesInMesh(t *testing.T) {
+	// Full mesh of 4 bridges: heavily looped; a converged tree must
+	// deliver exactly one copy.
+	net := netsim.NewNetwork(1)
+	bs := make([]*Bridge, 4)
+	for i := range bs {
+		bs[i] = New(net, "m"+string(rune('0'+i)), i+1, 0x8000, DefaultTimers())
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			net.Connect(bs[i], bs[j], cfg())
+		}
+	}
+	h1, h2 := newEndpoint("h1", 1), newEndpoint("h2", 2)
+	net.Connect(h1, bs[0], cfg())
+	net.Connect(h2, bs[3], cfg())
+	for _, b := range bs {
+		b.Start()
+	}
+	net.RunFor(settle)
+	assertSpanningTree(t, bs)
+	net.Engine.At(net.Now(), func() { h1.send(layers.BroadcastMAC, 7) })
+	net.RunFor(time.Second)
+	if len(h2.got) != 1 {
+		t.Fatalf("h2 got %d copies, want 1", len(h2.got))
+	}
+}
+
+func TestReconvergenceAfterLinkFailure(t *testing.T) {
+	// Ring of 4: cut a tree link; traffic must flow again after max-age /
+	// fwd-delay reconvergence, and the blocked port must open.
+	net := netsim.NewNetwork(1)
+	bs := buildRing(net, 4, DefaultTimers())
+	h1, h2 := newEndpoint("h1", 1), newEndpoint("h2", 2)
+	net.Connect(h1, bs[0], cfg())
+	net.Connect(h2, bs[2], cfg())
+	net.RunFor(settle)
+
+	// Verify connectivity, then cut the b0-b1 ring link.
+	net.Engine.At(net.Now(), func() { h1.send(layers.HostMAC(2), 1) })
+	net.RunFor(time.Second)
+	if len(h2.got) != 1 {
+		t.Fatal("no connectivity before failure")
+	}
+	cut := bs[0].Port(1).Link() // bs[0] port1 connects to bs[1]
+	net.Engine.At(net.Now(), func() { cut.SetUp(false) })
+	// Give 802.1D its reconvergence budget (≤ max-age + 2×fwd-delay).
+	net.RunFor(55 * time.Second)
+	net.Engine.At(net.Now(), func() { h1.send(layers.HostMAC(2), 2) })
+	net.RunFor(2 * time.Second)
+	if len(h2.got) != 2 {
+		t.Fatalf("h2 got %d frames after reconvergence, want 2", len(h2.got))
+	}
+	// The previously blocked port must now forward.
+	assertSpanningTree(t, bs)
+}
+
+func TestRootDeathReelection(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	bs := buildRing(net, 4, DefaultTimers())
+	net.RunFor(settle)
+	if !bs[0].IsRoot() {
+		t.Fatal("expected bs[0] as initial root")
+	}
+	// Kill both of the root's links (it vanishes from the topology).
+	l0, l1 := bs[0].Port(0).Link(), bs[0].Port(1).Link()
+	net.Engine.At(net.Now(), func() { l0.SetUp(false); l1.SetUp(false) })
+	net.RunFor(60 * time.Second)
+	want := bs[1].ID()
+	for _, b := range bs[1:] {
+		if b.RootID() != want {
+			t.Fatalf("%s root = %x, want %x after re-election", b.Name(), b.RootID(), want)
+		}
+	}
+}
+
+func TestFastTimersConvergeFaster(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	timers := FastTimers()
+	bs := make([]*Bridge, 3)
+	for i := range bs {
+		bs[i] = New(net, "f"+string(rune('0'+i)), i+1, 0x8000, timers)
+	}
+	net.Connect(bs[0], bs[1], cfg())
+	net.Connect(bs[1], bs[2], cfg())
+	net.Connect(bs[2], bs[0], cfg())
+	for _, b := range bs {
+		b.Start()
+	}
+	net.RunFor(4 * time.Second) // 10× faster than the 35s default budget
+	blocked := 0
+	for _, b := range bs {
+		for _, p := range b.Ports() {
+			switch b.State(p) {
+			case StateForwarding:
+			case StateBlocking:
+				blocked++
+			default:
+				t.Fatalf("transient state %v after fast settle", b.State(p))
+			}
+		}
+	}
+	if blocked != 1 {
+		t.Fatalf("blocked = %d, want 1", blocked)
+	}
+}
+
+func TestTopologyChangeCounted(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	bs := buildRing(net, 3, DefaultTimers())
+	net.RunFor(settle)
+	var tcn uint64
+	for _, b := range bs {
+		tcn += b.Stats().TCNTx
+	}
+	before := tcn
+	// Cut a forwarding link: some bridge must raise a TCN.
+	var cut *netsim.Link
+	for _, l := range net.Links() {
+		pa, pb := l.A(), l.B()
+		if pa.Node().(*Bridge).State(pa) == StateForwarding &&
+			pb.Node().(*Bridge).State(pb) == StateForwarding {
+			cut = l
+			break
+		}
+	}
+	if cut == nil {
+		t.Fatal("no forwarding link found")
+	}
+	net.Engine.At(net.Now(), func() { cut.SetUp(false) })
+	net.RunFor(40 * time.Second)
+	tcn = 0
+	for _, b := range bs {
+		tcn += b.Stats().TCNTx
+	}
+	if tcn <= before {
+		t.Fatal("no TCN transmitted after topology change")
+	}
+}
+
+func TestBPDUCounters(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	bs := buildRing(net, 3, DefaultTimers())
+	net.RunFor(10 * time.Second)
+	if bs[0].Stats().ConfigTx == 0 {
+		t.Fatal("root sent no configs")
+	}
+	if bs[1].Stats().ConfigRx == 0 {
+		t.Fatal("bridge received no configs")
+	}
+}
+
+func TestPortRolesInRing(t *testing.T) {
+	net := netsim.NewNetwork(1)
+	bs := buildRing(net, 4, DefaultTimers())
+	net.RunFor(settle)
+	// Root's ports are all designated.
+	for _, p := range bs[0].Ports() {
+		if bs[0].Role(p) != RoleDesignated {
+			t.Fatalf("root port role %v", bs[0].Role(p))
+		}
+	}
+	// Every non-root bridge has exactly one root port.
+	for _, b := range bs[1:] {
+		rootPorts := 0
+		for _, p := range b.Ports() {
+			if b.Role(p) == RoleRoot {
+				rootPorts++
+			}
+		}
+		if rootPorts != 1 {
+			t.Fatalf("%s has %d root ports", b.Name(), rootPorts)
+		}
+	}
+}
+
+func TestRoleAndStateStrings(t *testing.T) {
+	if RoleDesignated.String() != "designated" || RoleRoot.String() != "root" || RoleBlocked.String() != "blocked" {
+		t.Fatal("role strings")
+	}
+	states := map[PortState]string{
+		StateDisabled: "disabled", StateBlocking: "blocking", StateListening: "listening",
+		StateLearning: "learning", StateForwarding: "forwarding",
+	}
+	for s, want := range states {
+		if s.String() != want {
+			t.Fatalf("%v != %s", s, want)
+		}
+	}
+}
+
+func TestCostForRates(t *testing.T) {
+	for rate, want := range map[int64]uint32{
+		10_000_000_000: 2, 1_000_000_000: 4, 100_000_000: 19, 10_000_000: 100, 1_000_000: 250,
+	} {
+		if got := costFor(rate); got != want {
+			t.Fatalf("costFor(%d) = %d, want %d", rate, got, want)
+		}
+	}
+}
+
+// Property: STP converges to a spanning tree on random connected graphs.
+func TestRandomGraphsConvergeToSpanningTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + rng.Intn(5)
+		net := netsim.NewNetwork(int64(trial))
+		bs := make([]*Bridge, n)
+		for i := range bs {
+			bs[i] = New(net, "r"+string(rune('a'+i)), i+1, 0x8000, DefaultTimers())
+		}
+		// Random spanning tree first (guarantees connectivity)...
+		for i := 1; i < n; i++ {
+			net.Connect(bs[i], bs[rng.Intn(i)], cfg())
+		}
+		// ...plus random extra edges for loops.
+		extra := rng.Intn(n)
+		for e := 0; e < extra; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				net.Connect(bs[i], bs[j], cfg())
+			}
+		}
+		for _, b := range bs {
+			b.Start()
+		}
+		net.RunFor(90 * time.Second) // deep topologies need extra relay time
+		assertSpanningTree(t, bs)
+	}
+}
+
+func BenchmarkConvergenceRing8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := netsim.NewNetwork(1)
+		bs := buildRing(net, 8, DefaultTimers())
+		net.RunFor(settle)
+		_ = bs
+	}
+}

@@ -1,0 +1,179 @@
+// Package topo builds the networks the experiments run on: the paper's
+// Figure 1 and Figure 2/3 topologies, plus parametric fabrics (line, ring,
+// grid, fat-tree, seeded random graphs) for the extended experiments. A
+// Builder assembles hosts, bridges of a selectable protocol, and links,
+// then starts every bridge.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/learning"
+	"repro/internal/netsim"
+	"repro/internal/stp"
+)
+
+// Protocol selects the bridging protocol a topology is built with.
+type Protocol string
+
+// Supported protocols.
+const (
+	// ARPPath is the paper's contribution (internal/core).
+	ARPPath Protocol = "arppath"
+	// STP is the 802.1D baseline the demo compares against.
+	STP Protocol = "stp"
+	// Learning is a plain learning switch (loop-free topologies only).
+	Learning Protocol = "learning"
+)
+
+// Options configures a build.
+type Options struct {
+	// Protocol selects the bridge implementation.
+	Protocol Protocol
+	// Seed feeds the simulation engine.
+	Seed int64
+	// Link is the default link configuration; topology constructors
+	// override Delay per link where the scenario calls for it.
+	Link netsim.LinkConfig
+	// ARPPathConfig tunes ARP-Path bridges (DefaultConfig if zero).
+	ARPPathConfig core.Config
+	// STPTimers tunes STP bridges (DefaultTimers if zero).
+	STPTimers stp.Timers
+	// WarmUp is how long to run the fabric before the experiment starts
+	// (STP needs its listening/learning delays; ARP-Path needs HELLOs).
+	WarmUp time.Duration
+}
+
+// DefaultOptions returns a gigabit ARP-Path build.
+func DefaultOptions(p Protocol, seed int64) Options {
+	return Options{
+		Protocol:      p,
+		Seed:          seed,
+		Link:          netsim.DefaultLinkConfig(),
+		ARPPathConfig: core.DefaultConfig(),
+		STPTimers:     stp.DefaultTimers(),
+		WarmUp:        defaultWarmUp(p, stp.DefaultTimers()),
+	}
+}
+
+// defaultWarmUp returns the convergence budget for a protocol.
+func defaultWarmUp(p Protocol, t stp.Timers) time.Duration {
+	if p == STP {
+		// Listening + learning on every port, plus hello propagation.
+		return 2*t.ForwardDelay + 5*t.Hello
+	}
+	return 10 * time.Millisecond
+}
+
+// Bridge is the protocol-independent view of a built bridge.
+type Bridge interface {
+	netsim.Node
+	Start()
+	Ports() []*netsim.Port
+}
+
+// Net is a built network: the simulation plus name-indexed hosts and
+// bridges.
+type Net struct {
+	*netsim.Network
+	Opts    Options
+	Bridges []Bridge
+	byName  map[string]Bridge
+}
+
+// Bridge returns the named bridge, panicking if absent (topologies are
+// static; a missing name is a programming error).
+func (n *Net) Bridge(name string) Bridge {
+	b, ok := n.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: no bridge %q", name))
+	}
+	return b
+}
+
+// ARPPathBridge returns the named bridge as an ARP-Path bridge.
+func (n *Net) ARPPathBridge(name string) *core.Bridge { return n.Bridge(name).(*core.Bridge) }
+
+// STPBridge returns the named bridge as an STP bridge.
+func (n *Net) STPBridge(name string) *stp.Bridge { return n.Bridge(name).(*stp.Bridge) }
+
+// Builder incrementally assembles a network.
+type Builder struct {
+	net    *Net
+	nextID int
+}
+
+// NewBuilder starts a build with the given options (zero-value fields are
+// replaced by defaults).
+func NewBuilder(opts Options) *Builder {
+	if opts.Protocol == "" {
+		opts.Protocol = ARPPath
+	}
+	if opts.Link.Rate == 0 {
+		opts.Link = netsim.DefaultLinkConfig()
+	}
+	if opts.ARPPathConfig.LockTimeout == 0 {
+		opts.ARPPathConfig = core.DefaultConfig()
+	}
+	if opts.STPTimers.Hello == 0 {
+		opts.STPTimers = stp.DefaultTimers()
+	}
+	if opts.WarmUp == 0 {
+		opts.WarmUp = defaultWarmUp(opts.Protocol, opts.STPTimers)
+	}
+	return &Builder{
+		net: &Net{
+			Network: netsim.NewNetwork(opts.Seed),
+			Opts:    opts,
+			byName:  make(map[string]Bridge),
+		},
+	}
+}
+
+// AddBridge creates a bridge of the configured protocol.
+func (b *Builder) AddBridge(name string) Bridge {
+	b.nextID++
+	var br Bridge
+	switch b.net.Opts.Protocol {
+	case ARPPath:
+		br = core.New(b.net.Network, name, b.nextID, b.net.Opts.ARPPathConfig)
+	case STP:
+		br = stp.New(b.net.Network, name, b.nextID, 0x8000, b.net.Opts.STPTimers)
+	case Learning:
+		br = learning.New(b.net.Network, name, b.nextID)
+	default:
+		panic(fmt.Sprintf("topo: unknown protocol %q", b.net.Opts.Protocol))
+	}
+	b.net.Network.AddNode(br)
+	b.net.Bridges = append(b.net.Bridges, br)
+	b.net.byName[name] = br
+	return br
+}
+
+// Connect cables two nodes with the default link configuration.
+func (b *Builder) Connect(x, y netsim.Node) *netsim.Link {
+	return b.net.Connect(x, y, b.net.Opts.Link)
+}
+
+// ConnectDelay cables two nodes with a specific propagation delay.
+func (b *Builder) ConnectDelay(x, y netsim.Node, delay time.Duration) *netsim.Link {
+	return b.net.Connect(x, y, b.net.Opts.Link.WithDelay(delay))
+}
+
+// Build starts every bridge and runs the warm-up period.
+func (b *Builder) Build() *Net {
+	for _, br := range b.net.Bridges {
+		br.Start()
+	}
+	b.net.RunFor(b.net.Opts.WarmUp)
+	return b.net
+}
+
+// Rand returns the build's deterministic random source.
+func (b *Builder) Rand() *rand.Rand { return b.net.Engine.Rand() }
+
+// Net exposes the partially built network (for attaching hosts).
+func (b *Builder) Net() *netsim.Network { return b.net.Network }

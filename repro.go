@@ -1,0 +1,124 @@
+// Package repro is a Go reproduction of "Implementing ARP-Path Low
+// Latency Bridges in NetFPGA" (Rojas et al., SIGCOMM 2011 demo): ARP-Path
+// transparent bridges that discover minimum-latency paths by racing
+// flooded ARP Request copies, plus everything needed to evaluate them —
+// a deterministic Ethernet fabric simulator, an IEEE 802.1D STP baseline,
+// simulated hosts with ARP/IPv4/ICMP/UDP and a TCP-like transport, the
+// paper's demo topologies, and one experiment runner per figure.
+//
+// This package is the public facade: it re-exports the types a downstream
+// user needs so simple programs import only this package. The full API
+// lives in the internal packages (internal/core is the protocol,
+// internal/experiments the evaluation); see README.md for the map.
+//
+// A minimal fabric:
+//
+//	n := repro.NewNetwork(1)
+//	b1 := repro.NewBridge(n, "b1", 1)
+//	b2 := repro.NewBridge(n, "b2", 2)
+//	h1, h2 := repro.NewHost(n, "h1", 1), repro.NewHost(n, "h2", 2)
+//	link := repro.DefaultLinkConfig()
+//	n.Connect(h1, b1, link)
+//	n.Connect(b1, b2, link)
+//	n.Connect(b2, h2, link)
+//	b1.Start()
+//	b2.Start()
+//	n.RunFor(time.Millisecond) // HELLO settle
+//	h1.Ping(h2.IP(), 56, time.Second, func(r repro.PingResult) {
+//		fmt.Println("rtt:", r.RTT)
+//	})
+//	n.Run()
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/layers"
+	"repro/internal/netsim"
+	"repro/internal/stp"
+	"repro/internal/topo"
+)
+
+// Core protocol types.
+type (
+	// Bridge is an ARP-Path bridge (the paper's contribution).
+	Bridge = core.Bridge
+	// BridgeConfig tunes an ARP-Path bridge.
+	BridgeConfig = core.Config
+	// BridgeStats are the protocol counters of an ARP-Path bridge.
+	BridgeStats = core.Stats
+	// STPBridge is the IEEE 802.1D baseline bridge.
+	STPBridge = stp.Bridge
+	// STPTimers groups the 802.1D protocol timers.
+	STPTimers = stp.Timers
+)
+
+// Fabric types.
+type (
+	// Network is the simulated Ethernet fabric.
+	Network = netsim.Network
+	// LinkConfig describes a link's rate, delay and queue.
+	LinkConfig = netsim.LinkConfig
+	// Link is a full-duplex cable with failure injection (SetUp).
+	Link = netsim.Link
+)
+
+// Host types.
+type (
+	// Host is a simulated end station (ARP, IPv4, ICMP, UDP, TCP-lite).
+	Host = host.Host
+	// PingResult is the outcome of one ICMP echo exchange.
+	PingResult = host.PingResult
+	// Conn is a TCP-lite connection.
+	Conn = host.Conn
+	// MAC is a 48-bit Ethernet address.
+	MAC = layers.MAC
+	// Addr4 is an IPv4 address.
+	Addr4 = layers.Addr4
+)
+
+// NewNetwork creates an empty deterministic fabric seeded with seed.
+func NewNetwork(seed int64) *Network { return netsim.NewNetwork(seed) }
+
+// DefaultLinkConfig is a 1 Gb/s link with a short wire, like the demo's.
+func DefaultLinkConfig() LinkConfig { return netsim.DefaultLinkConfig() }
+
+// NewBridge creates an ARP-Path bridge with default configuration. Call
+// Start after cabling, before running the simulation.
+func NewBridge(n *Network, name string, id int) *Bridge {
+	return core.New(n, name, id, core.DefaultConfig())
+}
+
+// NewBridgeConfig creates an ARP-Path bridge with an explicit config.
+func NewBridgeConfig(n *Network, name string, id int, cfg BridgeConfig) *Bridge {
+	return core.New(n, name, id, cfg)
+}
+
+// DefaultBridgeConfig returns the ARP-Path defaults used in the paper's
+// experiments.
+func DefaultBridgeConfig() BridgeConfig { return core.DefaultConfig() }
+
+// NewSTPBridge creates an 802.1D baseline bridge with standard timers and
+// priority 0x8000.
+func NewSTPBridge(n *Network, name string, id int) *STPBridge {
+	return stp.New(n, name, id, 0x8000, stp.DefaultTimers())
+}
+
+// NewHost creates host number id (MAC 02:00:00::id, IP 10.0.id).
+func NewHost(n *Network, name string, id int) *Host { return host.New(n, name, id) }
+
+// Demo topologies (paper §3). These return ready-to-run networks; see
+// internal/topo for the full builder API.
+
+// Figure1Topology builds the 5-bridge discovery-walkthrough mesh with
+// hosts S and D, running ARP-Path.
+func Figure1Topology(seed int64) *topo.Built {
+	return topo.Figure1(topo.DefaultOptions(topo.ARPPath, seed))
+}
+
+// Figure2Topology builds the 4-NetFPGA + 2-NIC demo testbed with hosts A
+// and B under the given protocol ("arppath", "stp" or "learning") and
+// delay profile ("uniform", "slow-diagonal" or "asymmetric").
+func Figure2Topology(seed int64, protocol, profile string) *topo.Built {
+	return topo.Figure2(topo.DefaultOptions(topo.Protocol(protocol), seed), topo.Figure2Profile(profile))
+}

@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeQuickstart runs the doc-comment example end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	n := NewNetwork(1)
+	b1 := NewBridge(n, "b1", 1)
+	b2 := NewBridge(n, "b2", 2)
+	h1, h2 := NewHost(n, "h1", 1), NewHost(n, "h2", 2)
+	link := DefaultLinkConfig()
+	n.Connect(h1, b1, link)
+	n.Connect(b1, b2, link)
+	n.Connect(b2, h2, link)
+	b1.Start()
+	b2.Start()
+	n.RunFor(time.Millisecond)
+
+	var rtt time.Duration
+	n.Engine.At(n.Now(), func() {
+		h1.Ping(h2.IP(), 56, time.Second, func(r PingResult) { rtt = r.RTT })
+	})
+	n.Run()
+	if rtt <= 0 {
+		t.Fatal("quickstart ping failed")
+	}
+}
+
+func TestFacadeSTPBridge(t *testing.T) {
+	n := NewNetwork(1)
+	s1 := NewSTPBridge(n, "s1", 1)
+	s2 := NewSTPBridge(n, "s2", 2)
+	h1, h2 := NewHost(n, "h1", 1), NewHost(n, "h2", 2)
+	link := DefaultLinkConfig()
+	n.Connect(h1, s1, link)
+	n.Connect(s1, s2, link)
+	n.Connect(s2, h2, link)
+	s1.Start()
+	s2.Start()
+	n.RunFor(35 * time.Second) // STP listening+learning delays
+
+	ok := false
+	n.Engine.At(n.Now(), func() {
+		h1.Ping(h2.IP(), 56, time.Second, func(r PingResult) { ok = r.Err == nil })
+	})
+	n.RunFor(5 * time.Second)
+	if !ok {
+		t.Fatal("ping across STP bridges failed")
+	}
+	if !s1.IsRoot() && !s2.IsRoot() {
+		t.Fatal("no root elected")
+	}
+}
+
+func TestFacadeTopologies(t *testing.T) {
+	f1 := Figure1Topology(1)
+	if len(f1.Bridges) != 5 {
+		t.Fatal("figure 1 shape")
+	}
+	f2 := Figure2Topology(1, "arppath", "slow-diagonal")
+	if len(f2.Bridges) != 6 {
+		t.Fatal("figure 2 shape")
+	}
+	var rtt time.Duration
+	a, b := f2.Host("A"), f2.Host("B")
+	f2.Engine.At(f2.Now(), func() {
+		a.Ping(b.IP(), 56, time.Second, func(r PingResult) { rtt = r.RTT })
+	})
+	f2.RunFor(5 * time.Second)
+	if rtt <= 0 {
+		t.Fatal("figure 2 ping failed")
+	}
+}
+
+func TestFacadeBridgeConfig(t *testing.T) {
+	cfg := DefaultBridgeConfig()
+	cfg.Proxy = true
+	n := NewNetwork(1)
+	b := NewBridgeConfig(n, "b", 1, cfg)
+	if !b.Config().Proxy {
+		t.Fatal("config not applied")
+	}
+}
