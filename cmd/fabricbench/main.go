@@ -31,9 +31,10 @@ func lockWindows() []time.Duration {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: properties, load, proxy, repair, lockwindow, tablesize or all")
+	exp := flag.String("exp", "all", "experiment: properties, load, proxy, repair, lockwindow, tablesize, forward or all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	frames := flag.Int("frames", 50_000, "data frames to pump in -exp forward")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "fabricbench: unexpected arguments")
@@ -57,6 +58,8 @@ func main() {
 		tables = append(tables, experiments.T5Table(experiments.RunT5LockWindow(*seed, lockWindows())))
 	case "tablesize":
 		tables = append(tables, experiments.T6Table(experiments.RunT6TableSize(*seed, []int{8, 16, 32})))
+	case "forward":
+		tables = append(tables, experiments.ForwardTable(experiments.RunForwardBench(*seed, *frames)))
 	case "all":
 		tables = append(tables, experiments.T1Table(experiments.RunT1Properties(*seed, 6)))
 		ap := experiments.RunT2Load(*seed, topo.ARPPath)

@@ -17,8 +17,10 @@ import (
 // All callbacks run on the simulation goroutine.
 type Protocol interface {
 	// OnFrame handles a received frame that the chassis did not consume
-	// (everything except HELLOs).
-	OnFrame(in *netsim.Port, frame []byte)
+	// (everything except HELLOs). The frame follows the netsim borrow
+	// contract: valid until return, Retain to keep, and its FrameView is
+	// already decoded — protocols should not re-parse the headers.
+	OnFrame(in *netsim.Port, f *netsim.Frame)
 	// OnPortStatus reports a link transition after the chassis has updated
 	// its own bookkeeping.
 	OnPortStatus(p *netsim.Port, up bool)
@@ -123,21 +125,16 @@ func (c *Chassis) Neighbor(p *netsim.Port) (uint64, bool) {
 }
 
 // HandleFrame implements netsim.Node: HELLOs are consumed here, everything
-// else goes to the protocol.
-func (c *Chassis) HandleFrame(p *netsim.Port, frame []byte) {
-	if layers.FrameEtherType(frame) == layers.EtherTypePathCtl &&
-		layers.FrameDst(frame) == layers.PathCtlMulticast {
-		var eth layers.Ethernet
-		var ctl layers.PathCtl
-		if eth.DecodeFromBytes(frame) == nil && ctl.DecodeFromBytes(eth.Payload()) == nil &&
-			ctl.Type == layers.PathCtlHello {
-			c.stats.HellosReceived++
-			c.trunk[p] = true
-			c.nbr[p] = ctl.BridgeID
-			return
-		}
+// else goes to the protocol. The frame's pre-decoded view makes the HELLO
+// check a pair of field reads instead of a parse.
+func (c *Chassis) HandleFrame(p *netsim.Port, f *netsim.Frame) {
+	if v := f.View(); v.IsHello() {
+		c.stats.HellosReceived++
+		c.trunk[p] = true
+		c.nbr[p] = v.Ctl.BridgeID
+		return
 	}
-	c.proto.OnFrame(p, frame)
+	c.proto.OnFrame(p, f)
 }
 
 // PortStatusChanged implements netsim.Node.
@@ -165,14 +162,23 @@ func (c *Chassis) sendHello(p *netsim.Port) {
 	p.Send(frame)
 }
 
-// FloodExcept sends frame on every up port except in (which may be nil to
-// flood everywhere). Ports transmit in cabling order, keeping the race
-// between flooded copies deterministic for a given topology and seed.
-func (c *Chassis) FloodExcept(in *netsim.Port, frame []byte) {
+// FloodExcept sends f on every up port except in (which may be nil to
+// flood everywhere) without copying — every egress shares the one pooled
+// buffer. Ports transmit in cabling order, keeping the race between
+// flooded copies deterministic for a given topology and seed.
+func (c *Chassis) FloodExcept(in *netsim.Port, f *netsim.Frame) {
 	for _, p := range c.ports {
 		if p != in && p.Up() {
-			p.Send(frame)
+			p.SendFrame(f)
 			c.stats.Flooded++
 		}
 	}
+}
+
+// FloodBytesExcept wraps a locally built frame in one pooled buffer and
+// floods it (the origination-side counterpart of FloodExcept).
+func (c *Chassis) FloodBytesExcept(in *netsim.Port, frame []byte) {
+	f := netsim.NewFrame(frame)
+	c.FloodExcept(in, f)
+	f.Release()
 }

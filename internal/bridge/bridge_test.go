@@ -15,9 +15,9 @@ type stubProto struct {
 	started int
 }
 
-func (s *stubProto) OnFrame(_ *netsim.Port, _ []byte)     { s.frames++ }
-func (s *stubProto) OnPortStatus(_ *netsim.Port, up bool) { s.status = append(s.status, up) }
-func (s *stubProto) OnStart()                             { s.started++ }
+func (s *stubProto) OnFrame(_ *netsim.Port, _ *netsim.Frame) { s.frames++ }
+func (s *stubProto) OnPortStatus(_ *netsim.Port, up bool)    { s.status = append(s.status, up) }
+func (s *stubProto) OnStart()                                { s.started++ }
 
 // stubBridge couples a chassis with a stub protocol as a netsim.Node.
 type stubBridge struct {
@@ -40,9 +40,11 @@ type sink struct {
 	port *netsim.Port
 }
 
-func (s *sink) Name() string                             { return s.name }
-func (s *sink) AttachPort(p *netsim.Port)                { s.port = p }
-func (s *sink) HandleFrame(_ *netsim.Port, f []byte)     { s.got = append(s.got, f) }
+func (s *sink) Name() string              { return s.name }
+func (s *sink) AttachPort(p *netsim.Port) { s.port = p }
+func (s *sink) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
+	s.got = append(s.got, append([]byte(nil), f.Bytes()...))
+}
 func (s *sink) PortStatusChanged(_ *netsim.Port, _ bool) {}
 
 func cfg() netsim.LinkConfig { return netsim.DefaultLinkConfig() }
@@ -151,7 +153,7 @@ func TestFloodExceptSkipsIngressAndDownPorts(t *testing.T) {
 		layers.Payload([]byte{1}),
 	)
 	net.Engine.At(0, func() { l2.SetUp(false) })
-	net.Engine.At(time.Millisecond, func() { b.FloodExcept(b.Port(0), frame) })
+	net.Engine.At(time.Millisecond, func() { b.FloodBytesExcept(b.Port(0), frame) })
 	net.Run()
 	if len(s1.got) != 0 {
 		t.Fatal("flood echoed out the ingress port")
@@ -178,7 +180,7 @@ func TestFloodExceptNilFloodsEverywhere(t *testing.T) {
 		&layers.Ethernet{Dst: layers.BroadcastMAC, Src: layers.HostMAC(1), EtherType: layers.EtherTypeIPv4},
 		layers.Payload([]byte{1}),
 	)
-	net.Engine.At(0, func() { b.FloodExcept(nil, frame) })
+	net.Engine.At(0, func() { b.FloodBytesExcept(nil, frame) })
 	net.Run()
 	if len(s1.got) != 1 || len(s2.got) != 1 {
 		t.Fatal("nil-except flood missed a port")

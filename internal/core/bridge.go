@@ -9,6 +9,12 @@ import (
 	"repro/internal/sim"
 )
 
+// repairWheelTick is the granularity of the repair-timeout timer wheel.
+// Repair timers are armed per outstanding destination and almost always
+// canceled (the PathReply wins); the wheel makes arm/cancel allocation-
+// free at the cost of firing a timeout up to one tick late.
+const repairWheelTick = time.Millisecond
+
 // Config tunes an ARP-Path bridge. The zero value is not valid; use
 // DefaultConfig.
 type Config struct {
@@ -76,12 +82,14 @@ type Stats struct {
 	ProxyMisses    uint64 // requests that had to flood anyway
 }
 
-// repair tracks one outstanding PathRequest for a destination.
+// repair tracks one outstanding PathRequest for a destination. Buffered
+// frames are retained (not copied) under the netsim ownership contract
+// and released when forwarded or dropped.
 type repair struct {
 	nonce    uint32
 	src      layers.MAC
-	buffered [][]byte
-	timer    *sim.Timer
+	buffered []*netsim.Frame
+	timer    sim.WheelTimer
 }
 
 // Bridge is an ARP-Path bridge. It is fully transparent: hosts run
@@ -90,7 +98,8 @@ type Bridge struct {
 	*bridge.Chassis
 	cfg     Config
 	table   *LockTable
-	repairs map[layers.MAC]*repair
+	repairs map[uint64]*repair // keyed by packed destination MAC
+	wheel   *sim.Wheel
 	proxy   *proxyCache
 	stats   Stats
 }
@@ -107,7 +116,8 @@ func New(net *netsim.Network, name string, numID int, cfg Config) *Bridge {
 	b := &Bridge{
 		cfg:     cfg,
 		table:   NewLockTable(cfg.LockTimeout, cfg.LearnedTimeout),
-		repairs: make(map[layers.MAC]*repair),
+		repairs: make(map[uint64]*repair),
+		wheel:   sim.NewWheel(net.Engine, repairWheelTick),
 	}
 	b.Chassis = bridge.NewChassis(net, name, numID, b)
 	b.HelloEnabled = true
@@ -134,57 +144,47 @@ func (b *Bridge) OnStart() {}
 // path through it immediately — the next unicast miss triggers repair.
 func (b *Bridge) OnPortStatus(p *netsim.Port, up bool) {
 	if !up {
-		before := b.table.Len()
-		b.table.FlushPort(p)
-		b.stats.EntriesPurged += uint64(before - b.table.Len())
+		b.stats.EntriesPurged += uint64(b.table.FlushPort(p))
 	}
 }
 
-// OnFrame implements bridge.Protocol: the ARP-Path dataplane (§2.1).
-func (b *Bridge) OnFrame(in *netsim.Port, frame []byte) {
-	dst := layers.FrameDst(frame)
-	if dst.IsMulticast() {
-		b.handleBroadcast(in, frame)
+// OnFrame implements bridge.Protocol: the ARP-Path dataplane (§2.1). The
+// frame arrives with its view already decoded, so no header is parsed
+// here or anywhere below — the whole forwarding decision runs on the
+// flat FrameView fields.
+func (b *Bridge) OnFrame(in *netsim.Port, f *netsim.Frame) {
+	v := f.View()
+	if v.IsMulticast() {
+		b.handleBroadcast(in, f, v)
 		return
 	}
-	b.handleUnicast(in, frame)
+	b.handleUnicast(in, f, v)
 }
 
-// pathEstablishing classifies broadcast frames that create/refresh paths:
-// ARP Requests and PathRequests (§2.1.3: "other multicast and broadcast
-// frames do not establish new paths").
-func pathEstablishingBroadcast(frame []byte) bool {
-	switch layers.FrameEtherType(frame) {
-	case layers.EtherTypeARP:
-		var eth layers.Ethernet
-		var arp layers.ARP
-		if eth.DecodeFromBytes(frame) == nil && arp.DecodeFromBytes(eth.Payload()) == nil {
-			return arp.Operation == layers.ARPRequest
-		}
-	case layers.EtherTypePathCtl:
-		var eth layers.Ethernet
-		var ctl layers.PathCtl
-		if eth.DecodeFromBytes(frame) == nil && ctl.DecodeFromBytes(eth.Payload()) == nil {
-			return ctl.Type == layers.PathCtlRequest
-		}
+// pathEstablishingBroadcast classifies broadcast frames that create or
+// refresh paths: ARP Requests and PathRequests (§2.1.3: "other multicast
+// and broadcast frames do not establish new paths").
+func pathEstablishingBroadcast(v *layers.FrameView) bool {
+	if v.HasARP {
+		return v.ARP.Operation == layers.ARPRequest
 	}
-	return false
+	return v.HasCtl && v.Ctl.Type == layers.PathCtlRequest
 }
 
 // handleBroadcast implements §2.1.1's locking race and §2.1.3's loop-free
 // flooding.
-func (b *Bridge) handleBroadcast(in *netsim.Port, frame []byte) {
+func (b *Bridge) handleBroadcast(in *netsim.Port, f *netsim.Frame, v *layers.FrameView) {
 	now := b.Now()
-	src := layers.FrameSrc(frame)
-	establishing := pathEstablishingBroadcast(frame)
+	src := v.SrcKey
+	establishing := pathEstablishingBroadcast(v)
 
-	if e, ok := b.table.Get(src, now); ok {
+	if e, ok := b.table.GetKey(src, now); ok {
 		switch {
 		case e.Port == in:
 			// Frames from the bound port pass. A fresh establishing frame
 			// restarts the race window on this port.
 			if establishing {
-				b.table.Lock(src, in, now)
+				b.table.LockKey(src, in, now)
 			}
 		case e.Guarded(now):
 			// A slower copy of the flood (or a loop copy) inside the race
@@ -197,7 +197,7 @@ func (b *Bridge) handleBroadcast(in *netsim.Port, frame []byte) {
 			// another direction: start a new race. The first copy wins
 			// the lock (possibly moving the port — that is how paths can
 			// change between exchanges); its window filters duplicates.
-			b.table.Lock(src, in, now)
+			b.table.LockKey(src, in, now)
 			b.stats.BroadcastLocked++
 		default:
 			// Non-establishing broadcast must still respect the
@@ -209,64 +209,53 @@ func (b *Bridge) handleBroadcast(in *netsim.Port, frame []byte) {
 		// First copy from this source: lock it to the arrival port. The
 		// first-port rule applies to every broadcast (§2.1.3), but only
 		// path-establishing frames create new races afterwards.
-		b.table.Lock(src, in, now)
+		b.table.LockKey(src, in, now)
 		b.stats.BroadcastLocked++
 	}
 
 	// ARP Proxy interception (before flooding).
-	if b.proxy != nil && layers.FrameEtherType(frame) == layers.EtherTypeARP {
-		if b.proxyHandleBroadcast(in, frame, now) {
+	if b.proxy != nil && v.HasARP {
+		if b.proxyHandleBroadcast(in, v, now) {
 			return
 		}
 	}
 
 	// If this is a PathRequest for a host attached to one of our edge
 	// ports, answer with a PathReply on the destination's behalf.
-	if layers.FrameEtherType(frame) == layers.EtherTypePathCtl {
-		if b.answerPathRequest(in, frame, now) {
+	if v.HasCtl {
+		if b.answerPathRequest(in, v, now) {
 			return
 		}
 	}
 
 	b.stats.BroadcastRelayed++
-	b.FloodExcept(in, frame)
+	b.FloodExcept(in, f)
 }
 
 // pathEstablishingUnicast classifies unicasts that confirm a path: ARP
 // Replies and PathReplies (§2.1.2).
-func pathEstablishingUnicast(frame []byte) bool {
-	switch layers.FrameEtherType(frame) {
-	case layers.EtherTypeARP:
-		var eth layers.Ethernet
-		var arp layers.ARP
-		if eth.DecodeFromBytes(frame) == nil && arp.DecodeFromBytes(eth.Payload()) == nil {
-			return arp.Operation == layers.ARPReply
-		}
-	case layers.EtherTypePathCtl:
-		var eth layers.Ethernet
-		var ctl layers.PathCtl
-		if eth.DecodeFromBytes(frame) == nil && ctl.DecodeFromBytes(eth.Payload()) == nil {
-			return ctl.Type == layers.PathCtlReply
-		}
+func pathEstablishingUnicast(v *layers.FrameView) bool {
+	if v.HasARP {
+		return v.ARP.Operation == layers.ARPReply
 	}
-	return false
+	return v.HasCtl && v.Ctl.Type == layers.PathCtlReply
 }
 
 // handleUnicast implements §2.1.2 (reply confirmation), §2.1.3 (path
 // forwarding) and the §2.1.4 repair trigger.
-func (b *Bridge) handleUnicast(in *netsim.Port, frame []byte) {
+func (b *Bridge) handleUnicast(in *netsim.Port, f *netsim.Frame, v *layers.FrameView) {
 	now := b.Now()
-	src, dst := layers.FrameSrc(frame), layers.FrameDst(frame)
-	establishing := pathEstablishingUnicast(frame)
+	src, dst := v.SrcKey, v.DstKey
+	establishing := pathEstablishingUnicast(v)
 
 	// PathFail is control traffic for the bridges themselves.
-	if layers.FrameEtherType(frame) == layers.EtherTypePathCtl && !establishing {
-		b.handlePathFail(in, frame, now)
+	if v.EtherType == layers.EtherTypePathCtl && !establishing {
+		b.handlePathFail(in, f, v, now)
 		return
 	}
 
 	// Source side: maintain the reverse half of the symmetric path.
-	if e, ok := b.table.Get(src, now); ok {
+	if e, ok := b.table.GetKey(src, now); ok {
 		switch {
 		case e.Port == in:
 			if establishing {
@@ -274,9 +263,9 @@ func (b *Bridge) handleUnicast(in *netsim.Port, frame []byte) {
 				if e.State == StateLocked {
 					b.stats.PathsConfirmed++
 				}
-				b.table.Learn(src, in, now)
+				b.table.LearnKey(src, in, now)
 			} else {
-				b.table.Refresh(src, now)
+				b.table.RefreshKey(src, now)
 			}
 		case e.Guarded(now):
 			// The sender's position is still race-locked elsewhere:
@@ -285,7 +274,7 @@ func (b *Bridge) handleUnicast(in *netsim.Port, frame []byte) {
 			return
 		case establishing:
 			// A reply on a new port re-establishes the path (repair).
-			b.table.Learn(src, in, now)
+			b.table.LearnKey(src, in, now)
 		default:
 			// Data violating the symmetric path: discard; repair or
 			// re-ARP will rebuild state.
@@ -294,26 +283,26 @@ func (b *Bridge) handleUnicast(in *netsim.Port, frame []byte) {
 		}
 	} else {
 		// Unknown source: learn it so the reverse path stays alive.
-		b.table.Learn(src, in, now)
+		b.table.LearnKey(src, in, now)
 	}
 
 	// Proxy snooping of unicast ARP replies.
-	if b.proxy != nil && layers.FrameEtherType(frame) == layers.EtherTypeARP {
-		b.proxySnoop(frame, now)
+	if b.proxy != nil && v.HasARP {
+		b.proxy.learn(v.ARP.SenderIP, v.ARP.SenderHW, now)
 	}
 
 	// A PathReply releases frames that were buffered awaiting this path.
-	if layers.FrameEtherType(frame) == layers.EtherTypePathCtl && establishing {
+	if v.HasCtl && establishing {
 		b.completeRepair(src, in, now)
 	}
 
 	// Destination side.
-	e, ok := b.table.Get(dst, now)
+	e, ok := b.table.GetKey(dst, now)
 	switch {
 	case !ok:
 		// Table miss: the entry expired or a link/bridge failed (§2.1.4).
 		// Never flood unknown unicast — without a spanning tree that loops.
-		b.startRepair(in, frame, src, dst, now)
+		b.startRepair(f, v, now)
 	case e.Port == in || b.sameNeighbor(e.Port, in):
 		// Hairpin: the frame would go back where it came from — including
 		// over a parallel link to the same neighbouring bridge, which a
@@ -324,12 +313,12 @@ func (b *Bridge) handleUnicast(in *netsim.Port, frame []byte) {
 			if e.State == StateLocked {
 				b.stats.PathsConfirmed++
 			}
-			b.table.Learn(dst, e.Port, now)
+			b.table.LearnKey(dst, e.Port, now)
 		} else {
-			b.table.Refresh(dst, now)
+			b.table.RefreshKey(dst, now)
 		}
 		b.stats.Forwarded++
-		e.Port.Send(frame)
+		e.Port.SendFrame(f)
 	}
 }
 

@@ -28,7 +28,8 @@ func (h *host) Name() string                             { return h.name }
 func (h *host) AttachPort(p *netsim.Port)                { h.port = p }
 func (h *host) PortStatusChanged(_ *netsim.Port, _ bool) {}
 
-func (h *host) HandleFrame(_ *netsim.Port, frame []byte) {
+func (h *host) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
+	frame := append([]byte(nil), f.Bytes()...) // borrowed: copy to keep
 	dst := layers.FrameDst(frame)
 	if dst != h.mac && !dst.IsBroadcast() {
 		return

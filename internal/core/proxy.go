@@ -52,16 +52,6 @@ func (c *proxyCache) lookup(ip layers.Addr4, now time.Duration) (layers.MAC, boo
 	return e.mac, true
 }
 
-// proxySnoop caches the sender binding of any ARP packet passing through.
-func (b *Bridge) proxySnoop(frame []byte, now time.Duration) {
-	var eth layers.Ethernet
-	var arp layers.ARP
-	if eth.DecodeFromBytes(frame) != nil || arp.DecodeFromBytes(eth.Payload()) != nil {
-		return
-	}
-	b.proxy.learn(arp.SenderIP, arp.SenderHW, now)
-}
-
 // proxyHandleBroadcast intercepts a broadcast ARP Request arriving on an
 // edge port. When the target's binding is cached and a live learned path
 // entry for it exists, the request is rewritten into a unicast toward the
@@ -70,12 +60,8 @@ func (b *Bridge) proxySnoop(frame []byte, now time.Duration) {
 // suppressed. Conversion (rather than answering locally) keeps the full
 // ARP exchange between the end hosts, so the target learns the requester
 // and the path entries refresh exactly as with a real exchange.
-func (b *Bridge) proxyHandleBroadcast(in *netsim.Port, frame []byte, now time.Duration) bool {
-	var eth layers.Ethernet
-	var arp layers.ARP
-	if eth.DecodeFromBytes(frame) != nil || arp.DecodeFromBytes(eth.Payload()) != nil {
-		return false
-	}
+func (b *Bridge) proxyHandleBroadcast(in *netsim.Port, v *layers.FrameView, now time.Duration) bool {
+	arp := v.ARP
 	b.proxy.learn(arp.SenderIP, arp.SenderHW, now)
 	if arp.Operation != layers.ARPRequest || !b.IsEdge(in) || arp.IsGratuitous() {
 		return false
@@ -101,6 +87,8 @@ func (b *Bridge) proxyHandleBroadcast(in *netsim.Port, frame []byte, now time.Du
 	// Hand the rewritten frame to the normal unicast dataplane as if it
 	// had arrived this way: the source entry refreshes and the frame
 	// follows the learned path to the target.
-	b.handleUnicast(in, unicast)
+	uf := netsim.NewFrame(unicast)
+	b.handleUnicast(in, uf, uf.View())
+	uf.Release()
 	return true
 }

@@ -7,67 +7,76 @@ import (
 	"repro/internal/netsim"
 )
 
-// startRepair handles a unicast table miss for dst (§2.1.4): buffer the
-// frame, then emulate an ARP exchange — tell src's edge bridge to flood a
-// PathRequest (via PathFail), or flood it ourselves if we cannot reach src.
-func (b *Bridge) startRepair(in *netsim.Port, frame []byte, src, dst layers.MAC, now time.Duration) {
+// startRepair handles a unicast table miss for the frame's destination
+// (§2.1.4): buffer the frame, then emulate an ARP exchange — tell src's
+// edge bridge to flood a PathRequest (via PathFail), or flood it
+// ourselves if we cannot reach src.
+func (b *Bridge) startRepair(f *netsim.Frame, v *layers.FrameView, now time.Duration) {
 	if b.cfg.DisableRepair {
 		b.stats.RepairDropped++
 		return
 	}
+	src, dst := v.SrcKey, v.DstKey
 	r, pending := b.repairs[dst]
 	if !pending {
 		r = &repair{
 			nonce: b.Net().Engine.Rand().Uint32(),
-			src:   src,
+			src:   v.Src,
 		}
 		b.repairs[dst] = r
 		b.stats.RepairsStarted++
-		r.timer = b.Net().Engine.After(b.cfg.RepairTimeout, func() {
+		r.timer = b.wheel.After(b.cfg.RepairTimeout, func() {
 			b.stats.RepairDropped += uint64(len(r.buffered))
+			for _, bf := range r.buffered {
+				bf.Release()
+			}
+			r.buffered = nil
 			delete(b.repairs, dst)
 		})
 		// Kick off the control exchange. On a transit bridge the frame
 		// arrived on the very port that leads back to src, so the
 		// PathFail goes out the ingress side; only src's edge bridge
 		// converts the failure into the PathRequest flood.
-		if e, ok := b.table.Get(src, now); ok {
+		if e, ok := b.table.GetKey(src, now); ok {
 			if b.IsEdge(e.Port) {
 				// src hangs off this bridge: emulate its ARP Request.
-				b.originatePathRequest(src, dst, r.nonce)
+				b.originatePathRequest(v.Src, v.Dst, r.nonce)
 			} else {
 				// Report the failure toward src's edge bridge, tearing
 				// down stale dst entries en route.
-				b.sendPathFail(e.Port, src, dst, r.nonce)
+				b.sendPathFail(e.Port, v.Src, v.Dst, r.nonce)
 			}
 		} else {
 			// No route toward src at all: flood the request from here.
-			b.originatePathRequest(src, dst, r.nonce)
+			b.originatePathRequest(v.Src, v.Dst, r.nonce)
 		}
 	}
 	if len(r.buffered) >= b.cfg.RepairBuffer {
 		b.stats.RepairDropped++
 		return
 	}
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
-	r.buffered = append(r.buffered, cp)
+	// Retain instead of copy: the buffered frame parks the pooled buffer
+	// until the repair resolves (the explicit-Retain half of the netsim
+	// ownership contract).
+	r.buffered = append(r.buffered, f.Retain())
 }
 
-// completeRepair releases frames buffered for dst now that a confirming
-// reply has arrived via port out.
-func (b *Bridge) completeRepair(dst layers.MAC, out *netsim.Port, _ time.Duration) {
+// completeRepair releases frames buffered for the packed destination dst
+// now that a confirming reply has arrived via port out.
+func (b *Bridge) completeRepair(dst uint64, out *netsim.Port, _ time.Duration) {
 	r, ok := b.repairs[dst]
 	if !ok {
 		return
 	}
 	delete(b.repairs, dst)
-	r.timer.Stop()
+	b.wheel.Stop(r.timer)
 	for _, f := range r.buffered {
 		b.stats.RepairReleased++
 		b.stats.Forwarded++
-		out.Send(f)
+		out.SendFrame(f)
+		f.Release()
 	}
+	r.buffered = nil
 }
 
 // sendPathFail emits a PathFail toward src out the given port.
@@ -86,13 +95,11 @@ func (b *Bridge) sendPathFail(out *netsim.Port, src, dst layers.MAC, nonce uint3
 // handlePathFail processes a PathFail addressed toward Src: clear the
 // stale Dst entry, then either relay the failure toward Src or — if Src
 // hangs off one of our edge ports — convert it into a PathRequest flood.
-func (b *Bridge) handlePathFail(in *netsim.Port, frame []byte, now time.Duration) {
-	var eth layers.Ethernet
-	var ctl layers.PathCtl
-	if eth.DecodeFromBytes(frame) != nil || ctl.DecodeFromBytes(eth.Payload()) != nil ||
-		ctl.Type != layers.PathCtlFail {
+func (b *Bridge) handlePathFail(in *netsim.Port, f *netsim.Frame, v *layers.FrameView, now time.Duration) {
+	if !v.HasCtl || v.Ctl.Type != layers.PathCtlFail {
 		return
 	}
+	ctl := &v.Ctl
 	// Tear down the stale path toward the unreachable destination.
 	b.table.Delete(ctl.Dst)
 
@@ -104,7 +111,7 @@ func (b *Bridge) handlePathFail(in *netsim.Port, frame []byte, now time.Duration
 	case ok && e.Port != in:
 		// Keep walking toward Src.
 		b.stats.PathFailsRelayed++
-		e.Port.Send(frame)
+		e.Port.SendFrame(f)
 	default:
 		// Cannot make progress toward Src (entry missing or it points back
 		// where the failure came from): flood the request from here.
@@ -140,20 +147,18 @@ func (b *Bridge) originatePathRequest(src, dst layers.MAC, nonce uint32) {
 		except = e.Port
 	}
 	b.stats.BroadcastRelayed++
-	b.FloodExcept(except, frame)
+	b.FloodBytesExcept(except, frame)
 }
 
 // answerPathRequest replies to a PathRequest when the requested
 // destination hangs off one of this bridge's edge ports, completing the
 // emulated ARP exchange on the host's behalf. Reports whether the request
 // was consumed.
-func (b *Bridge) answerPathRequest(in *netsim.Port, frame []byte, now time.Duration) bool {
-	var eth layers.Ethernet
-	var ctl layers.PathCtl
-	if eth.DecodeFromBytes(frame) != nil || ctl.DecodeFromBytes(eth.Payload()) != nil ||
-		ctl.Type != layers.PathCtlRequest {
+func (b *Bridge) answerPathRequest(in *netsim.Port, v *layers.FrameView, now time.Duration) bool {
+	if v.Ctl.Type != layers.PathCtlRequest {
 		return false
 	}
+	ctl := &v.Ctl
 	e, ok := b.table.Get(ctl.Dst, now)
 	if !ok || !b.IsEdge(e.Port) || e.Port == in {
 		return false
@@ -170,6 +175,6 @@ func (b *Bridge) answerPathRequest(in *netsim.Port, frame []byte, now time.Durat
 	b.stats.PathRepliesSent++
 	in.Send(reply)
 	// Also release any frames we were buffering for Dst ourselves.
-	b.completeRepair(ctl.Dst, e.Port, now)
+	b.completeRepair(ctl.Dst.Uint64(), e.Port, now)
 	return true
 }

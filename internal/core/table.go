@@ -58,13 +58,44 @@ type Entry struct {
 // Guarded reports whether the race window is still open at time now.
 func (e Entry) Guarded(now time.Duration) bool { return now < e.LockedUntil }
 
+// tableEntry is the stored form: the public Entry plus the generation of
+// its port at bind time. A port's generation advances on FlushPort, which
+// kills every entry bound to it in O(1) without touching the map. The
+// portState pointer is cached in the entry so the hot-path liveness check
+// costs a pointer chase, not a second map lookup.
+type tableEntry struct {
+	Entry
+	gen uint32
+	ps  *portState
+}
+
+// portState is the per-port side table backing constant-time flushes.
+type portState struct {
+	gen  uint32 // current generation; entries with an older gen are dead
+	live int    // resident entries bound to this port at the current gen
+}
+
 // LockTable is the ARP-Path locking table: MAC → (port, locked|learned,
 // expiry). It is the bridge's only forwarding state — there is no routing
 // protocol and no tree (§1).
+//
+// The table is keyed by the uint64-packed MAC (layers.MAC.Uint64): the
+// simulator decodes the packed keys once per frame into the FrameView, and
+// an 8-byte integer key hashes faster than a [6]byte array. Expiry is
+// lazy (checked on access) and link failures are handled by per-port
+// generation counters, so no operation on the hot path scans the table.
 type LockTable struct {
 	lockTimeout    time.Duration
 	learnedTimeout time.Duration
-	entries        map[layers.MAC]Entry
+	entries        map[uint64]tableEntry
+	ports          map[*netsim.Port]*portState
+	resident       int // entries in the map whose port generation is current
+
+	// One-slot cache for the port side table: a bridge stores runs of
+	// entries against the same handful of ports, so this turns the
+	// per-store ports-map lookup into a pointer compare.
+	lastPort *netsim.Port
+	lastPS   *portState
 }
 
 // NewLockTable builds an empty table with the two ARP-Path timeouts: the
@@ -77,79 +108,155 @@ func NewLockTable(lockTimeout, learnedTimeout time.Duration) *LockTable {
 	return &LockTable{
 		lockTimeout:    lockTimeout,
 		learnedTimeout: learnedTimeout,
-		entries:        make(map[layers.MAC]Entry),
+		entries:        make(map[uint64]tableEntry),
+		ports:          make(map[*netsim.Port]*portState),
 	}
+}
+
+func (t *LockTable) port(p *netsim.Port) *portState {
+	if p == t.lastPort {
+		return t.lastPS
+	}
+	st, ok := t.ports[p]
+	if !ok {
+		st = &portState{}
+		t.ports[p] = st
+	}
+	t.lastPort, t.lastPS = p, st
+	return st
+}
+
+// dead reports whether a stored entry is no longer valid at now: past its
+// expiry, or bound to a port generation that has been flushed.
+func (t *LockTable) dead(e tableEntry, now time.Duration) bool {
+	return e.Expires <= now || e.gen != e.ps.gen
+}
+
+// evict removes a stored entry, maintaining the residency counters.
+func (t *LockTable) evict(key uint64, e tableEntry) {
+	if e.gen == e.ps.gen {
+		e.ps.live--
+		t.resident--
+	}
+	delete(t.entries, key)
+}
+
+// store writes e under key given the previous entry (old, hadOld) from a
+// lookup the caller already paid for, maintaining the residency counters.
+func (t *LockTable) store(key uint64, old tableEntry, hadOld bool, e Entry) {
+	if hadOld && old.gen == old.ps.gen {
+		old.ps.live--
+		t.resident--
+	}
+	st := t.port(e.Port)
+	st.live++
+	t.resident++
+	t.entries[key] = tableEntry{Entry: e, gen: st.gen, ps: st}
+}
+
+// GetKey returns the live entry for a packed key, evicting it lazily if
+// expired or flushed.
+func (t *LockTable) GetKey(key uint64, now time.Duration) (Entry, bool) {
+	e, ok := t.entries[key]
+	if !ok {
+		return Entry{}, false
+	}
+	if t.dead(e, now) {
+		t.evict(key, e)
+		return Entry{}, false
+	}
+	return e.Entry, true
 }
 
 // Get returns the live entry for mac, evicting it lazily if expired.
 func (t *LockTable) Get(mac layers.MAC, now time.Duration) (Entry, bool) {
-	e, ok := t.entries[mac]
-	if !ok {
-		return Entry{}, false
+	return t.GetKey(mac.Uint64(), now)
+}
+
+// LockKey binds a packed key to port in the locked state, starting (or
+// restarting) the race window.
+func (t *LockTable) LockKey(key uint64, port *netsim.Port, now time.Duration) {
+	if layers.KeyIsMulticast(key) || key == 0 {
+		return
 	}
-	if e.Expires <= now {
-		delete(t.entries, mac)
-		return Entry{}, false
-	}
-	return e, true
+	old, hadOld := t.entries[key]
+	t.store(key, old, hadOld, Entry{
+		Port:        port,
+		State:       StateLocked,
+		Expires:     now + t.lockTimeout,
+		LockedUntil: now + t.lockTimeout,
+	})
 }
 
 // Lock binds mac to port in the locked state, starting (or restarting)
 // the race window.
 func (t *LockTable) Lock(mac layers.MAC, port *netsim.Port, now time.Duration) {
-	if mac.IsMulticast() || mac.IsZero() {
-		return
-	}
-	t.entries[mac] = Entry{
-		Port:        port,
-		State:       StateLocked,
-		Expires:     now + t.lockTimeout,
-		LockedUntil: now + t.lockTimeout,
-	}
+	t.LockKey(mac.Uint64(), port, now)
 }
 
-// Learn binds mac to port in the learned state (path confirmed). A
-// confirmation on the entry's existing port preserves the remaining race
-// window so late flood copies stay filtered.
-func (t *LockTable) Learn(mac layers.MAC, port *netsim.Port, now time.Duration) {
-	if mac.IsMulticast() || mac.IsZero() {
+// LearnKey binds a packed key to port in the learned state (path
+// confirmed). A confirmation on the entry's existing port preserves the
+// remaining race window so late flood copies stay filtered.
+func (t *LockTable) LearnKey(key uint64, port *netsim.Port, now time.Duration) {
+	if layers.KeyIsMulticast(key) || key == 0 {
 		return
 	}
+	old, hadOld := t.entries[key]
 	lockedUntil := time.Duration(0)
-	if old, ok := t.entries[mac]; ok && old.Port == port {
+	if hadOld && old.Port == port && !t.dead(old, now) {
 		lockedUntil = old.LockedUntil
 	}
-	t.entries[mac] = Entry{
+	t.store(key, old, hadOld, Entry{
 		Port:        port,
 		State:       StateLearned,
 		Expires:     now + t.learnedTimeout,
 		LockedUntil: lockedUntil,
-	}
+	})
 }
 
-// Guard re-arms the race window on mac's current binding without moving
+// Learn binds mac to port in the learned state (path confirmed).
+func (t *LockTable) Learn(mac layers.MAC, port *netsim.Port, now time.Duration) {
+	t.LearnKey(mac.Uint64(), port, now)
+}
+
+// GuardKey re-arms the race window on the current binding without moving
 // the port, shortening the entry's remaining lifetime, or downgrading a
 // learned entry. Used when a bridge originates a PathRequest on a host's
 // behalf: copies of that flood returning over other ports must be
 // filtered exactly as for a host-sent request, but the bridge must not
 // forget its own attached host if the repair goes unanswered.
-func (t *LockTable) Guard(mac layers.MAC, now time.Duration) {
-	e, ok := t.Get(mac, now)
+func (t *LockTable) GuardKey(key uint64, now time.Duration) {
+	e, ok := t.entries[key]
 	if !ok {
 		return
 	}
+	if t.dead(e, now) {
+		t.evict(key, e)
+		return
+	}
+	// The port does not move, so the residency counters are unchanged and
+	// the entry can be rewritten in place.
 	e.LockedUntil = now + t.lockTimeout
 	if e.Expires < e.LockedUntil {
 		e.Expires = e.LockedUntil
 	}
-	t.entries[mac] = e
+	t.entries[key] = e
 }
 
-// Refresh extends the current entry's lifetime without changing its state
-// or port. Refreshing a missing or expired entry is a no-op.
-func (t *LockTable) Refresh(mac layers.MAC, now time.Duration) {
-	e, ok := t.Get(mac, now)
+// Guard re-arms the race window on mac's current binding.
+func (t *LockTable) Guard(mac layers.MAC, now time.Duration) {
+	t.GuardKey(mac.Uint64(), now)
+}
+
+// RefreshKey extends the current entry's lifetime without changing its
+// state or port. Refreshing a missing or expired entry is a no-op.
+func (t *LockTable) RefreshKey(key uint64, now time.Duration) {
+	e, ok := t.entries[key]
 	if !ok {
+		return
+	}
+	if t.dead(e, now) {
+		t.evict(key, e)
 		return
 	}
 	switch e.State {
@@ -158,29 +265,51 @@ func (t *LockTable) Refresh(mac layers.MAC, now time.Duration) {
 	case StateLearned:
 		e.Expires = now + t.learnedTimeout
 	}
-	t.entries[mac] = e
+	// Same port, same generation: rewrite in place, counters unchanged.
+	t.entries[key] = e
 }
 
-// Delete removes mac's entry (stale-path teardown during repair).
-func (t *LockTable) Delete(mac layers.MAC) { delete(t.entries, mac) }
+// Refresh extends the current entry's lifetime without changing its state
+// or port.
+func (t *LockTable) Refresh(mac layers.MAC, now time.Duration) {
+	t.RefreshKey(mac.Uint64(), now)
+}
 
-// FlushPort removes every entry bound to port (link failure).
-func (t *LockTable) FlushPort(port *netsim.Port) {
-	for mac, e := range t.entries {
-		if e.Port == port {
-			delete(t.entries, mac)
-		}
+// DeleteKey removes a packed key's entry (stale-path teardown during
+// repair).
+func (t *LockTable) DeleteKey(key uint64) {
+	if e, ok := t.entries[key]; ok {
+		t.evict(key, e)
 	}
 }
 
-// Len returns the number of stored entries including not-yet-swept ones.
-func (t *LockTable) Len() int { return len(t.entries) }
+// Delete removes mac's entry.
+func (t *LockTable) Delete(mac layers.MAC) { t.DeleteKey(mac.Uint64()) }
 
-// FlushExpired sweeps all expired entries eagerly.
+// FlushPort invalidates every entry bound to port (link failure) in O(1)
+// by advancing the port's generation; the map corpses are reclaimed
+// lazily on access or by FlushExpired. It returns the number of entries
+// invalidated.
+func (t *LockTable) FlushPort(port *netsim.Port) int {
+	st := t.port(port)
+	n := st.live
+	st.gen++
+	st.live = 0
+	t.resident -= n
+	return n
+}
+
+// Len returns the number of live-generation entries, including expired
+// ones that have not been touched since their deadline.
+func (t *LockTable) Len() int { return t.resident }
+
+// FlushExpired sweeps all expired and flushed entries eagerly. The
+// dataplane never calls this; it bounds memory for long-lived tables and
+// gives experiments exact counts.
 func (t *LockTable) FlushExpired(now time.Duration) {
-	for mac, e := range t.entries {
-		if e.Expires <= now {
-			delete(t.entries, mac)
+	for key, e := range t.entries {
+		if t.dead(e, now) {
+			t.evict(key, e)
 		}
 	}
 }
@@ -189,9 +318,9 @@ func (t *LockTable) FlushExpired(now time.Duration) {
 // reconstruct the path a flow has locked (Figure 1's bubbles).
 func (t *LockTable) Snapshot(now time.Duration) map[layers.MAC]Entry {
 	out := make(map[layers.MAC]Entry, len(t.entries))
-	for mac, e := range t.entries {
-		if e.Expires > now {
-			out[mac] = e
+	for key, e := range t.entries {
+		if !t.dead(e, now) {
+			out[layers.MACFromUint64(key)] = e.Entry
 		}
 	}
 	return out

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/layers"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// ForwardResult reports the raw dataplane throughput of the simulator on
+// the fabricbench fat-tree mesh: how many simulated unicast frames per
+// wall-clock second the stack pushes once every path is established. It is
+// an engineering benchmark of the reproduction itself (DESIGN.md §5), not
+// a paper figure — the paper's NetFPGA forwards in hardware; this number
+// tracks how close the software fabric gets per CPU.
+type ForwardResult struct {
+	// Frames is the number of injected data frames.
+	Frames int
+	// Hops is the total number of bridge forwarding decisions taken.
+	Hops uint64
+	// Wall is the wall-clock time spent inside the simulation.
+	Wall time.Duration
+	// FramesPerSec is Frames divided by Wall.
+	FramesPerSec float64
+	// HopsPerSec is Hops divided by Wall.
+	HopsPerSec float64
+}
+
+// RunForwardBench builds the T2 fat-tree (k=4, 16 hosts), establishes
+// paths between eight disjoint host pairs with one ping each, then pumps
+// frames data frames round-robin across the pairs and measures the
+// wall-clock forwarding rate. Protocol results are deterministic for a
+// given seed; only the wall-clock figures vary between machines.
+func RunForwardBench(seed int64, frames int) *ForwardResult {
+	built := topo.FatTree(topo.DefaultOptions(topo.ARPPath, seed), 4)
+
+	type pair struct{ src, dst int }
+	var pairs []pair
+	for i := 1; i <= 8; i++ {
+		pairs = append(pairs, pair{i, i + 8})
+	}
+	// Establish every pair's path (ARP + ICMP echo) before timing.
+	for _, p := range pairs {
+		src := built.Host(fmt.Sprintf("H%d", p.src))
+		dst := built.Host(fmt.Sprintf("H%d", p.dst))
+		built.Engine.At(built.Now(), func() {
+			src.Ping(dst.IP(), 0, time.Second, func(host.PingResult) {})
+		})
+	}
+	built.RunFor(2 * time.Second)
+
+	// Pre-serialize one data frame per pair (unknown IP protocol: the
+	// receiving host counts and drops it; no replies disturb the run).
+	frameFor := make([][]byte, len(pairs))
+	for i, p := range pairs {
+		src := built.Host(fmt.Sprintf("H%d", p.src))
+		dst := built.Host(fmt.Sprintf("H%d", p.dst))
+		f, err := layers.Serialize(
+			&layers.Ethernet{Dst: dst.MAC(), Src: src.MAC(), EtherType: layers.EtherTypeIPv4},
+			&layers.IPv4{TTL: 64, Protocol: 253, Src: src.IP(), Dst: dst.IP()},
+			layers.Payload(make([]byte, 64)),
+		)
+		if err != nil {
+			panic("experiments: serialize forward frame: " + err.Error())
+		}
+		frameFor[i] = f
+	}
+
+	var hopsBefore uint64
+	for _, br := range built.Bridges {
+		hopsBefore += built.ARPPathBridge(br.Name()).Stats().Forwarded
+	}
+
+	// Resolve sender ports once; the pump loop itself must not allocate.
+	senders := make([]*netsim.Port, len(pairs))
+	for i, p := range pairs {
+		senders[i] = built.Host(fmt.Sprintf("H%d", p.src)).Port()
+	}
+
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		j := i % len(pairs)
+		senders[j].Send(frameFor[j])
+		built.Net.Network.Run()
+	}
+	wall := time.Since(start)
+
+	var hops uint64
+	for _, br := range built.Bridges {
+		hops += built.ARPPathBridge(br.Name()).Stats().Forwarded
+	}
+	hops -= hopsBefore
+
+	res := &ForwardResult{Frames: frames, Hops: hops, Wall: wall}
+	if wall > 0 {
+		res.FramesPerSec = float64(frames) / wall.Seconds()
+		res.HopsPerSec = float64(hops) / wall.Seconds()
+	}
+	return res
+}
+
+// ForwardTable renders the forwarding-rate benchmark.
+func ForwardTable(r *ForwardResult) *metrics.Table {
+	t := metrics.NewTable("Forwarding throughput (fat-tree k=4, established paths)",
+		"frames", "bridge hops", "wall", "frames/s", "hops/s")
+	t.AddRow(r.Frames, r.Hops, r.Wall.Round(time.Millisecond),
+		fmt.Sprintf("%.0f", r.FramesPerSec), fmt.Sprintf("%.0f", r.HopsPerSec))
+	return t
+}

@@ -118,16 +118,18 @@ func (h *Host) send(frame []byte) {
 }
 
 // HandleFrame implements netsim.Node: the NIC filter plus protocol
-// dispatch.
-func (h *Host) HandleFrame(_ *netsim.Port, frame []byte) {
-	dst := layers.FrameDst(frame)
-	if dst != h.mac && !dst.IsBroadcast() {
+// dispatch. The frame is borrowed (netsim ownership contract); the host
+// consumes it synchronously, and any payload that outlives this call —
+// UDP datagrams handed to sockets — is copied on the way out.
+func (h *Host) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
+	v := f.View()
+	if v.Dst != h.mac && !v.Dst.IsBroadcast() {
 		h.stats.DroppedForeignFrames++
 		return
 	}
 	h.stats.FramesRx++
 	var eth layers.Ethernet
-	if eth.DecodeFromBytes(frame) != nil {
+	if eth.DecodeFromBytes(f.Bytes()) != nil {
 		return
 	}
 	switch eth.EtherType {

@@ -71,6 +71,10 @@ func (h *Host) handleUDP(ip *layers.IPv4) {
 	}
 	s.rx++
 	if s.onRx != nil {
-		s.onRx(Datagram{SrcIP: ip.Src, SrcPort: u.SrcPort, Data: u.Payload()})
+		// The frame buffer is pooled and recycled after delivery, but
+		// sockets routinely retain datagrams past the callback (tests,
+		// request/response apps), so hand them a private copy.
+		data := append([]byte(nil), u.Payload()...)
+		s.onRx(Datagram{SrcIP: ip.Src, SrcPort: u.SrcPort, Data: data})
 	}
 }

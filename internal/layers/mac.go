@@ -50,6 +50,12 @@ func (m MAC) Uint64() uint64 {
 	return binary.BigEndian.Uint64(b[:])
 }
 
+// KeyIsMulticast reports whether a uint64-packed MAC (MAC.Uint64) has the
+// I/G multicast bit set — bit 40, the LSB of the first octet in the
+// big-endian packing. The bridges' packed-key tables use this to reject
+// invalid source addresses without unpacking.
+func KeyIsMulticast(key uint64) bool { return key>>40&1 != 0 }
+
 // MACFromUint64 builds an address from the low 48 bits of v.
 func MACFromUint64(v uint64) MAC {
 	var b [8]byte

@@ -1,0 +1,65 @@
+package layers
+
+// FrameView is the parse-once decoded view of a frame: a flat struct of
+// typed fields with no pointers into (or out of) the backing array. The
+// simulator decodes a FrameView once when a frame enters the network and
+// the view then rides along with the pooled frame buffer, so a frame
+// crossing N bridges is parsed once instead of N times — every field a
+// forwarding decision needs (addresses, EtherType, ARP operation, the
+// full ARP-Path control message) is already broken out.
+//
+// The view only covers the layers bridges inspect. Hosts still run the
+// full Parser/DecodeFromBytes stack on frames addressed to them; a view
+// is to a Parser what a TCAM pre-classifier is to a software slow path.
+type FrameView struct {
+	// OK is set when the Ethernet header was present. A view with OK
+	// false has no other valid field.
+	OK        bool
+	Dst, Src  MAC
+	EtherType EtherType
+	// SrcKey and DstKey are the uint64-packed addresses (MAC.Uint64),
+	// precomputed because they key every bridge table lookup on the path.
+	SrcKey, DstKey uint64
+
+	// HasARP is set when the payload decoded as an Ethernet/IPv4 ARP
+	// packet; ARP then holds it.
+	HasARP bool
+	ARP    ARP
+
+	// HasCtl is set when the payload decoded as an ARP-Path control
+	// message; Ctl then holds it.
+	HasCtl bool
+	Ctl    PathCtl
+}
+
+// Decode resets v from frame. It never allocates; undecodable inner
+// layers simply leave their Has flag clear.
+func (v *FrameView) Decode(frame []byte) {
+	*v = FrameView{}
+	if len(frame) < EthernetHeaderLen {
+		return
+	}
+	var eth Ethernet
+	if eth.DecodeFromBytes(frame) != nil {
+		return
+	}
+	v.OK = true
+	v.Dst, v.Src, v.EtherType = eth.Dst, eth.Src, eth.EtherType
+	v.SrcKey, v.DstKey = eth.Src.Uint64(), eth.Dst.Uint64()
+	switch eth.EtherType {
+	case EtherTypeARP:
+		v.HasARP = v.ARP.DecodeFromBytes(eth.Payload()) == nil
+	case EtherTypePathCtl:
+		v.HasCtl = v.Ctl.DecodeFromBytes(eth.Payload()) == nil
+	}
+}
+
+// IsMulticast reports whether the frame is group-addressed (the branch
+// every bridge takes first).
+func (v *FrameView) IsMulticast() bool { return v.Dst.IsMulticast() }
+
+// IsHello reports whether the frame is a HELLO on the reserved bridge
+// multicast — the chassis consumes these before the protocol sees them.
+func (v *FrameView) IsHello() bool {
+	return v.HasCtl && v.Ctl.Type == PathCtlHello && v.Dst == PathCtlMulticast
+}

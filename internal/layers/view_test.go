@@ -1,0 +1,111 @@
+package layers
+
+import "testing"
+
+func TestFrameViewDecodesARP(t *testing.T) {
+	frame, err := Serialize(
+		&Ethernet{Dst: BroadcastMAC, Src: HostMAC(1), EtherType: EtherTypeARP},
+		&ARP{Operation: ARPRequest, SenderHW: HostMAC(1), SenderIP: HostIP(1), TargetIP: HostIP(2)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v FrameView
+	v.Decode(frame)
+	if !v.OK || !v.HasARP || v.HasCtl {
+		t.Fatalf("view flags: %+v", v)
+	}
+	if v.ARP.Operation != ARPRequest || v.ARP.SenderIP != HostIP(1) || v.ARP.TargetIP != HostIP(2) {
+		t.Fatalf("ARP fields: %+v", v.ARP)
+	}
+	if v.SrcKey != HostMAC(1).Uint64() || v.DstKey != BroadcastMAC.Uint64() {
+		t.Fatal("packed keys wrong")
+	}
+	if !v.IsMulticast() {
+		t.Fatal("broadcast not classified multicast")
+	}
+}
+
+func TestFrameViewDecodesPathCtl(t *testing.T) {
+	frame, err := Serialize(
+		&Ethernet{Dst: PathCtlMulticast, Src: BridgeMAC(3), EtherType: EtherTypePathCtl},
+		&PathCtl{Type: PathCtlHello, BridgeID: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v FrameView
+	v.Decode(frame)
+	if !v.OK || !v.HasCtl || v.HasARP {
+		t.Fatalf("view flags: %+v", v)
+	}
+	if v.Ctl.Type != PathCtlHello || v.Ctl.BridgeID != 3 {
+		t.Fatalf("Ctl fields: %+v", v.Ctl)
+	}
+	if !v.IsHello() {
+		t.Fatal("HELLO not recognized")
+	}
+	// A PathFail to a unicast address is not a HELLO.
+	fail, err := Serialize(
+		&Ethernet{Dst: HostMAC(1), Src: BridgeMAC(3), EtherType: EtherTypePathCtl},
+		&PathCtl{Type: PathCtlFail, BridgeID: 3, Src: HostMAC(1), Dst: HostMAC(2), Nonce: 42},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Decode(fail)
+	if v.IsHello() {
+		t.Fatal("PathFail misclassified as HELLO")
+	}
+	if v.Ctl.Nonce != 42 || v.Ctl.Src != HostMAC(1) || v.Ctl.Dst != HostMAC(2) {
+		t.Fatalf("Ctl fields: %+v", v.Ctl)
+	}
+}
+
+func TestFrameViewTruncatedAndForeign(t *testing.T) {
+	var v FrameView
+	v.Decode([]byte{1, 2, 3}) // shorter than an Ethernet header
+	if v.OK {
+		t.Fatal("truncated frame decoded")
+	}
+
+	// An IPv4 frame: Ethernet fields decode, no ARP/Ctl flags.
+	frame, err := Serialize(
+		&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: 253, Src: HostIP(1), Dst: HostIP(2)},
+		Payload([]byte{1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Decode(frame)
+	if !v.OK || v.HasARP || v.HasCtl {
+		t.Fatalf("view flags: %+v", v)
+	}
+	if v.EtherType != EtherTypeIPv4 {
+		t.Fatalf("EtherType = %v", v.EtherType)
+	}
+
+	// A mangled ARP body: Ethernet decodes, HasARP stays false, and a
+	// stale view from the previous decode must not leak through.
+	bad := append([]byte(nil), frame...)
+	bad[12], bad[13] = 0x08, 0x06 // claim ARP, body is IPv4 junk
+	v.Decode(bad)
+	if !v.OK || v.HasARP {
+		t.Fatalf("mangled ARP: %+v", v)
+	}
+}
+
+func TestFrameViewDecodeDoesNotAllocate(t *testing.T) {
+	frame, err := Serialize(
+		&Ethernet{Dst: BroadcastMAC, Src: HostMAC(1), EtherType: EtherTypeARP},
+		&ARP{Operation: ARPRequest, SenderHW: HostMAC(1), SenderIP: HostIP(1), TargetIP: HostIP(2)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v FrameView
+	if allocs := testing.AllocsPerRun(1000, func() { v.Decode(frame) }); allocs != 0 {
+		t.Fatalf("Decode allocates %.1f/op, want 0", allocs)
+	}
+}

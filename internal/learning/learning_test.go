@@ -26,7 +26,8 @@ func newEndpoint(name string, n int) *endpoint {
 func (e *endpoint) Name() string                             { return e.name }
 func (e *endpoint) AttachPort(p *netsim.Port)                { e.port = p }
 func (e *endpoint) PortStatusChanged(_ *netsim.Port, _ bool) {}
-func (e *endpoint) HandleFrame(_ *netsim.Port, frame []byte) {
+func (e *endpoint) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
+	frame := append([]byte(nil), f.Bytes()...) // borrowed: copy to keep
 	dst := layers.FrameDst(frame)
 	if dst == e.mac || dst.IsMulticast() {
 		e.got = append(e.got, frame)
@@ -239,6 +240,49 @@ func TestTableFlushExpired(t *testing.T) {
 	tb.FlushExpired(time.Second)
 	if tb.Len() != 1 {
 		t.Fatalf("Len = %d after sweep, want 1", tb.Len())
+	}
+}
+
+// TestTableGenerationFlush exercises the O(1) generation-based FlushPort:
+// corpses stay in the map but are invisible to Lookup, Len and Macs, and
+// re-learning on a flushed port starts a fresh generation.
+func TestTableGenerationFlush(t *testing.T) {
+	tb := NewTable(time.Second)
+	net := netsim.NewNetwork(1)
+	a, b := newEndpoint("a", 1), newEndpoint("b", 2)
+	l := net.Connect(a, b, cfg())
+	for i := 1; i <= 5; i++ {
+		tb.Learn(layers.HostMAC(i), l.A(), 0)
+	}
+	tb.Learn(layers.HostMAC(6), l.B(), 0)
+	tb.FlushPort(l.A())
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d after flush, want 1", tb.Len())
+	}
+	if got := tb.Macs(); len(got) != 1 || got[0] != layers.HostMAC(6) {
+		t.Fatalf("Macs = %v, want only host 6", got)
+	}
+	// Re-learn two of the flushed MACs; one on each port.
+	tb.Learn(layers.HostMAC(1), l.A(), 0)
+	tb.Learn(layers.HostMAC(2), l.B(), 0)
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d after re-learn, want 3", tb.Len())
+	}
+	if p, ok := tb.Lookup(layers.HostMAC(1), 0); !ok || p != l.A() {
+		t.Fatal("re-learned entry on flushed port not visible")
+	}
+	// A second flush kills only the re-learned entry on A.
+	tb.FlushPort(l.A())
+	if _, ok := tb.Lookup(layers.HostMAC(1), 0); ok {
+		t.Fatal("second flush missed the re-learned entry")
+	}
+	if _, ok := tb.Lookup(layers.HostMAC(2), 0); !ok {
+		t.Fatal("second flush overreached onto port B")
+	}
+	// FlushExpired clears every corpse from the map itself.
+	tb.FlushExpired(0)
+	if len(tb.entries) != 2 {
+		t.Fatalf("map holds %d entries after sweep, want 2", len(tb.entries))
 	}
 }
 

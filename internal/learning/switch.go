@@ -2,7 +2,6 @@ package learning
 
 import (
 	"repro/internal/bridge"
-	"repro/internal/layers"
 	"repro/internal/netsim"
 )
 
@@ -48,27 +47,28 @@ func (s *Switch) OnPortStatus(p *netsim.Port, up bool) {
 	}
 }
 
-// OnFrame implements bridge.Protocol.
-func (s *Switch) OnFrame(in *netsim.Port, frame []byte) {
+// OnFrame implements bridge.Protocol: the whole decision runs on the
+// frame's pre-decoded view and packed keys; nothing is parsed or copied.
+func (s *Switch) OnFrame(in *netsim.Port, f *netsim.Frame) {
 	now := s.Now()
-	src, dst := layers.FrameSrc(frame), layers.FrameDst(frame)
-	s.fib.Learn(src, in, now)
-	if dst.IsMulticast() {
+	v := f.View()
+	s.fib.LearnKey(v.SrcKey, in, now)
+	if v.IsMulticast() {
 		s.stats.FloodedGroup++
-		s.FloodExcept(in, frame)
+		s.FloodExcept(in, f)
 		return
 	}
-	out, ok := s.fib.Lookup(dst, now)
+	out, ok := s.fib.LookupKey(v.DstKey, now)
 	switch {
 	case !ok:
 		s.stats.FloodedUnknown++
-		s.FloodExcept(in, frame)
+		s.FloodExcept(in, f)
 	case out == in:
 		// Destination is on the segment the frame came from: filter.
 		s.stats.Filtered++
 	default:
 		s.stats.Forwarded++
-		out.Send(frame)
+		out.SendFrame(f)
 	}
 }
 

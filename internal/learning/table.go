@@ -21,11 +21,36 @@ type Entry struct {
 	Expires time.Duration
 }
 
-// Table is a MAC learning table with lazy aging: expired entries are
-// dropped when touched, and FlushExpired sweeps eagerly when needed.
+// tableEntry adds the bind-time port generation and a cached pointer to
+// the port's side-table record, mirroring core.LockTable: the liveness
+// check is a pointer chase, not a second map lookup.
+type tableEntry struct {
+	Entry
+	gen uint32
+	ps  *portState
+}
+
+// portState backs the O(1) generation-based FlushPort.
+type portState struct {
+	gen  uint32 // current generation; entries with an older gen are dead
+	live int    // resident entries bound to this port at the current gen
+}
+
+// Table is a MAC learning table keyed by the uint64-packed address
+// (layers.MAC.Uint64 — the same packed keys the FrameView pre-computes).
+// Aging is lazy: expired entries are dropped when touched. Port flushes
+// are O(1) via per-port generation counters, the same design as
+// core.LockTable.
 type Table struct {
-	aging   time.Duration
-	entries map[layers.MAC]Entry
+	aging    time.Duration
+	entries  map[uint64]tableEntry
+	ports    map[*netsim.Port]*portState
+	resident int // entries in the map whose port generation is current
+
+	// One-slot cache for the port side table (switches learn runs of
+	// entries against the same ingress port).
+	lastPort *netsim.Port
+	lastPS   *portState
 }
 
 // NewTable returns an empty table with the given aging time.
@@ -33,7 +58,11 @@ func NewTable(aging time.Duration) *Table {
 	if aging <= 0 {
 		aging = DefaultAging
 	}
-	return &Table{aging: aging, entries: make(map[layers.MAC]Entry)}
+	return &Table{
+		aging:   aging,
+		entries: make(map[uint64]tableEntry),
+		ports:   make(map[*netsim.Port]*portState),
+	}
 }
 
 // Aging returns the current aging time.
@@ -49,57 +78,118 @@ func (t *Table) SetAging(d time.Duration) {
 	t.aging = d
 }
 
-// Learn binds mac to port, refreshing the expiry. Multicast source
-// addresses are invalid on the wire and ignored.
-func (t *Table) Learn(mac layers.MAC, port *netsim.Port, now time.Duration) {
-	if mac.IsMulticast() || mac.IsZero() {
-		return
+func (t *Table) port(p *netsim.Port) *portState {
+	if p == t.lastPort {
+		return t.lastPS
 	}
-	t.entries[mac] = Entry{Port: port, Expires: now + t.aging}
+	st, ok := t.ports[p]
+	if !ok {
+		st = &portState{}
+		t.ports[p] = st
+	}
+	t.lastPort, t.lastPS = p, st
+	return st
 }
 
-// Lookup returns the live binding for mac, if any.
-func (t *Table) Lookup(mac layers.MAC, now time.Duration) (*netsim.Port, bool) {
-	e, ok := t.entries[mac]
+// dead reports whether a stored entry is expired or was flushed with its
+// port.
+func (t *Table) dead(e tableEntry, now time.Duration) bool {
+	return e.Expires <= now || e.gen != e.ps.gen
+}
+
+// drop removes a stored entry, maintaining residency counts.
+func (t *Table) drop(key uint64, e tableEntry) {
+	if e.gen == e.ps.gen {
+		e.ps.live--
+		t.resident--
+	}
+	delete(t.entries, key)
+}
+
+// LearnKey binds a packed key to port, refreshing the expiry. Multicast
+// source addresses are invalid on the wire and ignored.
+func (t *Table) LearnKey(key uint64, port *netsim.Port, now time.Duration) {
+	if layers.KeyIsMulticast(key) || key == 0 {
+		return
+	}
+	if old, ok := t.entries[key]; ok && old.gen == old.ps.gen {
+		old.ps.live--
+		t.resident--
+	}
+	st := t.port(port)
+	st.live++
+	t.resident++
+	t.entries[key] = tableEntry{
+		Entry: Entry{Port: port, Expires: now + t.aging},
+		gen:   st.gen,
+		ps:    st,
+	}
+}
+
+// Learn binds mac to port, refreshing the expiry.
+func (t *Table) Learn(mac layers.MAC, port *netsim.Port, now time.Duration) {
+	t.LearnKey(mac.Uint64(), port, now)
+}
+
+// LookupKey returns the live binding for a packed key, if any.
+func (t *Table) LookupKey(key uint64, now time.Duration) (*netsim.Port, bool) {
+	e, ok := t.entries[key]
 	if !ok {
 		return nil, false
 	}
-	if e.Expires <= now {
-		delete(t.entries, mac)
+	if t.dead(e, now) {
+		t.drop(key, e)
 		return nil, false
 	}
 	return e.Port, true
 }
 
-// Len returns the number of stored entries, including any not yet swept.
-func (t *Table) Len() int { return len(t.entries) }
+// Lookup returns the live binding for mac, if any.
+func (t *Table) Lookup(mac layers.MAC, now time.Duration) (*netsim.Port, bool) {
+	return t.LookupKey(mac.Uint64(), now)
+}
 
-// FlushPort drops every binding pointing at port (used on link failure).
+// Len returns the number of live-generation entries, including any whose
+// deadline passed but which have not been touched since.
+func (t *Table) Len() int { return t.resident }
+
+// FlushPort drops every binding pointing at port (used on link failure)
+// in O(1) by advancing the port's generation.
 func (t *Table) FlushPort(port *netsim.Port) {
-	for mac, e := range t.entries {
-		if e.Port == port {
-			delete(t.entries, mac)
-		}
-	}
+	st := t.port(port)
+	t.resident -= st.live
+	st.gen++
+	st.live = 0
 }
 
 // FlushAll clears the table.
-func (t *Table) FlushAll() { clear(t.entries) }
+func (t *Table) FlushAll() {
+	clear(t.entries)
+	for _, st := range t.ports {
+		st.gen++
+		st.live = 0
+	}
+	t.resident = 0
+}
 
-// FlushExpired removes every entry at or past its deadline.
+// FlushExpired removes every entry at or past its deadline, plus any
+// corpses left by FlushPort.
 func (t *Table) FlushExpired(now time.Duration) {
-	for mac, e := range t.entries {
-		if e.Expires <= now {
-			delete(t.entries, mac)
+	for key, e := range t.entries {
+		if t.dead(e, now) {
+			t.drop(key, e)
 		}
 	}
 }
 
-// Macs returns the currently stored addresses (unswept); test helper.
+// Macs returns the currently stored live-generation addresses (including
+// expired-but-unswept ones); test helper.
 func (t *Table) Macs() []layers.MAC {
 	out := make([]layers.MAC, 0, len(t.entries))
-	for mac := range t.entries {
-		out = append(out, mac)
+	for key, e := range t.entries {
+		if e.gen == e.ps.gen {
+			out = append(out, layers.MACFromUint64(key))
+		}
 	}
 	return out
 }

@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/layers"
+)
+
+// Frame is a pooled, reference-counted frame buffer: the unit of the
+// zero-allocation dataplane. A frame is created once at its origin (the
+// only copy it ever suffers), its FrameView is decoded once, and from
+// then on the same buffer is handed from link to node to link by
+// reference — a frame traversing N bridges is parsed once and copied
+// zero times.
+//
+// Ownership contract (DESIGN.md §3):
+//
+//   - Node.HandleFrame borrows the frame: it is valid only until the
+//     method returns. Forwarding it with Port.SendFrame during the call
+//     is always safe (the link takes its own reference).
+//   - A node that keeps the frame past HandleFrame — buffering it for
+//     path repair, queueing it for later — must Retain it and Release
+//     it exactly once when done.
+//   - Payload slices handed to host callbacks (UDP datagrams excepted,
+//     which are copied) alias the buffer and follow the same rule:
+//     valid during the callback only.
+//
+// Violating the contract does not corrupt the simulator, but a released
+// buffer is recycled for a later frame, so stale reads observe that
+// frame's bytes.
+type Frame struct {
+	refs int32
+	data []byte // aliases buf for wire-sized frames
+	view layers.FrameView
+	buf  [layers.MaxFrameLen]byte
+}
+
+// framePool recycles Frame objects (struct + inline buffer together).
+// The simulation is single-goroutined, but sync.Pool keeps the arena
+// GC-aware for free.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// NewFrame copies b into a pooled frame and decodes its view. The caller
+// owns the returned reference and must Release it (sending is not
+// releasing: Port.SendFrame takes its own reference).
+func NewFrame(b []byte) *Frame {
+	f := framePool.Get().(*Frame)
+	f.refs = 1
+	if len(b) <= len(f.buf) {
+		f.data = f.buf[:copy(f.buf[:], b)]
+	} else {
+		// Oversized frames cannot happen through the layers serializer
+		// (it enforces MaxFrameLen) but raw Send callers are unchecked;
+		// give them an unpooled buffer rather than a panic.
+		f.data = append([]byte(nil), b...)
+	}
+	f.view.Decode(f.data)
+	return f
+}
+
+// Bytes returns the frame contents. The slice is valid only while the
+// caller holds a reference; do not mutate it.
+func (f *Frame) Bytes() []byte { return f.data }
+
+// Len returns the frame length in bytes.
+func (f *Frame) Len() int { return len(f.data) }
+
+// View returns the frame's decoded view (parsed once, at NewFrame).
+func (f *Frame) View() *layers.FrameView { return &f.view }
+
+// Retain takes an additional reference and returns f for chaining.
+func (f *Frame) Retain() *Frame {
+	if f.refs <= 0 {
+		panic("netsim: Retain on a released frame")
+	}
+	f.refs++
+	return f
+}
+
+// Release drops one reference; the last release recycles the buffer.
+func (f *Frame) Release() {
+	f.refs--
+	switch {
+	case f.refs > 0:
+	case f.refs == 0:
+		f.data = nil
+		framePool.Put(f)
+	default:
+		panic(fmt.Sprintf("netsim: frame over-released (refs=%d)", f.refs))
+	}
+}
+
+// Refs returns the current reference count (tests and leak checks).
+func (f *Frame) Refs() int32 { return f.refs }

@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/layers"
@@ -25,9 +26,11 @@ type Node interface {
 	Name() string
 	// AttachPort is called once per port when the node is cabled.
 	AttachPort(p *Port)
-	// HandleFrame delivers a received frame. The slice is owned by the
-	// callee (each delivery gets a private copy); it may be retained.
-	HandleFrame(p *Port, frame []byte)
+	// HandleFrame delivers a received frame. The frame is borrowed: it
+	// is valid only until the method returns. Forwarding it onward with
+	// Port.SendFrame during the call is safe; keeping it longer requires
+	// an explicit Retain (and a matching Release). See Frame.
+	HandleFrame(p *Port, f *Frame)
 	// PortStatusChanged reports link up/down transitions on p.
 	PortStatusChanged(p *Port, up bool)
 }
@@ -90,11 +93,13 @@ func (k TapKind) String() string {
 
 // TapEvent is a single observation of a frame at a link.
 type TapEvent struct {
-	At    time.Duration
-	Kind  TapKind
-	From  *Port
-	To    *Port
-	Frame []byte // shared, do not mutate
+	At   time.Duration
+	Kind TapKind
+	From *Port
+	To   *Port
+	// Frame aliases the pooled frame buffer: read it during the tap
+	// call only, do not mutate, and copy if the bytes must outlive it.
+	Frame []byte
 }
 
 // TapFunc observes frames network-wide.
@@ -238,11 +243,30 @@ func (p *Port) Stats() PortStats { return p.stats }
 // String renders "node[index]".
 func (p *Port) String() string { return fmt.Sprintf("%s[%d]", p.node.Name(), p.index) }
 
-// Send transmits frame out this port. The frame is copied, so the caller
-// may reuse its buffer. Down links and full queues drop (with taps fired
-// and counters bumped) exactly like a real egress MAC.
+// Send copies frame into a pooled buffer and transmits it out this port;
+// the caller may reuse its slice. This is the origination path (hosts,
+// control-frame serializers) and costs the frame's one and only copy.
+// Bridges forwarding a received *Frame use SendFrame, which is zero-copy.
+// Down links and full queues drop (with taps fired and counters bumped)
+// exactly like a real egress MAC — and before the copy, so dropped
+// originations stay as cheap as they were pre-pooling.
 func (p *Port) Send(frame []byte) {
-	p.link.send(p, frame)
+	if !p.link.admit(p, frame) {
+		return
+	}
+	f := NewFrame(frame)
+	p.link.transmit(p, f)
+	f.Release()
+}
+
+// SendFrame transmits f out this port without copying. The link takes its
+// own reference for the flight; the caller's reference is untouched, so
+// forwarding a borrowed frame from inside HandleFrame needs no Retain.
+func (p *Port) SendFrame(f *Frame) {
+	if !p.link.admit(p, f.Bytes()) {
+		return
+	}
+	p.link.transmit(p, f)
 }
 
 // linkDir is the per-direction transmission state of a link.
@@ -304,25 +328,82 @@ func (l *Link) SetUp(up bool) {
 	}
 }
 
-// send implements Port.Send.
-func (l *Link) send(from *Port, frame []byte) {
+// flight is one frame in transit over a link: the pooled state behind the
+// two events every transmission schedules (serializer-free at txDone,
+// delivery at arrival). Flights implement sim.Runner so scheduling them
+// allocates nothing, which together with the pooled Frame makes the
+// steady-state forwarding path allocation-free.
+type flight struct {
+	link  *Link
+	from  *Port
+	frame *Frame
+	epoch uint64
+	wire  int
+}
+
+// flight RunEvent stages.
+const (
+	flightTxDone  = 0 // serializer freed: drain the queue accounting
+	flightArrival = 1 // frame reached the far port: deliver and clean up
+)
+
+var flightPool = sync.Pool{New: func() any { return new(flight) }}
+
+// RunEvent implements sim.Runner. The txDone event always fires before
+// the arrival event (it is scheduled first at an earlier-or-equal time),
+// so the flight can be recycled once arrival runs.
+func (fl *flight) RunEvent(arg int32) {
+	l := fl.link
+	if arg == flightTxDone {
+		if l.epoch == fl.epoch {
+			l.dir[fl.from.side].queuedBytes -= fl.wire
+		}
+		return
+	}
 	e := l.net.Engine
-	now := e.Now()
+	from, f, epoch := fl.from, fl.frame, fl.epoch
+	to := from.Peer()
+	// Recycle before delivering so a forwarding chain reuses this flight
+	// for the next hop's transmission within the same event.
+	*fl = flight{}
+	flightPool.Put(fl)
+	if l.epoch != epoch || !l.up {
+		from.stats.DropsDown++
+		l.net.emit(TapEvent{At: e.Now(), Kind: TapDropDown, From: from, To: to, Frame: f.Bytes()})
+		f.Release()
+		return
+	}
+	to.stats.RxFrames++
+	to.stats.RxBytes += uint64(f.Len())
+	l.net.emit(TapEvent{At: e.Now(), Kind: TapDeliver, From: from, To: to, Frame: f.Bytes()})
+	to.node.HandleFrame(to, f)
+	f.Release()
+}
+
+// admit runs the egress drop checks (link down, queue overflow) on the
+// raw bytes, emitting drop taps and bumping counters. Running before any
+// frame is materialized keeps the drop path copy- and allocation-free.
+func (l *Link) admit(from *Port, frame []byte) bool {
+	now := l.net.Engine.Now()
 	if !l.up {
 		from.stats.DropsDown++
 		l.net.emit(TapEvent{At: now, Kind: TapDropDown, From: from, To: from.Peer(), Frame: frame})
-		return
+		return false
 	}
-	wire := layers.WireBytes(len(frame))
-	d := &l.dir[from.side]
-	if d.queuedBytes+wire > l.cfg.Queue {
+	if l.dir[from.side].queuedBytes+layers.WireBytes(len(frame)) > l.cfg.Queue {
 		from.stats.DropsQueue++
 		l.net.emit(TapEvent{At: now, Kind: TapDropQueue, From: from, To: from.Peer(), Frame: frame})
-		return
+		return false
 	}
+	return true
+}
 
-	cp := make([]byte, len(frame))
-	copy(cp, frame)
+// transmit queues an admitted frame for serialization and delivery.
+func (l *Link) transmit(from *Port, f *Frame) {
+	e := l.net.Engine
+	now := e.Now()
+	wire := layers.WireBytes(f.Len())
+	d := &l.dir[from.side]
 
 	start := d.busyUntil
 	if start < now {
@@ -337,25 +418,19 @@ func (l *Link) send(from *Port, frame []byte) {
 	d.busyTotal += serialization
 
 	from.stats.TxFrames++
-	from.stats.TxBytes += uint64(len(cp))
+	from.stats.TxBytes += uint64(f.Len())
 	to := from.Peer()
-	l.net.emit(TapEvent{At: now, Kind: TapSend, From: from, To: to, Frame: cp})
+	l.net.emit(TapEvent{At: now, Kind: TapSend, From: from, To: to, Frame: f.Bytes()})
 
-	epoch := l.epoch
-	e.At(txDone, func() {
-		if l.epoch == epoch {
-			l.dir[from.side].queuedBytes -= wire
-		}
-	})
-	e.At(arrival, func() {
-		if l.epoch != epoch || !l.up {
-			from.stats.DropsDown++
-			l.net.emit(TapEvent{At: e.Now(), Kind: TapDropDown, From: from, To: to, Frame: cp})
-			return
-		}
-		to.stats.RxFrames++
-		to.stats.RxBytes += uint64(len(cp))
-		l.net.emit(TapEvent{At: e.Now(), Kind: TapDeliver, From: from, To: to, Frame: cp})
-		to.node.HandleFrame(to, cp)
-	})
+	fl := flightPool.Get().(*flight)
+	fl.link = l
+	fl.from = from
+	fl.frame = f.Retain() // the flight's reference, released on delivery/drop
+	fl.epoch = l.epoch
+	fl.wire = wire
+	// Both events are enqueued now (not at txDone) so the (time, seq)
+	// order of deliveries is identical to the pre-pooling scheduler and
+	// every race outcome is preserved bit for bit.
+	e.ScheduleRunner(txDone, fl, flightTxDone)
+	e.ScheduleRunner(arrival, fl, flightArrival)
 }

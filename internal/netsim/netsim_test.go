@@ -29,7 +29,9 @@ func newTestNode(name string) *testNode { return &testNode{name: name} }
 
 func (n *testNode) Name() string       { return n.name }
 func (n *testNode) AttachPort(p *Port) { n.ports = append(n.ports, p) }
-func (n *testNode) HandleFrame(p *Port, frame []byte) {
+func (n *testNode) HandleFrame(p *Port, f *Frame) {
+	// Frames are borrowed; copy the bytes to keep them past the call.
+	frame := append([]byte(nil), f.Bytes()...)
 	n.frames = append(n.frames, received{p, frame, p.Link().net.Now()})
 	if n.onRecv != nil {
 		n.onRecv(p, frame)
@@ -390,10 +392,10 @@ type relayNode struct {
 	testNode
 }
 
-func (r *relayNode) HandleFrame(p *Port, frame []byte) {
+func (r *relayNode) HandleFrame(p *Port, f *Frame) {
 	for _, q := range r.ports {
 		if q != p {
-			q.Send(frame)
+			q.SendFrame(f)
 		}
 	}
 }

@@ -42,13 +42,33 @@ func (t *Timer) Stop() bool {
 // Stopped reports whether the timer was canceled before it fired.
 func (t *Timer) Stopped() bool { return t != nil && t.ev != nil && t.ev.canceled }
 
-// When returns the virtual time the event is (or was) scheduled to fire at.
-func (t *Timer) When() time.Duration { return t.ev.at }
+// When returns the virtual time the event is (or was) scheduled to fire
+// at. A nil or zero Timer has no event and reports zero, mirroring the
+// nil-safety of Stop and Stopped.
+func (t *Timer) When() time.Duration {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+// Runner is the allocation-free event callback: an object whose RunEvent
+// method fires when the event comes due. Unlike a closure handed to At,
+// a Runner carries its own state, so scheduling one allocates nothing —
+// the engine recycles the internal event object after it fires. arg
+// distinguishes multiple events pending on the same Runner (netsim uses
+// it to tell a serializer-free event from a frame arrival).
+type Runner interface {
+	RunEvent(arg int32)
+}
 
 type event struct {
 	at       time.Duration
 	seq      uint64 // tie-breaker: FIFO among events with equal timestamps
 	fn       func()
+	runner   Runner // alternative to fn for pooled, closure-free events
+	rarg     int32  // argument passed to runner.RunEvent
+	pooled   bool   // recycle after firing (no Timer handle exists)
 	canceled bool
 	done     bool
 	index    int // heap index, -1 once popped
@@ -95,6 +115,7 @@ type Engine struct {
 	now       time.Duration
 	seq       uint64
 	queue     eventHeap
+	free      []*event // recycled pooled events (Schedule/ScheduleRunner)
 	rng       *rand.Rand
 	seed      int64
 	processed uint64
@@ -151,6 +172,55 @@ func (e *Engine) At(t time.Duration, fn func()) *Timer {
 	return &Timer{ev: ev}
 }
 
+// newPooled takes an event object from the free list (or allocates one)
+// and enqueues it. Pooled events have no Timer handle and cannot be
+// canceled, which is what makes recycling them safe.
+func (e *Engine) newPooled(t time.Duration) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{}
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.pooled = true
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Schedule runs fn at absolute virtual time t like At, but returns no
+// Timer handle: the event cannot be canceled, and in exchange the engine
+// recycles the event object, so steady-state scheduling does not allocate
+// beyond the closure itself.
+func (e *Engine) Schedule(t time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e.newPooled(t).fn = fn
+}
+
+// ScheduleRunner enqueues r.RunEvent(arg) at absolute virtual time t.
+// Like Schedule it returns no handle and recycles the event; because the
+// callback is an interface rather than a closure, a caller that reuses
+// its Runner objects schedules with zero allocations — the netsim hot
+// path depends on this.
+func (e *Engine) ScheduleRunner(t time.Duration, r Runner, arg int32) {
+	if r == nil {
+		panic("sim: nil event runner")
+	}
+	ev := e.newPooled(t)
+	ev.runner = r
+	ev.rarg = arg
+}
+
 // After schedules fn to run d after the current virtual time. Negative d
 // panics.
 func (e *Engine) After(d time.Duration, fn func()) *Timer {
@@ -174,10 +244,28 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		ev.done = true
 		e.processed++
-		ev.fn()
+		if ev.runner != nil {
+			r, arg := ev.runner, ev.rarg
+			e.recycle(ev)
+			r.RunEvent(arg)
+		} else {
+			fn := ev.fn
+			if ev.pooled {
+				e.recycle(ev)
+			}
+			fn()
+		}
 		return true
 	}
 	return false
+}
+
+// recycle returns a pooled event to the free list. Called before the
+// callback runs so the callback may itself schedule and reuse the object.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.runner = nil
+	e.free = append(e.free, ev)
 }
 
 // Run executes events until the queue drains. It panics if the event limit

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Wheel geometry: 64 fine slots of one tick each, backed by 64 coarse
+// slots of 64 ticks each. Timers beyond the coarse horizon stay in the
+// coarse level and cascade again when their slot comes around.
+const (
+	wheelFineSlots   = 64
+	wheelCoarseSlots = 64
+)
+
+// WheelTimer is a handle to a timer armed on a Wheel. The zero value is
+// not a valid handle; Stop and Active treat it as already fired.
+type WheelTimer struct {
+	idx int32  // arena slot + 1 (0 = invalid)
+	gen uint32 // generation guard against arena reuse
+}
+
+// wheelEntry is one armed timer in the wheel's arena. Entries are reused
+// through a free list, so arming timers in steady state does not allocate;
+// the generation counter invalidates stale WheelTimer handles cheaply,
+// which is what makes cancellation O(1) with no heap fix-up.
+type wheelEntry struct {
+	gen      uint32
+	fireTick int64
+	fn       func()
+	free     bool
+	nextFree int32
+}
+
+// slotRef is a reference from a slot to an arena entry. The generation is
+// checked when the slot drains so canceled timers are skipped without the
+// cancel path ever touching slot storage.
+type slotRef struct {
+	idx int32
+	gen uint32
+}
+
+// Wheel is a coarse hierarchical timer wheel driven by an Engine. It
+// exists for the protocol timers that are armed per flow and usually
+// canceled (ARP-Path repair and lock windows): a heap timer costs one
+// event allocation and O(log n) heap churn per arm/cancel, while the
+// wheel arms into a recycled arena slot and cancels with a generation
+// bump. The price is coarseness — callbacks fire on the first tick
+// boundary at or after their deadline, never early, up to one tick late.
+//
+// The wheel only ticks while timers are armed, so it never keeps an
+// otherwise-drained Engine.Run alive.
+type Wheel struct {
+	eng     *Engine
+	tick    time.Duration
+	fine    [wheelFineSlots][]slotRef
+	coarse  [wheelCoarseSlots][]slotRef
+	arena   []wheelEntry
+	free    int32     // head of the arena free list, -1 when empty
+	active  int       // armed (non-canceled) timers
+	curTick int64     // last processed tick number
+	ticking bool      // a tick event is pending on the engine
+	scratch []slotRef // cascade staging: slot slices share storage with
+	// the refs being walked, and a multi-lap entry may re-place into the
+	// very slot being drained, so cascading iterates a detached copy.
+}
+
+// NewWheel creates a wheel with the given tick granularity on e.
+func NewWheel(e *Engine, tick time.Duration) *Wheel {
+	if tick <= 0 {
+		panic("sim: wheel tick must be positive")
+	}
+	return &Wheel{eng: e, tick: tick, free: -1, curTick: int64(e.Now() / tick)}
+}
+
+// Tick returns the wheel's granularity.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// Len returns the number of armed timers.
+func (w *Wheel) Len() int { return w.active }
+
+// After arms fn to fire on the first tick boundary at or after d from
+// now. It returns a handle for Stop; unlike Engine.After no per-timer
+// event is allocated.
+func (w *Wheel) After(d time.Duration, fn func()) WheelTimer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative wheel delay %v", d))
+	}
+	if fn == nil {
+		panic("sim: nil wheel callback")
+	}
+	// The wheel stops ticking when it empties, so the cursor may lag far
+	// behind virtual time; catch it up before arming or the next tick
+	// would be scheduled in the past. Stale slot references from before
+	// the jump are dead (their arena generations were bumped) and get
+	// skipped when their slots eventually drain.
+	if w.active == 0 && !w.ticking {
+		if nt := int64(w.eng.Now() / w.tick); nt > w.curTick {
+			w.curTick = nt
+		}
+	}
+	deadline := w.eng.Now() + d
+	// ceil(deadline/tick), but at least one tick ahead of the cursor so
+	// the callback never fires synchronously or in the past.
+	fire := int64((deadline + w.tick - 1) / w.tick)
+	if fire <= w.curTick {
+		fire = w.curTick + 1
+	}
+
+	idx := w.alloc()
+	e := &w.arena[idx]
+	e.fireTick = fire
+	e.fn = fn
+	w.place(slotRef{idx: idx, gen: e.gen}, fire)
+	w.active++
+	w.ensureTicking()
+	return WheelTimer{idx: idx + 1, gen: e.gen}
+}
+
+// Stop cancels the timer. It reports whether the call prevented the
+// callback from firing; stopping a zero, fired, or already-stopped timer
+// returns false. Cancellation is O(1): the arena entry is invalidated by
+// a generation bump and freed, and the stale slot reference is skipped
+// when its slot drains.
+func (w *Wheel) Stop(t WheelTimer) bool {
+	if t.idx == 0 {
+		return false
+	}
+	idx := t.idx - 1
+	if int(idx) >= len(w.arena) {
+		return false
+	}
+	e := &w.arena[idx]
+	if e.free || e.gen != t.gen {
+		return false
+	}
+	w.release(idx)
+	w.active--
+	return true
+}
+
+// Active reports whether the timer is still armed.
+func (w *Wheel) Active(t WheelTimer) bool {
+	if t.idx == 0 {
+		return false
+	}
+	idx := t.idx - 1
+	return int(idx) < len(w.arena) && !w.arena[idx].free && w.arena[idx].gen == t.gen
+}
+
+// alloc takes an arena index from the free list, growing the arena when
+// it is dry.
+func (w *Wheel) alloc() int32 {
+	if w.free >= 0 {
+		idx := w.free
+		w.free = w.arena[idx].nextFree
+		w.arena[idx].free = false
+		return idx
+	}
+	w.arena = append(w.arena, wheelEntry{})
+	return int32(len(w.arena) - 1)
+}
+
+// release invalidates and frees one arena entry.
+func (w *Wheel) release(idx int32) {
+	e := &w.arena[idx]
+	e.gen++
+	e.fn = nil
+	e.free = true
+	e.nextFree = w.free
+	w.free = idx
+}
+
+// place files a reference into the fine or coarse level by distance from
+// the cursor.
+func (w *Wheel) place(r slotRef, fire int64) {
+	if fire-w.curTick < wheelFineSlots {
+		s := int(fire % wheelFineSlots)
+		w.fine[s] = append(w.fine[s], r)
+	} else {
+		s := int((fire / wheelFineSlots) % wheelCoarseSlots)
+		w.coarse[s] = append(w.coarse[s], r)
+	}
+}
+
+// ensureTicking schedules the next tick event unless one is pending.
+func (w *Wheel) ensureTicking() {
+	if w.ticking || w.active == 0 {
+		return
+	}
+	w.ticking = true
+	w.eng.ScheduleRunner(time.Duration(w.curTick+1)*w.tick, w, 0)
+}
+
+// RunEvent implements Runner: one wheel tick. It advances the cursor,
+// cascades the coarse slot on fine-wheel wrap-around, drains the due fine
+// slot, and re-arms itself while timers remain.
+func (w *Wheel) RunEvent(int32) {
+	w.ticking = false
+	w.curTick++
+
+	// Cascade the coarse slot that covers the fine window we just entered.
+	if w.curTick%wheelFineSlots == 0 {
+		s := int((w.curTick / wheelFineSlots) % wheelCoarseSlots)
+		w.scratch = append(w.scratch[:0], w.coarse[s]...)
+		w.coarse[s] = w.coarse[s][:0]
+		for _, r := range w.scratch {
+			e := &w.arena[r.idx]
+			if e.free || e.gen != r.gen {
+				continue // canceled; reference was stale
+			}
+			w.place(r, e.fireTick)
+		}
+	}
+
+	// Drain the due fine slot.
+	s := int(w.curTick % wheelFineSlots)
+	refs := w.fine[s]
+	w.fine[s] = w.fine[s][:0]
+	for _, r := range refs {
+		e := &w.arena[r.idx]
+		if e.free || e.gen != r.gen {
+			continue
+		}
+		if e.fireTick > w.curTick {
+			// A coarse resident parked here >64 ticks out: not due yet.
+			w.place(r, e.fireTick)
+			continue
+		}
+		fn := e.fn
+		w.release(r.idx)
+		w.active--
+		fn()
+	}
+	w.ensureTicking()
+}
+
+var _ Runner = (*Wheel)(nil)

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimerWhenZeroValue is the regression test for the nil-guard in
+// Timer.When: a zero or nil Timer must report zero instead of panicking,
+// matching the nil-safety of Stop and Stopped.
+func TestTimerWhenZeroValue(t *testing.T) {
+	var zero Timer
+	if got := zero.When(); got != 0 {
+		t.Fatalf("zero Timer.When() = %v, want 0", got)
+	}
+	var nilT *Timer
+	if got := nilT.When(); got != 0 {
+		t.Fatalf("nil Timer.When() = %v, want 0", got)
+	}
+	e := New(1)
+	tm := e.After(5*time.Millisecond, func() {})
+	if got := tm.When(); got != 5*time.Millisecond {
+		t.Fatalf("When() = %v, want 5ms", got)
+	}
+}
+
+func TestScheduleRunsWithoutHandle(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.Schedule(2*time.Millisecond, func() { order = append(order, 2) })
+	e.Schedule(time.Millisecond, func() { order = append(order, 1) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// counterRunner counts RunEvent invocations per arg.
+type counterRunner struct {
+	args []int32
+}
+
+func (c *counterRunner) RunEvent(arg int32) { c.args = append(c.args, arg) }
+
+func TestScheduleRunnerPassesArgs(t *testing.T) {
+	e := New(1)
+	r := &counterRunner{}
+	e.ScheduleRunner(time.Millisecond, r, 7)
+	e.ScheduleRunner(time.Millisecond, r, 9)
+	e.Run()
+	if len(r.args) != 2 || r.args[0] != 7 || r.args[1] != 9 {
+		t.Fatalf("args = %v", r.args)
+	}
+}
+
+// TestPooledEventsInterleaveWithTimers checks that recycled events and
+// Timer-bearing events share one queue with FIFO tie-breaking intact.
+func TestPooledEventsInterleaveWithTimers(t *testing.T) {
+	e := New(1)
+	var order []string
+	e.At(time.Millisecond, func() { order = append(order, "timer") })
+	e.Schedule(time.Millisecond, func() { order = append(order, "pooled") })
+	e.At(time.Millisecond, func() { order = append(order, "timer2") })
+	e.Run()
+	want := []string{"timer", "pooled", "timer2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPooledEventRecyclingIsSafe hammers Schedule from inside events so
+// recycled event objects are reused while earlier callbacks still run.
+func TestPooledEventRecyclingIsSafe(t *testing.T) {
+	e := New(1)
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 1000 {
+			e.Schedule(e.Now()+time.Microsecond, chain)
+		}
+	}
+	e.Schedule(0, chain)
+	e.Run()
+	if count != 1000 {
+		t.Fatalf("count = %d, want 1000", count)
+	}
+}
+
+func TestWheelFiresAtTickBoundary(t *testing.T) {
+	e := New(1)
+	w := NewWheel(e, time.Millisecond)
+	var firedAt time.Duration = -1
+	w.After(2500*time.Microsecond, func() { firedAt = e.Now() })
+	e.Run()
+	// Deadline 2.5ms rounds up to the 3ms boundary: never early, at most
+	// one tick late.
+	if firedAt != 3*time.Millisecond {
+		t.Fatalf("fired at %v, want 3ms", firedAt)
+	}
+}
+
+func TestWheelStop(t *testing.T) {
+	e := New(1)
+	w := NewWheel(e, time.Millisecond)
+	fired := false
+	tm := w.After(5*time.Millisecond, func() { fired = true })
+	if !w.Active(tm) {
+		t.Fatal("timer not active after After")
+	}
+	if !w.Stop(tm) {
+		t.Fatal("Stop reported failure on a live timer")
+	}
+	if w.Stop(tm) {
+		t.Fatal("second Stop succeeded")
+	}
+	if w.Active(tm) {
+		t.Fatal("timer active after Stop")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", w.Len())
+	}
+}
+
+func TestWheelZeroHandleInert(t *testing.T) {
+	e := New(1)
+	w := NewWheel(e, time.Millisecond)
+	var zero WheelTimer
+	if w.Stop(zero) || w.Active(zero) {
+		t.Fatal("zero WheelTimer must be inert")
+	}
+}
+
+// TestWheelCoarseCascade arms a timer beyond the fine horizon (64 ticks)
+// and far beyond the coarse horizon (64*64 ticks) to exercise cascading.
+func TestWheelCoarseCascade(t *testing.T) {
+	e := New(1)
+	w := NewWheel(e, time.Millisecond)
+	var fired []time.Duration
+	w.After(100*time.Millisecond, func() { fired = append(fired, e.Now()) })  // coarse level
+	w.After(5000*time.Millisecond, func() { fired = append(fired, e.Now()) }) // beyond one coarse lap
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired %d timers, want 2", len(fired))
+	}
+	if fired[0] != 100*time.Millisecond {
+		t.Fatalf("coarse timer fired at %v, want 100ms", fired[0])
+	}
+	if fired[1] != 5000*time.Millisecond {
+		t.Fatalf("multi-lap timer fired at %v, want 5s", fired[1])
+	}
+}
+
+// TestWheelRearmAfterIdle lets the wheel drain and virtual time advance,
+// then arms again: the cursor must fast-forward instead of scheduling a
+// tick in the past (which would panic the engine).
+func TestWheelRearmAfterIdle(t *testing.T) {
+	e := New(1)
+	w := NewWheel(e, time.Millisecond)
+	w.After(time.Millisecond, func() {})
+	e.Run()
+	// Advance time with unrelated events while the wheel sleeps.
+	e.At(500*time.Millisecond, func() {})
+	e.Run()
+	var firedAt time.Duration
+	w.After(3*time.Millisecond, func() { firedAt = e.Now() })
+	e.Run()
+	if firedAt < 503*time.Millisecond || firedAt > 504*time.Millisecond {
+		t.Fatalf("re-armed timer fired at %v, want ~503ms", firedAt)
+	}
+}
+
+// TestWheelMassCancel arms a batch and cancels them all, the pattern the
+// repair path leans on; the arena must recycle without growth on re-arm.
+func TestWheelMassCancel(t *testing.T) {
+	e := New(1)
+	w := NewWheel(e, time.Millisecond)
+	handles := make([]WheelTimer, 100)
+	for i := range handles {
+		handles[i] = w.After(50*time.Millisecond, func() { t.Fatal("canceled timer fired") })
+	}
+	arenaAfterFirst := len(w.arena)
+	for _, h := range handles {
+		if !w.Stop(h) {
+			t.Fatal("Stop failed")
+		}
+	}
+	// Re-arm the same count: the arena must not grow.
+	fired := 0
+	for range handles {
+		w.After(10*time.Millisecond, func() { fired++ })
+	}
+	if len(w.arena) != arenaAfterFirst {
+		t.Fatalf("arena grew from %d to %d on re-arm", arenaAfterFirst, len(w.arena))
+	}
+	e.Run()
+	if fired != 100 {
+		t.Fatalf("fired = %d, want 100", fired)
+	}
+}
+
+// TestWheelMixedDueAndMultiLapSlot puts due entries and one-lap-later
+// entries in the same coarse slot: the cascade must fire the former on
+// time and re-park the latter for the next lap without losing either.
+func TestWheelMixedDueAndMultiLapSlot(t *testing.T) {
+	e := New(1)
+	w := NewWheel(e, time.Millisecond)
+	const lap = wheelFineSlots * wheelCoarseSlots // 4096 ticks
+	var due, late int
+	for i := 0; i < 5; i++ {
+		w.After((100+time.Duration(i))*time.Millisecond, func() { due++ })
+		w.After((100+time.Duration(i)+lap)*time.Millisecond, func() { late++ })
+	}
+	e.RunUntil(200 * time.Millisecond)
+	if due != 5 || late != 0 {
+		t.Fatalf("after first lap: due=%d late=%d, want 5/0", due, late)
+	}
+	e.Run()
+	if late != 5 {
+		t.Fatalf("multi-lap timers fired %d, want 5", late)
+	}
+}
+
+// TestWheelDoesNotKeepRunAlive: with no timers armed the wheel schedules
+// nothing, so Network.Run-style full drains terminate.
+func TestWheelDoesNotKeepRunAlive(t *testing.T) {
+	e := New(1)
+	w := NewWheel(e, time.Millisecond)
+	fired := false
+	w.After(2*time.Millisecond, func() { fired = true })
+	e.Run() // must terminate
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending events after drain: %d", e.Pending())
+	}
+}

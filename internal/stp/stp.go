@@ -329,74 +329,76 @@ func (b *Bridge) OnPortStatus(np *netsim.Port, up bool) {
 }
 
 // OnFrame implements bridge.Protocol.
-func (b *Bridge) OnFrame(in *netsim.Port, frame []byte) {
-	if layers.FrameEtherType(frame) == layers.EtherTypeBPDU &&
-		layers.FrameDst(frame) == layers.BPDUMulticast {
-		b.handleBPDU(in, frame)
+func (b *Bridge) OnFrame(in *netsim.Port, f *netsim.Frame) {
+	v := f.View()
+	if v.EtherType == layers.EtherTypeBPDU && v.Dst == layers.BPDUMulticast {
+		b.handleBPDU(in, f)
 		return
 	}
-	b.forward(in, frame)
+	b.forward(in, f)
 }
 
-// forward is the state-gated learning dataplane.
-func (b *Bridge) forward(in *netsim.Port, frame []byte) {
+// forward is the state-gated learning dataplane, running entirely on the
+// frame's pre-decoded view.
+func (b *Bridge) forward(in *netsim.Port, f *netsim.Frame) {
 	sp := b.ports[in]
 	if sp == nil {
 		return
 	}
 	now := b.Now()
+	v := f.View()
 	b.maybeRestoreAging(now)
 	switch sp.state {
 	case StateLearning:
-		b.fib.Learn(layers.FrameSrc(frame), in, now)
+		b.fib.LearnKey(v.SrcKey, in, now)
 		b.stats.DiscardedByState++
 		return
 	case StateForwarding:
-		b.fib.Learn(layers.FrameSrc(frame), in, now)
+		b.fib.LearnKey(v.SrcKey, in, now)
 	default:
 		b.stats.DiscardedByState++
 		return
 	}
-	dst := layers.FrameDst(frame)
-	if dst.IsMulticast() {
+	if v.IsMulticast() {
 		b.stats.Flooded++
-		b.floodForwarding(in, frame)
+		b.floodForwarding(in, f)
 		return
 	}
-	out, ok := b.fib.Lookup(dst, now)
+	out, ok := b.fib.LookupKey(v.DstKey, now)
 	if ok && b.ports[out] != nil && b.ports[out].state != StateForwarding {
 		ok = false // stale binding behind a non-forwarding port
 	}
 	switch {
 	case !ok:
 		b.stats.Flooded++
-		b.floodForwarding(in, frame)
+		b.floodForwarding(in, f)
 	case out == in:
 		b.stats.Filtered++
 	default:
 		b.stats.Forwarded++
-		out.Send(frame)
+		out.SendFrame(f)
 	}
 }
 
-// floodForwarding sends frame on every forwarding port except in.
-func (b *Bridge) floodForwarding(in *netsim.Port, frame []byte) {
+// floodForwarding sends f on every forwarding port except in.
+func (b *Bridge) floodForwarding(in *netsim.Port, f *netsim.Frame) {
 	for _, sp := range b.plist {
 		if sp.np != in && sp.state == StateForwarding && sp.np.Up() {
-			sp.np.Send(frame)
+			sp.np.SendFrame(f)
 		}
 	}
 }
 
-// handleBPDU processes a received BPDU.
-func (b *Bridge) handleBPDU(in *netsim.Port, frame []byte) {
+// handleBPDU processes a received BPDU. BPDUs are consumed, never
+// forwarded, so decoding from the borrowed frame here is safe.
+func (b *Bridge) handleBPDU(in *netsim.Port, f *netsim.Frame) {
 	sp := b.ports[in]
 	if sp == nil || sp.state == StateDisabled || b.stopped {
 		return
 	}
 	var eth layers.Ethernet
 	var bpdu layers.BPDU
-	if eth.DecodeFromBytes(frame) != nil || bpdu.DecodeFromBytes(eth.Payload()) != nil {
+	if eth.DecodeFromBytes(f.Bytes()) != nil || bpdu.DecodeFromBytes(eth.Payload()) != nil {
 		return
 	}
 	if bpdu.Type == layers.BPDUTypeTCN {

@@ -24,7 +24,8 @@ func newEndpoint(name string, n int) *endpoint {
 func (e *endpoint) Name() string                             { return e.name }
 func (e *endpoint) AttachPort(p *netsim.Port)                { e.port = p }
 func (e *endpoint) PortStatusChanged(_ *netsim.Port, _ bool) {}
-func (e *endpoint) HandleFrame(_ *netsim.Port, frame []byte) {
+func (e *endpoint) HandleFrame(_ *netsim.Port, f *netsim.Frame) {
+	frame := append([]byte(nil), f.Bytes()...) // borrowed: copy to keep
 	dst := layers.FrameDst(frame)
 	if dst == e.mac || dst.IsBroadcast() {
 		e.got = append(e.got, frame)

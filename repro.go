@@ -61,6 +61,10 @@ type (
 	LinkConfig = netsim.LinkConfig
 	// Link is a full-duplex cable with failure injection (SetUp).
 	Link = netsim.Link
+	// Frame is the pooled, reference-counted frame buffer every node
+	// receives; see its ownership contract (borrow by default, Retain to
+	// keep) in DESIGN.md §3.
+	Frame = netsim.Frame
 )
 
 // Host types.

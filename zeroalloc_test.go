@@ -1,0 +1,73 @@
+package repro
+
+// The zero-allocation gate (DESIGN.md §3): once paths are established,
+// forwarding a unicast frame across the fabric must not allocate — not
+// in the engine (pooled events), not in the links (pooled frames and
+// flights), not in the bridges (packed-key table ops on a pre-decoded
+// view). The benchmarks report the same property; this test enforces it
+// on every CI run without -bench.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSteadyStateForwardingDoesNotAllocate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		bridges int
+	}{
+		{"SingleHop", 1},
+		{"Chain16", 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			built, frame := establishedLine(t, tc.bridges)
+			src := built.Host("H1").Port()
+			// Warm every pool: frame buffers, flights, engine events.
+			for i := 0; i < 200; i++ {
+				src.Send(frame)
+				built.Net.Network.Run()
+			}
+			rx0 := built.Host("H2").Stats().FramesRx
+			const runs = 500
+			allocs := testing.AllocsPerRun(runs, func() {
+				src.Send(frame)
+				built.Net.Network.Run()
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state forward allocates %.2f/op, want 0", allocs)
+			}
+			// AllocsPerRun executes runs+1 iterations.
+			if got := built.Host("H2").Stats().FramesRx - rx0; got != runs+1 {
+				t.Fatalf("delivered %d frames, want %d", got, runs+1)
+			}
+		})
+	}
+}
+
+// TestEstablishedPathStaysUp is the functional sibling of the allocation
+// gate: the frames pumped above must actually arrive, and keep arriving
+// when the steady state is perturbed by re-establishment traffic.
+func TestEstablishedPathStaysUp(t *testing.T) {
+	built, frame := establishedLine(t, 4)
+	h2 := built.Host("H2")
+	src := built.Host("H1").Port()
+	for i := 0; i < 50; i++ {
+		src.Send(frame)
+		built.Net.Network.Run()
+	}
+	rx := h2.Stats().FramesRx
+	if rx < 50 {
+		t.Fatalf("FramesRx = %d, want ≥ 50", rx)
+	}
+	// A fresh ping (broadcast ARP + unicast echo) must coexist with the
+	// pooled fast path.
+	ok := false
+	built.Engine.At(built.Now(), func() {
+		built.Host("H1").Ping(h2.IP(), 0, time.Second, func(r PingResult) { ok = r.Err == nil })
+	})
+	built.RunFor(2 * time.Second)
+	if !ok {
+		t.Fatal("ping across warmed fabric failed")
+	}
+}
