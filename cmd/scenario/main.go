@@ -1,0 +1,105 @@
+// Command scenario runs the adversarial scenario engine: seeded random
+// topologies × seeded fault schedules × protocol invariant checks, with
+// shrink-on-failure. Where the figure/table commands replay the paper's
+// fixed experiments, this one hunts for the inputs that would falsify the
+// paper's claims.
+//
+// Usage:
+//
+//	scenario [-seeds N] [-seed0 S] [-topo fam|all] [-faults fam|all] [-shrink] [-v]
+//
+// A failing scenario prints its minimal fault schedule and the exact
+// triple to reproduce it; the exit status is nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 16, "seeds per (topology, faults) pairing")
+	seed0 := flag.Int64("seed0", 1, "first seed")
+	topoFlag := flag.String("topo", "all", "topology family (or 'all'): "+familyList(scenario.TopologyFamilies()))
+	faultFlag := flag.String("faults", "all", "fault family (or 'all'): "+familyList(scenario.FaultFamilies()))
+	shrink := flag.Bool("shrink", true, "shrink failing fault schedules to a minimal subset")
+	verbose := flag.Bool("v", false, "print every scenario, not just failures")
+	flag.Parse()
+
+	topos := scenario.TopologyFamilies()
+	if *topoFlag != "all" {
+		topos = []scenario.TopologyFamily{scenario.TopologyFamily(*topoFlag)}
+	}
+	faults := scenario.FaultFamilies()
+	if *faultFlag != "all" {
+		faults = []scenario.FaultFamily{scenario.FaultFamily(*faultFlag)}
+	}
+
+	ran, failed := 0, 0
+	for _, tf := range topos {
+		for _, ff := range faults {
+			for s := 0; s < *seeds; s++ {
+				cfg := scenario.Config{Seed: *seed0 + int64(s), Topology: tf, Faults: ff}
+				r := scenario.Run(cfg)
+				ran++
+				if !r.Failed() {
+					if *verbose {
+						fmt.Printf("PASS %-40s bridges=%d links=%d events=%d probes=%d/%d bg=%d/%d fp=%#x\n",
+							cfg.Name(), r.Bridges, r.Links, r.Events,
+							r.ProbesAnswered, r.ProbesSent,
+							r.BackgroundDelivered, r.BackgroundOffered, r.Fingerprint)
+					}
+					continue
+				}
+				failed++
+				report(r)
+				if *shrink {
+					doShrink(cfg, r)
+				}
+			}
+		}
+	}
+	fmt.Printf("\n%d scenarios, %d failed\n", ran, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func familyList[T ~string](fams []T) string {
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = string(f)
+	}
+	return strings.Join(names, "|")
+}
+
+func report(r *scenario.Result) {
+	fmt.Printf("FAIL %s (bridges=%d links=%d events=%d)\n", r.Config.Name(), r.Bridges, r.Links, r.Events)
+	for _, v := range r.Violations {
+		fmt.Printf("  violation: %v\n", v)
+	}
+	if r.ViolationsDropped > 0 {
+		fmt.Printf("  ... and %d further violations\n", r.ViolationsDropped)
+	}
+	for _, op := range r.OpsApplied {
+		fmt.Printf("  schedule: %s\n", op)
+	}
+}
+
+func doShrink(cfg scenario.Config, r *scenario.Result) {
+	min, res, ok := scenario.Shrink(cfg, r.Ops)
+	if !ok {
+		fmt.Printf("  shrink: failure does not reproduce from the fault schedule alone\n")
+		return
+	}
+	fmt.Printf("  shrink: %d of %d ops suffice:\n", len(min), len(r.Ops))
+	for _, op := range res.OpsApplied {
+		fmt.Printf("    %s\n", op)
+	}
+	fmt.Printf("  reproduce: go run ./cmd/scenario -topo %s -faults %s -seed0 %d -seeds 1\n",
+		cfg.Topology, cfg.Faults, cfg.Seed)
+}

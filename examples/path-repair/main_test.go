@@ -1,0 +1,28 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestPathRepairBuildsAndRuns executes the example as documented
+// (`go run .`) and checks the demo's landmarks: two injected failures,
+// a completed stream, and repair machinery that actually fired.
+func TestPathRepairBuildsAndRuns(t *testing.T) {
+	out, err := exec.Command("go", "run", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run .: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"failure 1 — cutting",
+		"complete=true",
+		"goodput timeline:",
+		"pathrequests=",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

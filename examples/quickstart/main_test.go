@@ -1,0 +1,27 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartBuildsAndRuns executes the example exactly as the README
+// tells a reader to (`go run .`) and checks the walkthrough's landmarks:
+// a discovery ping, the Figure 1 lock positions, and the faster
+// established-path ping.
+func TestQuickstartBuildsAndRuns(t *testing.T) {
+	out, err := exec.Command("go", "run", ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run .: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"S -> D ping: rtt=",
+		"Figure 1 lock positions",
+		"established-path ping: rtt=",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

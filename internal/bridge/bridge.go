@@ -109,6 +109,19 @@ func (c *Chassis) Start() {
 	})
 }
 
+// Restart models a chassis power-cycle: everything learned from the wire
+// (trunk/edge classification, neighbour identities) is forgotten. It does
+// not re-HELLO by itself — a real reboot drops carrier, and the caller's
+// link bounce re-sends HELLOs from both ends via PortStatusChanged, which
+// is the only way the *peer* learns anything happened (a one-sided burst
+// would be dropped by the bounce anyway). Protocol-level state loss is
+// the protocol's job — see core.Bridge.Restart, which calls this before
+// bouncing its links.
+func (c *Chassis) Restart() {
+	clear(c.trunk)
+	clear(c.nbr)
+}
+
 // IsTrunk reports whether p faces another bridge (a HELLO was seen since
 // the last down transition). Meaningless unless HelloEnabled.
 func (c *Chassis) IsTrunk(p *netsim.Port) bool { return c.trunk[p] }

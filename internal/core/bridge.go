@@ -140,6 +140,39 @@ func (b *Bridge) Config() Config { return b.cfg }
 // OnStart implements bridge.Protocol.
 func (b *Bridge) OnStart() {}
 
+// Restart models a bridge power-cycle with total table loss: every
+// outstanding repair is abandoned (buffered frames released — the
+// refcounts must balance even across a crash), the locking table and
+// proxy cache are emptied, the chassis forgets its neighbours, and every
+// attached link bounces — a rebooting chassis drops carrier, which is how
+// the neighbours learn anything happened: they purge paths through this
+// bridge (OnPortStatus) and re-HELLO on the up transition, while this
+// bridge relearns everything from live traffic and the repair machinery
+// alone. That recovery is exactly the property the scenario engine's
+// fault schedules probe. Must be called from the simulation goroutine.
+func (b *Bridge) Restart() {
+	for dst, r := range b.repairs {
+		b.wheel.Stop(r.timer)
+		b.stats.RepairDropped += uint64(len(r.buffered))
+		for _, f := range r.buffered {
+			f.Release()
+		}
+		r.buffered = nil
+		delete(b.repairs, dst)
+	}
+	b.table.Reset()
+	if b.proxy != nil {
+		b.proxy = newProxyCache(b.cfg.ProxyTimeout)
+	}
+	b.Chassis.Restart()
+	for _, p := range b.Ports() {
+		if l := p.Link(); l.Up() {
+			l.SetUp(false)
+			l.SetUp(true)
+		}
+	}
+}
+
 // OnPortStatus implements bridge.Protocol: a dead link invalidates every
 // path through it immediately — the next unicast miss triggers repair.
 func (b *Bridge) OnPortStatus(p *netsim.Port, up bool) {
@@ -177,6 +210,18 @@ func (b *Bridge) handleBroadcast(in *netsim.Port, f *netsim.Frame, v *layers.Fra
 	now := b.Now()
 	src := v.SrcKey
 	establishing := pathEstablishingBroadcast(v)
+
+	// A copy of our own PathRequest flood returning around a cycle is
+	// never new information: the originator stamps its BridgeID into the
+	// control header, so it can be dropped statelessly. Normally the
+	// guard on src's entry filters these copies anyway; this check also
+	// covers the bridge that originated a request with no entry for src
+	// at all (a restarted bridge mid-repair), which otherwise would treat
+	// its own returning flood as a first copy and flood it a second time.
+	if v.HasCtl && v.Ctl.Type == layers.PathCtlRequest && v.Ctl.BridgeID == uint64(b.NumID()) {
+		b.stats.BroadcastRaceDrop++
+		return
+	}
 
 	if e, ok := b.table.GetKey(src, now); ok {
 		switch {
@@ -340,3 +385,6 @@ func (b *Bridge) EntryFor(mac layers.MAC) (Entry, bool) {
 
 var _ bridge.Protocol = (*Bridge)(nil)
 var _ netsim.Node = (*Bridge)(nil)
+
+// PendingRepairs returns the number of outstanding repairs (tests).
+func (b *Bridge) PendingRepairs() int { return len(b.repairs) }

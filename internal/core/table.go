@@ -303,6 +303,17 @@ func (t *LockTable) FlushPort(port *netsim.Port) int {
 // ones that have not been touched since their deadline.
 func (t *LockTable) Len() int { return t.resident }
 
+// Reset drops every entry and every port generation: the table is as
+// empty as at construction. This is total state loss (a bridge restart),
+// not a link event — use FlushPort for those.
+func (t *LockTable) Reset() {
+	clear(t.entries)
+	clear(t.ports)
+	t.resident = 0
+	t.lastPort = nil
+	t.lastPS = nil
+}
+
 // FlushExpired sweeps all expired and flushed entries eagerly. The
 // dataplane never calls this; it bounds memory for long-lived tables and
 // gives experiments exact counts.

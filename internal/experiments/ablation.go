@@ -72,6 +72,7 @@ func RunT5LockWindow(seed int64, windows []time.Duration) []T5Row {
 			row.Repairs += s.PathRequestsSent
 			row.SrcPortDrops += s.SrcPortDrop
 		}
+		finishNet(built)
 		rows = append(rows, row)
 	}
 	return rows
@@ -117,6 +118,7 @@ func RunT6TableSize(seed int64, sizes []int) []T6Row {
 
 func t6Measure(proto topo.Protocol, seed int64, n int) (maxLen int, meanLen float64) {
 	built := topo.Ring(topo.DefaultOptions(proto, seed), n)
+	defer finishNet(built)
 	server := built.Host("H1")
 	at := built.Now()
 	for i := 2; i <= n; i++ {

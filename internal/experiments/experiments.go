@@ -9,7 +9,22 @@ import (
 
 	"repro/internal/layers"
 	"repro/internal/netsim"
+	"repro/internal/topo"
 )
+
+// OnNetworkDone is a test hook: when set, every runner invokes it with
+// each network it built, after that network's measurements are complete.
+// The pooled-frame leak gate uses it to drain every figure/table
+// experiment's network and assert the frame refcounts balance; it is nil
+// (and free) outside tests.
+var OnNetworkDone func(n *topo.Built)
+
+// finishNet reports a network the current runner is done measuring.
+func finishNet(n *topo.Built) {
+	if OnNetworkDone != nil {
+		OnNetworkDone(n)
+	}
+}
 
 // PathTracer reconstructs the bridge path a probe takes by watching
 // deliveries network-wide. Attach it before sending the probe; the hop

@@ -66,6 +66,7 @@ func RunFigure3(cfg Figure3Config, proto topo.Protocol) *Figure3Result {
 	opts := topo.DefaultOptions(proto, cfg.Seed)
 	opts.STPTimers = cfg.STPTimers
 	n := topo.Figure2(opts, topo.ProfileUniform)
+	defer finishNet(n)
 	a, b := n.Host("A"), n.Host("B")
 
 	res := &Figure3Result{Protocol: proto}

@@ -37,6 +37,7 @@ type ForwardResult struct {
 // given seed; only the wall-clock figures vary between machines.
 func RunForwardBench(seed int64, frames int) *ForwardResult {
 	built := topo.FatTree(topo.DefaultOptions(topo.ARPPath, seed), 4)
+	defer finishNet(built)
 
 	type pair struct{ src, dst int }
 	var pairs []pair

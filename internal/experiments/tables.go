@@ -72,6 +72,7 @@ func RunT1Properties(seed int64, trials int) []T1Row {
 		row.FloodCopies = *copies
 		row.CopiesToHost = toHost
 		row.BlockedPorts = 0 // ARP-Path has no blocking state, by construction
+		finishNet(built)
 
 		// Same wiring under STP: count blocked ports after convergence.
 		stpBuilt := topo.Random(topo.DefaultOptions(topo.STP, seed+int64(trial)), n, extra)
@@ -83,6 +84,11 @@ func RunT1Properties(seed int64, trials int) []T1Row {
 				}
 			}
 		}
+		// The warm-up horizon falls exactly on a hello tick, so BPDUs sent
+		// at that instant are still in flight; land them before the net is
+		// dropped or their pooled frames stay referenced forever.
+		stpBuilt.RunFor(time.Millisecond)
+		finishNet(stpBuilt)
 		rows = append(rows, row)
 	}
 	return rows
@@ -122,6 +128,7 @@ type T2Result struct {
 // RunT2Load runs 8 cross-pod UDP flows on a k=4 fat tree.
 func RunT2Load(seed int64, proto topo.Protocol) *T2Result {
 	built := topo.FatTree(topo.DefaultOptions(proto, seed), 4)
+	defer finishNet(built)
 	res := &T2Result{Protocol: proto}
 
 	// Account *data* wire time per trunk-link direction via a tap: link
@@ -257,6 +264,7 @@ func runT3Cell(seed int64, n int, proxy bool) T3Row {
 	opts := topo.DefaultOptions(topo.ARPPath, seed)
 	opts.ARPPathConfig.Proxy = proxy
 	built := topo.Ring(opts, n)
+	defer finishNet(built)
 	row := T3Row{Hosts: n, Proxy: proxy}
 
 	server := built.Host("H1")
@@ -350,6 +358,7 @@ func RunT4Repair(seed int64) []T4Row {
 
 func runT4Cell(opts topo.Options, name string) T4Row {
 	built := topo.Figure2(opts, topo.ProfileUniform)
+	defer finishNet(built)
 	a, b := built.Host("A"), built.Host("B")
 	row := T4Row{Variant: name}
 

@@ -1,0 +1,117 @@
+package layers
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameViewAgreesWithDecoder feeds arbitrary bytes to the parse-once
+// FrameView and cross-checks every field against the full codec stack
+// (Ethernet/ARP/PathCtl decoders and the Parser). The two paths are
+// written independently — the view for the bridge fast path, the decoders
+// for hosts and tools — so any disagreement is a real dataplane bug, and
+// neither side may ever panic on hostile input.
+func FuzzFrameViewAgreesWithDecoder(f *testing.F) {
+	seed := func(ls ...SerializableLayer) []byte {
+		frame, err := Serialize(ls...)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return frame
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Add(seed(
+		&Ethernet{Dst: BroadcastMAC, Src: HostMAC(1), EtherType: EtherTypeARP},
+		&ARP{Operation: ARPRequest, SenderHW: HostMAC(1), SenderIP: HostIP(1), TargetIP: HostIP(2)},
+	))
+	f.Add(seed(
+		&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeARP},
+		&ARP{Operation: ARPReply, SenderHW: HostMAC(1), SenderIP: HostIP(1), TargetHW: HostMAC(2), TargetIP: HostIP(2)},
+	))
+	f.Add(seed(
+		&Ethernet{Dst: PathCtlMulticast, Src: BridgeMAC(3), EtherType: EtherTypePathCtl},
+		&PathCtl{Type: PathCtlHello, BridgeID: 3},
+	))
+	f.Add(seed(
+		&Ethernet{Dst: BroadcastMAC, Src: HostMAC(1), EtherType: EtherTypePathCtl},
+		&PathCtl{Type: PathCtlRequest, BridgeID: 7, Src: HostMAC(1), Dst: HostMAC(2), Nonce: 0xDEADBEEF},
+	))
+	f.Add(seed(
+		&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: IPProtoUDP, Src: HostIP(1), Dst: HostIP(2)},
+		&UDP{SrcPort: 9, DstPort: 9},
+		Payload("fuzz"),
+	))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v FrameView
+		v.Decode(data) // must never panic
+
+		var eth Ethernet
+		ethErr := eth.DecodeFromBytes(data)
+		if v.OK != (ethErr == nil) {
+			t.Fatalf("view.OK=%v, Ethernet decoder err=%v", v.OK, ethErr)
+		}
+		if !v.OK {
+			if v.HasARP || v.HasCtl || v.SrcKey != 0 || v.DstKey != 0 {
+				t.Fatalf("failed view carries fields: %+v", v)
+			}
+			return
+		}
+		if v.Dst != eth.Dst || v.Src != eth.Src || v.EtherType != eth.EtherType {
+			t.Fatalf("view header %v/%v/%v, decoder %v/%v/%v", v.Dst, v.Src, v.EtherType, eth.Dst, eth.Src, eth.EtherType)
+		}
+		if v.SrcKey != eth.Src.Uint64() || v.DstKey != eth.Dst.Uint64() {
+			t.Fatalf("packed keys disagree with MAC.Uint64")
+		}
+		if MACFromUint64(v.SrcKey) != eth.Src || MACFromUint64(v.DstKey) != eth.Dst {
+			t.Fatalf("packed keys do not round-trip")
+		}
+
+		var arp ARP
+		wantARP := eth.EtherType == EtherTypeARP && arp.DecodeFromBytes(eth.Payload()) == nil
+		if v.HasARP != wantARP {
+			t.Fatalf("HasARP=%v, decoder says %v", v.HasARP, wantARP)
+		}
+		if wantARP && v.ARP != arp {
+			t.Fatalf("ARP fields diverge: view %+v, decoder %+v", v.ARP, arp)
+		}
+
+		var ctl PathCtl
+		wantCtl := eth.EtherType == EtherTypePathCtl && ctl.DecodeFromBytes(eth.Payload()) == nil
+		if v.HasCtl != wantCtl {
+			t.Fatalf("HasCtl=%v, decoder says %v", v.HasCtl, wantCtl)
+		}
+		if wantCtl && v.Ctl != ctl {
+			t.Fatalf("PathCtl fields diverge: view %+v, decoder %+v", v.Ctl, ctl)
+		}
+
+		// The Parser (gopacket-style full stack) must agree on the layers
+		// the view models, and must not panic while going deeper.
+		var p Parser
+		if err := p.Parse(data); err != nil {
+			t.Fatalf("view.OK but Parser rejects Ethernet: %v", err)
+		}
+		if p.Has(LayerARP) != v.HasARP {
+			t.Fatalf("Parser ARP=%v, view=%v", p.Has(LayerARP), v.HasARP)
+		}
+		if p.Has(LayerPathCtl) != v.HasCtl {
+			t.Fatalf("Parser PathCtl=%v, view=%v", p.Has(LayerPathCtl), v.HasCtl)
+		}
+		if v.HasARP && p.ARP != v.ARP {
+			t.Fatalf("Parser ARP fields diverge from view")
+		}
+		if v.HasCtl && p.Ctl != v.Ctl {
+			t.Fatalf("Parser PathCtl fields diverge from view")
+		}
+
+		// The convenience header peekers agree too.
+		if FrameDst(data) != eth.Dst || FrameEtherType(data) != eth.EtherType {
+			t.Fatalf("FrameDst/FrameEtherType disagree with decoder")
+		}
+		if !bytes.Equal(eth.Payload(), data[EthernetHeaderLen:]) {
+			t.Fatalf("Ethernet payload does not alias the frame tail")
+		}
+	})
+}

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/layers"
 )
@@ -31,6 +32,7 @@ import (
 // frame's bytes.
 type Frame struct {
 	refs int32
+	id   uint64 // origination identity, fresh per NewFrame (not per buffer)
 	data []byte // aliases buf for wire-sized frames
 	view layers.FrameView
 	buf  [layers.MaxFrameLen]byte
@@ -41,12 +43,34 @@ type Frame struct {
 // GC-aware for free.
 var framePool = sync.Pool{New: func() any { return new(Frame) }}
 
+// frameSeq issues frame identities. A frame keeps its id across the whole
+// zero-copy forwarding chain (every hop and every flood egress shares the
+// one buffer), so the id is what lets a network-wide observer correlate
+// tap events into per-frame traces — the hop-trace hook the scenario
+// engine's loop-freedom checker is built on. Buffer recycling does not
+// reuse ids: a recycled Frame gets a fresh one at NewFrame.
+var frameSeq atomic.Uint64
+
+// frameLive counts frames created and not yet finally released. The
+// balance is the pool get/put instrumentation behind LiveFrames; atomic so
+// the counter stays exact under `go test -race` even though the simulation
+// itself is single-goroutined.
+var frameLive atomic.Int64
+
+// LiveFrames returns the number of pooled frames currently held somewhere
+// (in flight, buffered for repair, or leaked). Tests snapshot it before a
+// run and assert the delta returns to zero once the simulation drains — a
+// nonzero delta after a full drain is a refcount leak.
+func LiveFrames() int64 { return frameLive.Load() }
+
 // NewFrame copies b into a pooled frame and decodes its view. The caller
 // owns the returned reference and must Release it (sending is not
 // releasing: Port.SendFrame takes its own reference).
 func NewFrame(b []byte) *Frame {
 	f := framePool.Get().(*Frame)
 	f.refs = 1
+	f.id = frameSeq.Add(1)
+	frameLive.Add(1)
 	if len(b) <= len(f.buf) {
 		f.data = f.buf[:copy(f.buf[:], b)]
 	} else {
@@ -62,6 +86,11 @@ func NewFrame(b []byte) *Frame {
 // Bytes returns the frame contents. The slice is valid only while the
 // caller holds a reference; do not mutate it.
 func (f *Frame) Bytes() []byte { return f.data }
+
+// ID returns the frame's origination identity: unique per NewFrame and
+// stable across the zero-copy forwarding chain, so two tap events with the
+// same id observed the same originated frame (or flood copies of it).
+func (f *Frame) ID() uint64 { return f.id }
 
 // Len returns the frame length in bytes.
 func (f *Frame) Len() int { return len(f.data) }
@@ -85,6 +114,7 @@ func (f *Frame) Release() {
 	case f.refs > 0:
 	case f.refs == 0:
 		f.data = nil
+		frameLive.Add(-1)
 		framePool.Put(f)
 	default:
 		panic(fmt.Sprintf("netsim: frame over-released (refs=%d)", f.refs))

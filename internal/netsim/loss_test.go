@@ -1,0 +1,190 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSetLossIsUnidirectional degrades only the A→B direction and checks
+// B→A traffic is untouched while A→B loses roughly the configured share.
+func TestSetLossIsUnidirectional(t *testing.T) {
+	net := NewNetwork(1)
+	a, b := newTestNode("a"), newTestNode("b")
+	l := net.Connect(a, b, gigabit(time.Microsecond))
+
+	var lossTaps int
+	net.Tap(func(ev TapEvent) {
+		if ev.Kind == TapDropLoss {
+			lossTaps++
+			if ev.FrameID != 0 {
+				t.Error("origination-path loss drop carried a frame id")
+			}
+		}
+	})
+
+	const n = 1000
+	net.Engine.At(0, func() {
+		l.SetLoss(l.A(), 0.5)
+		for i := 0; i < n; i++ {
+			l.A().Send(make([]byte, 100))
+			l.B().Send(make([]byte, 100))
+		}
+	})
+	net.Run()
+
+	if got := len(a.frames); got != n {
+		t.Fatalf("B→A direction lost frames: %d of %d arrived", got, n)
+	}
+	lost := n - len(b.frames)
+	if lost < n/4 || lost > 3*n/4 {
+		t.Fatalf("A→B lost %d of %d at rate 0.5", lost, n)
+	}
+	if st := l.A().Stats(); st.DropsLoss != uint64(lost) {
+		t.Fatalf("DropsLoss=%d, want %d", st.DropsLoss, lost)
+	}
+	if lossTaps != lost {
+		t.Fatalf("%d TapDropLoss events for %d losses", lossTaps, lost)
+	}
+}
+
+// TestSetLossClearedRestoresDelivery clears a lossy direction and checks
+// delivery returns to 100%.
+func TestSetLossClearedRestoresDelivery(t *testing.T) {
+	net := NewNetwork(1)
+	a, b := newTestNode("a"), newTestNode("b")
+	l := net.Connect(a, b, gigabit(time.Microsecond))
+	net.Engine.At(0, func() { l.SetLoss(l.A(), 1) })
+	net.Engine.At(0, func() { l.A().Send(make([]byte, 64)) })
+	net.Engine.At(time.Millisecond, func() {
+		if l.Loss(l.A()) != 1 {
+			t.Error("loss rate not readable")
+		}
+		l.SetLoss(l.A(), 0)
+	})
+	net.Engine.At(2*time.Millisecond, func() { l.A().Send(make([]byte, 64)) })
+	net.Run()
+	if len(b.frames) != 1 {
+		t.Fatalf("got %d frames, want exactly the post-clear one", len(b.frames))
+	}
+}
+
+// TestSetLossDeterministic pins the seed → drop pattern mapping: two
+// identical runs lose exactly the same frames.
+func TestSetLossDeterministic(t *testing.T) {
+	run := func() []int {
+		net := NewNetwork(42)
+		a, b := newTestNode("a"), newTestNode("b")
+		l := net.Connect(a, b, gigabit(time.Microsecond))
+		_ = a
+		net.Engine.At(0, func() {
+			l.SetLoss(l.A(), 0.3)
+			for i := 0; i < 200; i++ {
+				l.A().Send([]byte{byte(i), byte(i >> 8), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+			}
+		})
+		net.Run()
+		var got []int
+		for _, r := range b.frames {
+			got = append(got, int(r.frame[0])|int(r.frame[1])<<8)
+		}
+		return got
+	}
+	x, y := run(), run()
+	if len(x) != len(y) {
+		t.Fatalf("runs delivered %d vs %d frames", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("delivery %d diverged: frame %d vs %d", i, x[i], y[i])
+		}
+	}
+}
+
+// forwarder is a node that forwards every received frame out one port,
+// zero-copy, like a one-armed bridge.
+type forwarder struct {
+	name  string
+	out   *Port
+	ports []*Port
+}
+
+func (f *forwarder) Name() string                      { return f.name }
+func (f *forwarder) AttachPort(p *Port)                { f.ports = append(f.ports, p) }
+func (f *forwarder) HandleFrame(_ *Port, fr *Frame)    { f.out.SendFrame(fr) }
+func (f *forwarder) PortStatusChanged(_ *Port, _ bool) {}
+
+// TestFrameIDStableAcrossHops checks the hop-trace identity: the id
+// assigned at origination is visible unchanged at every tap event of a
+// two-hop zero-copy forwarding chain, and distinct originations get
+// distinct ids.
+func TestFrameIDStableAcrossHops(t *testing.T) {
+	net := NewNetwork(1)
+	a, c := newTestNode("a"), newTestNode("c")
+	mid := &forwarder{name: "mid"}
+	ab := net.Connect(a, mid, gigabit(time.Microsecond))
+	bc := net.Connect(mid, c, gigabit(time.Microsecond))
+	mid.out = bc.A()
+
+	ids := make(map[uint64][]TapKind)
+	net.Tap(func(ev TapEvent) {
+		if ev.FrameID == 0 {
+			t.Error("tap event with zero frame id")
+		}
+		ids[ev.FrameID] = append(ids[ev.FrameID], ev.Kind)
+	})
+	net.Engine.At(0, func() {
+		ab.A().Send(make([]byte, 64))
+		ab.A().Send(make([]byte, 64))
+	})
+	net.Run()
+	if len(ids) != 2 {
+		t.Fatalf("2 originations produced %d distinct frame ids", len(ids))
+	}
+	want := []TapKind{TapSend, TapDeliver, TapSend, TapDeliver}
+	for id, kinds := range ids {
+		if len(kinds) != len(want) {
+			t.Fatalf("frame %d saw %v, want %v", id, kinds, want)
+		}
+		for i := range want {
+			if kinds[i] != want[i] {
+				t.Fatalf("frame %d saw %v, want %v", id, kinds, want)
+			}
+		}
+	}
+	if len(c.frames) != 2 {
+		t.Fatalf("far node received %d frames, want 2", len(c.frames))
+	}
+}
+
+// TestLiveFramesBalance checks the get/put instrumentation: live count
+// rises while frames are held and returns to baseline after release.
+func TestLiveFramesBalance(t *testing.T) {
+	base := LiveFrames()
+	f := NewFrame(make([]byte, 64))
+	if got := LiveFrames(); got != base+1 {
+		t.Fatalf("after NewFrame: live=%d, want %d", got, base+1)
+	}
+	f.Retain()
+	f.Release()
+	if got := LiveFrames(); got != base+1 {
+		t.Fatalf("after Retain+Release: live=%d, want %d", got, base+1)
+	}
+	f.Release()
+	if got := LiveFrames(); got != base {
+		t.Fatalf("after final Release: live=%d, want %d", got, base)
+	}
+
+	// A full simulated exchange drains back to baseline too.
+	net := NewNetwork(1)
+	a, b := newTestNode("a"), newTestNode("b")
+	l := net.Connect(a, b, gigabit(time.Microsecond))
+	net.Engine.At(0, func() {
+		for i := 0; i < 50; i++ {
+			l.A().Send(make([]byte, 200))
+		}
+	})
+	net.Run()
+	if got := LiveFrames(); got != base {
+		t.Fatalf("after drained run: live=%d, want %d", got, base)
+	}
+}

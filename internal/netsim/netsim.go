@@ -73,6 +73,9 @@ const (
 	// TapDropDown fires when a frame is discarded because the link is (or
 	// went) down.
 	TapDropDown
+	// TapDropLoss fires when a frame is discarded by a configured
+	// unidirectional loss rate (a degraded cable, Link.SetLoss).
+	TapDropLoss
 )
 
 // String names the kind.
@@ -86,6 +89,8 @@ func (k TapKind) String() string {
 		return "drop-queue"
 	case TapDropDown:
 		return "drop-down"
+	case TapDropLoss:
+		return "drop-loss"
 	default:
 		return "tap(?)"
 	}
@@ -100,6 +105,12 @@ type TapEvent struct {
 	// Frame aliases the pooled frame buffer: read it during the tap
 	// call only, do not mutate, and copy if the bytes must outlive it.
 	Frame []byte
+	// FrameID is the pooled frame's origination identity (Frame.ID):
+	// stable across every hop and flood egress of one originated frame,
+	// which is what lets a tap correlate events into per-frame hop traces.
+	// Zero on origination-side drops that happen before a pooled frame
+	// exists (a down link or full queue rejecting Port.Send).
+	FrameID uint64
 }
 
 // TapFunc observes frames network-wide.
@@ -211,6 +222,7 @@ type PortStats struct {
 	RxFrames, RxBytes uint64
 	DropsQueue        uint64 // frames tail-dropped on egress
 	DropsDown         uint64 // frames lost to a down link
+	DropsLoss         uint64 // frames lost to unidirectional degradation
 }
 
 // Port is one end of a link, owned by a node.
@@ -251,7 +263,7 @@ func (p *Port) String() string { return fmt.Sprintf("%s[%d]", p.node.Name(), p.i
 // exactly like a real egress MAC — and before the copy, so dropped
 // originations stay as cheap as they were pre-pooling.
 func (p *Port) Send(frame []byte) {
-	if !p.link.admit(p, frame) {
+	if !p.link.admit(p, frame, 0) {
 		return
 	}
 	f := NewFrame(frame)
@@ -263,7 +275,7 @@ func (p *Port) Send(frame []byte) {
 // own reference for the flight; the caller's reference is untouched, so
 // forwarding a borrowed frame from inside HandleFrame needs no Retain.
 func (p *Port) SendFrame(f *Frame) {
-	if !p.link.admit(p, f.Bytes()) {
+	if !p.link.admit(p, f.Bytes(), f.id) {
 		return
 	}
 	p.link.transmit(p, f)
@@ -274,6 +286,7 @@ type linkDir struct {
 	busyUntil   time.Duration // when the serializer frees up
 	queuedBytes int           // wire bytes accepted but not yet serialized
 	busyTotal   time.Duration // cumulative serialization time (utilization)
+	lossRate    float64       // probability a frame this direction is lost
 }
 
 // Link is a full-duplex point-to-point Ethernet link.
@@ -298,6 +311,9 @@ func (l *Link) A() *Port { return l.ports[0] }
 // B returns the second-cabled port.
 func (l *Link) B() *Port { return l.ports[1] }
 
+// Ports returns both ends, A first.
+func (l *Link) Ports() [2]*Port { return l.ports }
+
 // String renders "a[i]<->b[j]".
 func (l *Link) String() string {
 	return fmt.Sprintf("%s<->%s", l.ports[0], l.ports[1])
@@ -308,6 +324,23 @@ func (l *Link) String() string {
 func (l *Link) BusyTime(p *Port) time.Duration {
 	return l.dir[p.side].busyTotal
 }
+
+// SetLoss degrades the direction transmitting away from port from: each
+// admitted frame is independently lost with probability rate (drawn from
+// the deterministic engine RNG, so a seed fully determines which frames
+// die). rate 0 restores the direction; the opposite direction is
+// untouched, which is what models a unidirectionally failing cable — the
+// wARP-Path-style impairment a clean up/down flap cannot express. Must be
+// called from the simulation goroutine, like SetUp.
+func (l *Link) SetLoss(from *Port, rate float64) {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("netsim: loss rate %v out of [0,1]", rate))
+	}
+	l.dir[from.side].lossRate = rate
+}
+
+// Loss returns the loss rate in the direction transmitting away from from.
+func (l *Link) Loss(from *Port) float64 { return l.dir[from.side].lossRate }
 
 // SetUp changes the link state, purging queued traffic on a down
 // transition and notifying both nodes. Must be called from the simulation
@@ -369,30 +402,39 @@ func (fl *flight) RunEvent(arg int32) {
 	flightPool.Put(fl)
 	if l.epoch != epoch || !l.up {
 		from.stats.DropsDown++
-		l.net.emit(TapEvent{At: e.Now(), Kind: TapDropDown, From: from, To: to, Frame: f.Bytes()})
+		l.net.emit(TapEvent{At: e.Now(), Kind: TapDropDown, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
 		f.Release()
 		return
 	}
 	to.stats.RxFrames++
 	to.stats.RxBytes += uint64(f.Len())
-	l.net.emit(TapEvent{At: e.Now(), Kind: TapDeliver, From: from, To: to, Frame: f.Bytes()})
+	l.net.emit(TapEvent{At: e.Now(), Kind: TapDeliver, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
 	to.node.HandleFrame(to, f)
 	f.Release()
 }
 
-// admit runs the egress drop checks (link down, queue overflow) on the
-// raw bytes, emitting drop taps and bumping counters. Running before any
-// frame is materialized keeps the drop path copy- and allocation-free.
-func (l *Link) admit(from *Port, frame []byte) bool {
+// admit runs the egress drop checks (link down, queue overflow, lossy
+// direction) on the raw bytes, emitting drop taps and bumping counters.
+// Running before any frame is materialized keeps the drop path copy- and
+// allocation-free. id is the pooled frame's identity when one exists
+// (SendFrame), zero on the origination path (Send) where the frame has
+// not been materialized yet.
+func (l *Link) admit(from *Port, frame []byte, id uint64) bool {
 	now := l.net.Engine.Now()
 	if !l.up {
 		from.stats.DropsDown++
-		l.net.emit(TapEvent{At: now, Kind: TapDropDown, From: from, To: from.Peer(), Frame: frame})
+		l.net.emit(TapEvent{At: now, Kind: TapDropDown, From: from, To: from.Peer(), Frame: frame, FrameID: id})
 		return false
 	}
-	if l.dir[from.side].queuedBytes+layers.WireBytes(len(frame)) > l.cfg.Queue {
+	d := &l.dir[from.side]
+	if d.lossRate > 0 && l.net.Engine.Rand().Float64() < d.lossRate {
+		from.stats.DropsLoss++
+		l.net.emit(TapEvent{At: now, Kind: TapDropLoss, From: from, To: from.Peer(), Frame: frame, FrameID: id})
+		return false
+	}
+	if d.queuedBytes+layers.WireBytes(len(frame)) > l.cfg.Queue {
 		from.stats.DropsQueue++
-		l.net.emit(TapEvent{At: now, Kind: TapDropQueue, From: from, To: from.Peer(), Frame: frame})
+		l.net.emit(TapEvent{At: now, Kind: TapDropQueue, From: from, To: from.Peer(), Frame: frame, FrameID: id})
 		return false
 	}
 	return true
@@ -420,7 +462,7 @@ func (l *Link) transmit(from *Port, f *Frame) {
 	from.stats.TxFrames++
 	from.stats.TxBytes += uint64(f.Len())
 	to := from.Peer()
-	l.net.emit(TapEvent{At: now, Kind: TapSend, From: from, To: to, Frame: f.Bytes()})
+	l.net.emit(TapEvent{At: now, Kind: TapSend, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
 
 	fl := flightPool.Get().(*flight)
 	fl.link = l

@@ -1,0 +1,397 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/layers"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// Invariant names a protocol property the checker enforces. Each encodes
+// a claim of the paper (DESIGN.md §7 maps them to sections).
+type Invariant string
+
+// Checked invariants.
+const (
+	// InvLoopFreedom: a unicast frame never traverses the same bridge more
+	// than the reroute allowance (§2.1.3: no blocked ports, yet loop-free).
+	InvLoopFreedom Invariant = "loop-freedom"
+	// InvFloodBound: a broadcast frame leaves each bridge port at most
+	// once (§2.1.1's first-copy rule bounds flood fan-out to one copy per
+	// directed link).
+	InvFloodBound Invariant = "flood-bound"
+	// InvHopCap: no frame's total delivery count exceeds the network-wide
+	// cap (a runaway forwarding loop, however it arose).
+	InvHopCap Invariant = "hop-cap"
+	// InvTableConsistency: following any destination's entries bridge to
+	// bridge never cycles and never terminates at the wrong host (the
+	// locked/learned chains of §2.1 form forests rooted at hosts).
+	InvTableConsistency Invariant = "table-consistency"
+	// InvPathSymmetry: the bridge chain toward B from A's edge is the
+	// reverse of the chain toward A from B's edge (§2.1.2: the reply
+	// confirms the same path the request locked).
+	InvPathSymmetry Invariant = "path-symmetry"
+	// InvDelivery: after faults heal and the network quiesces, every
+	// offered unicast probe is answered (§2.1.4: repair restores service).
+	InvDelivery Invariant = "eventual-delivery"
+	// InvFrameDrain: when the simulation drains, every pooled frame has
+	// been released (the netsim ownership contract holds under faults).
+	InvFrameDrain Invariant = "frame-drain"
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	Invariant Invariant
+	At        time.Duration // virtual time of the observation (0 for post-run checks)
+	Detail    string
+}
+
+func (v Violation) String() string {
+	if v.At > 0 {
+		return fmt.Sprintf("[%s] t=%v %s", v.Invariant, v.At, v.Detail)
+	}
+	return fmt.Sprintf("[%s] %s", v.Invariant, v.Detail)
+}
+
+// Per-frame traversal allowances. Frames originated after the network is
+// marked stable get the strict protocol bounds; frames originated during
+// the fault phase get looser ones, because a mid-flood table flush
+// legitimately re-floods a frame and a repair legitimately reroutes one
+// back through an earlier hop — transients, not loops.
+const (
+	maxUnicastVisitsStable = 2 // the one legitimate repair reroute
+	maxUnicastVisitsFaulty = 4
+	maxFloodSendsStable    = 1
+	maxFloodSendsFaulty    = 3
+	maxViolationDetails    = 24
+)
+
+// Checker watches a built network through the netsim tap and verifies the
+// protocol invariants, online (hop traces, flood bounds) and post-run
+// (table shape, delivery, frame drain). It also folds every tap event
+// into a fingerprint: two runs of the same scenario must produce equal
+// fingerprints, which is the engine's determinism check.
+type Checker struct {
+	built    *topo.Built
+	bridges  map[string]bool
+	hopCap   int
+	stableAt time.Duration // math.MaxInt64 until MarkStable
+	baseLive int64
+
+	fp         uint64            // running FNV-1a over all tap events
+	events     uint64            // tap events folded in
+	frameIndex map[uint64]uint32 // frame id -> first-seen order (normalized identity)
+	firstSeen  map[uint64]time.Duration
+	uvisits    map[uint64]map[string]int // unicast frame -> bridge -> deliveries
+	bsends     map[uint64]map[string]int // broadcast frame -> "bridge[port]" -> sends
+	delivered  map[uint64]int            // frame -> total deliveries
+
+	violations []Violation
+	dropped    int // violations beyond maxViolationDetails
+	loops      bool
+}
+
+// NewChecker attaches a checker to built. It must be installed before any
+// traffic the invariants should cover; the frame-drain baseline is
+// snapshotted here.
+func NewChecker(built *topo.Built) *Checker {
+	c := &Checker{
+		built:      built,
+		bridges:    make(map[string]bool, len(built.Bridges)),
+		hopCap:     8*len(built.Links) + 64,
+		stableAt:   math.MaxInt64,
+		baseLive:   netsim.LiveFrames(),
+		frameIndex: make(map[uint64]uint32),
+		firstSeen:  make(map[uint64]time.Duration),
+		uvisits:    make(map[uint64]map[string]int),
+		bsends:     make(map[uint64]map[string]int),
+		delivered:  make(map[uint64]int),
+	}
+	for _, b := range built.Bridges {
+		c.bridges[b.Name()] = true
+	}
+	built.Tap(c.tap)
+	return c
+}
+
+// MarkStable tells the checker all faults have healed and the network has
+// quiesced: frames originated from now on are held to the strict bounds.
+func (c *Checker) MarkStable(now time.Duration) { c.stableAt = now }
+
+// Violations returns everything observed so far (post-run checks append).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Dropped returns how many violations were counted but not recorded in
+// detail (a loop produces one per extra traversal).
+func (c *Checker) Dropped() int { return c.dropped }
+
+// LoopSuspected reports whether a loop-class violation fired. A live
+// forwarding loop regenerates events forever, so a caller must not drain
+// the engine to quiescence once this is set.
+func (c *Checker) LoopSuspected() bool { return c.loops }
+
+// Fingerprint returns the FNV-1a digest of every tap event seen, with
+// frame identities normalized to first-seen order. Equal scenarios give
+// equal fingerprints regardless of what ran earlier in the process.
+func (c *Checker) Fingerprint() uint64 { return c.fp }
+
+// Events returns the number of tap events folded into the fingerprint.
+func (c *Checker) Events() uint64 { return c.events }
+
+func (c *Checker) violate(inv Invariant, at time.Duration, format string, args ...any) {
+	if inv == InvLoopFreedom || inv == InvHopCap || inv == InvFloodBound {
+		c.loops = true
+	}
+	if len(c.violations) >= maxViolationDetails {
+		c.dropped++
+		return
+	}
+	c.violations = append(c.violations, Violation{Invariant: inv, At: at, Detail: fmt.Sprintf(format, args...)})
+}
+
+// frameID normalizes a frame identity to its first-seen index, keeping
+// fingerprints independent of the process-global frame counter.
+func (c *Checker) frameID(id uint64) uint32 {
+	if n, ok := c.frameIndex[id]; ok {
+		return n
+	}
+	n := uint32(len(c.frameIndex)) + 1
+	c.frameIndex[id] = n
+	return n
+}
+
+// tap is the hop-trace hook: every link event flows through here.
+func (c *Checker) tap(ev netsim.TapEvent) {
+	nid := c.frameID(ev.FrameID)
+	c.fold(uint64(ev.At), uint64(ev.Kind), uint64(nid), uint64(len(ev.Frame)))
+	c.foldString(ev.From.String())
+	c.foldString(ev.To.String())
+	c.events++
+
+	if ev.FrameID == 0 {
+		return // origination-side drop, no pooled frame to trace
+	}
+	if _, ok := c.firstSeen[ev.FrameID]; !ok {
+		c.firstSeen[ev.FrameID] = ev.At
+	}
+	strict := c.firstSeen[ev.FrameID] >= c.stableAt
+
+	switch ev.Kind {
+	case netsim.TapDeliver:
+		c.delivered[ev.FrameID]++
+		if c.delivered[ev.FrameID] == c.hopCap {
+			c.violate(InvHopCap, ev.At, "frame %d exceeded %d deliveries (last hop %v->%v)", nid, c.hopCap, ev.From, ev.To)
+		}
+		to := ev.To.Node().Name()
+		if !c.bridges[to] || layers.FrameDst(ev.Frame).IsMulticast() {
+			return
+		}
+		m := c.uvisits[ev.FrameID]
+		if m == nil {
+			m = make(map[string]int)
+			c.uvisits[ev.FrameID] = m
+		}
+		m[to]++
+		limit := maxUnicastVisitsFaulty
+		if strict {
+			limit = maxUnicastVisitsStable
+		}
+		if m[to] == limit+1 {
+			c.violate(InvLoopFreedom, ev.At, "unicast frame %d traversed bridge %s %d times (limit %d, via %v)", nid, to, m[to], limit, ev.From)
+		}
+	case netsim.TapSend:
+		from := ev.From.Node().Name()
+		if !c.bridges[from] || !layers.FrameDst(ev.Frame).IsMulticast() {
+			return
+		}
+		m := c.bsends[ev.FrameID]
+		if m == nil {
+			m = make(map[string]int)
+			c.bsends[ev.FrameID] = m
+		}
+		key := ev.From.String()
+		m[key]++
+		limit := maxFloodSendsFaulty
+		if strict {
+			limit = maxFloodSendsStable
+		}
+		if m[key] == limit+1 {
+			c.violate(InvFloodBound, ev.At, "broadcast frame %d flooded %d times out %s (limit %d)", nid, m[key], key, limit)
+		}
+	}
+}
+
+// fold mixes integers into the FNV-1a fingerprint.
+func (c *Checker) fold(vs ...uint64) {
+	h := c.fp
+	if h == 0 {
+		h = 14695981039346656037 // FNV-1a offset basis
+	}
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	c.fp = h
+}
+
+func (c *Checker) foldString(s string) {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	c.fold(h.Sum64())
+}
+
+// CheckFrameDrain asserts the pooled-frame population is back at the
+// pre-scenario baseline. Only meaningful after the engine has fully
+// drained (no event in flight may hold a reference).
+func (c *Checker) CheckFrameDrain() {
+	if live := netsim.LiveFrames(); live != c.baseLive {
+		c.violate(InvFrameDrain, 0, "%d pooled frame(s) still referenced after drain (baseline %d, now %d)", live-c.baseLive, c.baseLive, live)
+	}
+}
+
+// hostByMAC maps every host's packed MAC to its name.
+func (c *Checker) hostByMAC() map[uint64]string {
+	owners := make(map[uint64]string, len(c.built.Hosts))
+	for name, h := range c.built.Hosts {
+		owners[h.MAC().Uint64()] = name
+	}
+	return owners
+}
+
+// CheckTables verifies the locking tables form per-destination forests:
+// for every MAC, following entries bridge to bridge must never revisit a
+// bridge, and a walk that reaches a host must have reached the MAC's
+// owner. Dead ends at entry-less bridges are legal (expiry is lazy and
+// repair rebuilds on demand); cycles never are — a cycle is the loop the
+// protocol claims cannot form without blocked ports.
+func (c *Checker) CheckTables() {
+	now := c.built.Now()
+	owners := c.hostByMAC()
+
+	// nextHop[mac][bridge] = node the entry's port leads to.
+	nextHop := make(map[layers.MAC]map[string]string)
+	macs := make([]layers.MAC, 0)
+	for _, br := range c.built.Bridges {
+		cb, ok := br.(*core.Bridge)
+		if !ok {
+			continue
+		}
+		for mac, e := range cb.Table().Snapshot(now) {
+			m := nextHop[mac]
+			if m == nil {
+				m = make(map[string]string)
+				nextHop[mac] = m
+				macs = append(macs, mac)
+			}
+			m[br.Name()] = e.Port.Peer().Node().Name()
+		}
+	}
+	sort.Slice(macs, func(i, j int) bool { return macs[i].Uint64() < macs[j].Uint64() })
+
+	for _, mac := range macs {
+		hops := nextHop[mac]
+		starts := make([]string, 0, len(hops))
+		for b := range hops {
+			starts = append(starts, b)
+		}
+		sort.Strings(starts)
+		for _, start := range starts {
+			seen := map[string]bool{start: true}
+			cur := start
+			for {
+				next, ok := hops[cur]
+				if !ok {
+					break // dead end: legal
+				}
+				if !c.bridges[next] {
+					if owner, isHost := owners[mac.Uint64()]; isHost && owner != next {
+						c.violate(InvTableConsistency, 0, "entries for %v walk from %s to host %s (owner is %s)", mac, start, next, owner)
+					}
+					break
+				}
+				if seen[next] {
+					c.violate(InvTableConsistency, 0, "entries for %v cycle: walk from %s revisits %s", mac, start, next)
+					break
+				}
+				seen[next] = true
+				cur = next
+			}
+		}
+	}
+}
+
+// walkTo follows dst-MAC entries from a bridge and returns the bridge
+// chain, ending when a host is reached (ok true if it is the owner).
+func (c *Checker) walkTo(start string, mac layers.MAC, owner string) (chain []string, ok bool) {
+	cur := start
+	for steps := 0; steps <= len(c.built.Bridges); steps++ {
+		chain = append(chain, cur)
+		cb, isBridge := c.bridgeByName(cur)
+		if !isBridge {
+			return chain, false
+		}
+		e, found := cb.EntryFor(mac)
+		if !found {
+			return chain, false
+		}
+		next := e.Port.Peer().Node().Name()
+		if !c.bridges[next] {
+			return chain, next == owner
+		}
+		cur = next
+	}
+	return chain, false
+}
+
+func (c *Checker) bridgeByName(name string) (*core.Bridge, bool) {
+	for _, br := range c.built.Bridges {
+		if br.Name() == name {
+			cb, ok := br.(*core.Bridge)
+			return cb, ok
+		}
+	}
+	return nil, false
+}
+
+// CheckPathSymmetry verifies §2.1.2's symmetric-path claim for a host
+// pair that has just exchanged traffic on a quiesced network: the bridge
+// chain toward b starting at a's edge bridge must be the exact reverse of
+// the chain toward a starting at b's edge bridge.
+func (c *Checker) CheckPathSymmetry(a, b string) {
+	ha, hb := c.built.Hosts[a], c.built.Hosts[b]
+	edgeA := ha.Port().Peer().Node().Name()
+	edgeB := hb.Port().Peer().Node().Name()
+	toB, okAB := c.walkTo(edgeA, hb.MAC(), b)
+	toA, okBA := c.walkTo(edgeB, ha.MAC(), a)
+	if !okAB || !okBA {
+		c.violate(InvPathSymmetry, 0, "path %s<->%s incomplete after quiescence (%s->%s reached=%v, %s->%s reached=%v)",
+			a, b, a, b, okAB, b, a, okBA)
+		return
+	}
+	if len(toB) != len(toA) {
+		c.violate(InvPathSymmetry, 0, "path %s->%s (%v) and %s->%s (%v) differ in length", a, b, toB, b, a, toA)
+		return
+	}
+	for i := range toB {
+		if toB[i] != toA[len(toA)-1-i] {
+			c.violate(InvPathSymmetry, 0, "path %s->%s (%v) is not the reverse of %s->%s (%v)", a, b, toB, b, a, toA)
+			return
+		}
+	}
+}
+
+// CheckDelivery records the eventual-delivery verdict: every verification
+// probe offered after quiescence must have been answered.
+func (c *Checker) CheckDelivery(pair string, sent, answered int) {
+	if answered != sent {
+		c.violate(InvDelivery, 0, "pair %s: %d of %d post-quiescence probes answered", pair, answered, sent)
+	}
+}

@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/host/app"
+)
+
+// FaultFamily names a class of seeded fault schedules.
+type FaultFamily string
+
+// Fault schedule families.
+const (
+	// FaultsLinkFlaps cuts trunk links and restores them after a pause —
+	// the paper's §3.2 path-repair stimulus, randomized.
+	FaultsLinkFlaps FaultFamily = "link-flaps"
+	// FaultsBridgeRestarts power-cycles bridges with total table loss.
+	FaultsBridgeRestarts FaultFamily = "bridge-restarts"
+	// FaultsUnidirLoss degrades single link directions with random frame
+	// loss (the wARP-Path lossy-link regime).
+	FaultsUnidirLoss FaultFamily = "unidir-loss"
+	// FaultsQueuePressure fires line-rate UDP bursts that overflow output
+	// queues, so discovery races and repairs run under congestion drop.
+	FaultsQueuePressure FaultFamily = "queue-pressure"
+	// FaultsMixed combines one of each of the above.
+	FaultsMixed FaultFamily = "mixed"
+)
+
+// FaultFamilies lists every schedule family, sweep order.
+func FaultFamilies() []FaultFamily {
+	return []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure, FaultsMixed}
+}
+
+// FaultKind discriminates the ops a schedule is made of.
+type FaultKind uint8
+
+// Fault op kinds.
+const (
+	OpLinkDown FaultKind = iota
+	OpLinkUp
+	OpBridgeRestart
+	OpSetLoss
+	OpClearLoss
+	OpBurst
+)
+
+// FaultOp is one replayable fault action. Ops are pure data — indices into
+// the scenario's sorted name lists plus parameters — so a failing
+// schedule can be re-applied to a rebuilt instance, and shrunk to a
+// minimal failing subset by replaying subsets (see Shrink). At is relative
+// to the start of the fault phase.
+type FaultOp struct {
+	At   time.Duration
+	Kind FaultKind
+
+	Link int     // linkNames index (OpLinkDown/OpLinkUp/OpSetLoss/OpClearLoss)
+	Side int     // transmitting side for loss ops: 0 = A, 1 = B
+	Rate float64 // loss probability (OpSetLoss)
+
+	Bridge int // Bridges index (OpBridgeRestart)
+
+	Src, Dst int           // host indices (OpBurst)
+	Port     uint16        // UDP port the burst runs on (unique per op)
+	Count    int           // datagrams in the burst
+	Interval time.Duration // datagram spacing
+	Payload  int           // datagram payload bytes
+}
+
+// String renders the op for failure reports.
+func (op FaultOp) String() string {
+	switch op.Kind {
+	case OpLinkDown:
+		return fmt.Sprintf("t=%v link %d down", op.At, op.Link)
+	case OpLinkUp:
+		return fmt.Sprintf("t=%v link %d up", op.At, op.Link)
+	case OpBridgeRestart:
+		return fmt.Sprintf("t=%v bridge %d restart", op.At, op.Bridge)
+	case OpSetLoss:
+		return fmt.Sprintf("t=%v link %d side %d loss %.2f", op.At, op.Link, op.Side, op.Rate)
+	case OpClearLoss:
+		return fmt.Sprintf("t=%v link %d side %d loss clear", op.At, op.Link, op.Side)
+	case OpBurst:
+		return fmt.Sprintf("t=%v burst host %d -> host %d (%d x %dB @ %v)", op.At, op.Src, op.Dst, op.Count, op.Payload, op.Interval)
+	default:
+		return fmt.Sprintf("t=%v op(?)", op.At)
+	}
+}
+
+// Describe renders an op against a concrete instance (names, not indices).
+func (ix *netIndex) describe(op FaultOp) string {
+	s := op.String()
+	switch op.Kind {
+	case OpLinkDown, OpLinkUp, OpSetLoss, OpClearLoss:
+		if op.Link >= 0 && op.Link < len(ix.linkNames) {
+			s += " (" + ix.linkNames[op.Link] + ")"
+		}
+	case OpBridgeRestart:
+		if op.Bridge >= 0 && op.Bridge < len(ix.built.Bridges) {
+			s += " (" + ix.built.Bridges[op.Bridge].Name() + ")"
+		}
+	case OpBurst:
+		if op.Src < len(ix.hostNames) && op.Dst < len(ix.hostNames) {
+			s += " (" + ix.hostNames[op.Src] + " -> " + ix.hostNames[op.Dst] + ")"
+		}
+	}
+	return s
+}
+
+// generateOps draws one schedule of the given family. All randomness comes
+// from plan; times land inside [0, phase) with repairs-in-flight room at
+// the end left to the quiescence period.
+func generateOps(family FaultFamily, plan *rand.Rand, ix *netIndex, phase time.Duration, burstPort *uint16) []FaultOp {
+	var ops []FaultOp
+	at := func(frac float64) time.Duration {
+		return time.Duration(plan.Float64() * frac * float64(phase))
+	}
+	flap := func() {
+		if len(ix.trunks) == 0 {
+			return
+		}
+		link := ix.trunks[plan.Intn(len(ix.trunks))]
+		start := at(0.6)
+		dur := 20*time.Millisecond + time.Duration(plan.Intn(int(100*time.Millisecond)))
+		ops = append(ops,
+			FaultOp{At: start, Kind: OpLinkDown, Link: link},
+			FaultOp{At: start + dur, Kind: OpLinkUp, Link: link})
+	}
+	restart := func() {
+		ops = append(ops, FaultOp{At: at(0.8), Kind: OpBridgeRestart, Bridge: plan.Intn(len(ix.built.Bridges))})
+	}
+	loss := func() {
+		if len(ix.trunks) == 0 {
+			return
+		}
+		link := ix.trunks[plan.Intn(len(ix.trunks))]
+		side := plan.Intn(2)
+		start := at(0.5)
+		dur := 50*time.Millisecond + time.Duration(plan.Intn(int(150*time.Millisecond)))
+		ops = append(ops,
+			FaultOp{At: start, Kind: OpSetLoss, Link: link, Side: side, Rate: 0.2 + 0.5*plan.Float64()},
+			FaultOp{At: start + dur, Kind: OpClearLoss, Link: link, Side: side})
+	}
+	burst := func() {
+		src := plan.Intn(len(ix.hostNames))
+		dst := plan.Intn(len(ix.hostNames))
+		if dst == src {
+			dst = (dst + 1) % len(ix.hostNames)
+		}
+		*burstPort++
+		ops = append(ops, FaultOp{
+			At: at(0.5), Kind: OpBurst, Src: src, Dst: dst, Port: *burstPort,
+			Count:    1000 + plan.Intn(1500),
+			Interval: time.Duration(6+plan.Intn(8)) * time.Microsecond,
+			Payload:  1000 + plan.Intn(400),
+		})
+	}
+	switch family {
+	case FaultsLinkFlaps:
+		for i, n := 0, 2+plan.Intn(3); i < n; i++ {
+			flap()
+		}
+	case FaultsBridgeRestarts:
+		for i, n := 0, 1+plan.Intn(2); i < n; i++ {
+			restart()
+		}
+	case FaultsUnidirLoss:
+		for i, n := 0, 1+plan.Intn(2); i < n; i++ {
+			loss()
+		}
+	case FaultsQueuePressure:
+		for i, n := 0, 2+plan.Intn(2); i < n; i++ {
+			burst()
+		}
+	case FaultsMixed:
+		flap()
+		restart()
+		loss()
+		burst()
+	default:
+		panic(fmt.Sprintf("scenario: unknown fault family %q", family))
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].At < ops[j].At })
+	return ops
+}
+
+// applyOps schedules every op on the engine at base+op.At. Burst sinks are
+// bound up front (port bindings are not time-dependent); the returned
+// sinks report burst delivery for the result's traffic accounting.
+func applyOps(ix *netIndex, ops []FaultOp, base time.Duration) (offered int, sinks []*app.Sink) {
+	eng := ix.built.Engine
+	for _, op := range ops {
+		op := op
+		switch op.Kind {
+		case OpLinkDown:
+			eng.At(base+op.At, func() { ix.link(op.Link).SetUp(false) })
+		case OpLinkUp:
+			eng.At(base+op.At, func() { ix.link(op.Link).SetUp(true) })
+		case OpBridgeRestart:
+			eng.At(base+op.At, func() { ix.bridge(op.Bridge).(restartable).Restart() })
+		case OpSetLoss:
+			eng.At(base+op.At, func() {
+				l := ix.link(op.Link)
+				l.SetLoss(l.Ports()[op.Side], op.Rate)
+			})
+		case OpClearLoss:
+			eng.At(base+op.At, func() {
+				l := ix.link(op.Link)
+				l.SetLoss(l.Ports()[op.Side], 0)
+			})
+		case OpBurst:
+			offered += op.Count
+			sinks = append(sinks, app.NewSink(ix.host(op.Dst), op.Port))
+			src := ix.host(op.Src)
+			eng.At(base+op.At, func() {
+				app.StartFlow(src, app.FlowConfig{
+					DstIP: ix.host(op.Dst).IP(), DstPort: op.Port, SrcPort: op.Port,
+					PayloadSize: op.Payload, Interval: op.Interval, Count: op.Count,
+				}, nil)
+			})
+		}
+	}
+	return offered, sinks
+}
+
+// restartable is the fault injector's view of a bridge that can lose all
+// state (core.Bridge implements it).
+type restartable interface{ Restart() }
+
+// heal returns every link to service: all links up, all loss cleared.
+// Scheduled at the end of the fault phase so invariants are checked
+// against a network that has had its faults repaired — delivery is only
+// promised for offered traffic after quiescence, not during the faults.
+func heal(ix *netIndex) {
+	for _, name := range ix.linkNames {
+		l := ix.built.Links[name]
+		l.SetLoss(l.A(), 0)
+		l.SetLoss(l.B(), 0)
+		if !l.Up() {
+			l.SetUp(true)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package scenario is the adversarial verification harness of the
+// reproduction: it generates seeded random topologies, drives seeded
+// fault schedules (link flaps, bridge restarts with table loss,
+// unidirectional link degradation, queue-pressure bursts) against the
+// running simulation, and checks a library of protocol invariants after
+// every run — loop-freedom, flood bounds, lock-table consistency and
+// path symmetry, eventual delivery, and pooled-frame refcount balance.
+//
+// The paper validates ARP-Path on one 4-NetFPGA testbed; its claims are
+// really invariants that must hold on any topology under any failure
+// schedule. A Scenario is one (topology family, fault family, seed)
+// triple; Run executes it deterministically (same seed ⇒ same trace,
+// checked by fingerprint), Replay re-executes it with an explicit fault
+// schedule, and Shrink minimizes a failing schedule by replaying subsets.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/host/app"
+)
+
+// Config names one scenario. Topology, Faults and Seed fully determine
+// the run; the remaining knobs default via withDefaults.
+type Config struct {
+	Seed     int64
+	Topology TopologyFamily
+	Faults   FaultFamily
+
+	// FaultPhase is how long faults and background traffic run.
+	FaultPhase time.Duration
+	// Quiesce is the settle time between healing and verification; it
+	// must exceed the repair timeout so no repair spans the boundary.
+	Quiesce time.Duration
+	// VerifyPairs is how many host pairs probe after quiescence.
+	VerifyPairs int
+	// VerifyPings is how many probes each pair sends.
+	VerifyPings int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Topology == "" {
+		c.Topology = TopoErdosRenyi
+	}
+	if c.Faults == "" {
+		c.Faults = FaultsLinkFlaps
+	}
+	if c.FaultPhase == 0 {
+		c.FaultPhase = 400 * time.Millisecond
+	}
+	if c.Quiesce == 0 {
+		c.Quiesce = 700 * time.Millisecond
+	}
+	if c.VerifyPairs == 0 {
+		c.VerifyPairs = 4
+	}
+	if c.VerifyPings == 0 {
+		c.VerifyPings = 3
+	}
+	return c
+}
+
+// Name renders the scenario triple for reports.
+func (c Config) Name() string {
+	return fmt.Sprintf("%s/%s/seed=%d", c.Topology, c.Faults, c.Seed)
+}
+
+// Result is one scenario's outcome.
+type Result struct {
+	Config Config
+	// Ops is the fault schedule that ran (generated, or the one given to
+	// Replay). Feed it back to Replay to reproduce, or to Shrink.
+	Ops []FaultOp
+	// OpsApplied describes the schedule against the concrete instance.
+	OpsApplied []string
+	// Violations is every invariant breach; empty means the scenario
+	// passed. ViolationsDropped counts breaches beyond the detail cap.
+	Violations        []Violation
+	ViolationsDropped int
+	// Fingerprint digests the full tap trace; equal configs must yield
+	// equal fingerprints. Events is the trace length.
+	Fingerprint uint64
+	Events      uint64
+	// Topology shape.
+	Bridges, Hosts, Links int
+	// Traffic accounting: background/burst datagrams offered and
+	// delivered during the fault phase (losses there are legal), and
+	// verification probes offered and answered after quiescence (losses
+	// there are an eventual-delivery violation).
+	BackgroundOffered, BackgroundDelivered int
+	ProbesSent, ProbesAnswered             int
+	// Drained reports the engine ran to full quiescence (skipped when a
+	// loop-class violation fires, since a live loop never drains).
+	Drained bool
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 || r.ViolationsDropped > 0 }
+
+// Run executes the scenario cfg names, generating its fault schedule from
+// the seed.
+func Run(cfg Config) *Result { return run(cfg, nil) }
+
+// Replay executes cfg with an explicit fault schedule instead of the
+// generated one (everything else — topology, traffic, timing — is
+// rebuilt identically from the seed). It is the primitive Shrink uses.
+func Replay(cfg Config, ops []FaultOp) *Result { return run(cfg, ops) }
+
+func run(cfg Config, replayOps []FaultOp) *Result {
+	cfg = cfg.withDefaults()
+	plan := rand.New(rand.NewSource(cfg.Seed))
+	built := buildTopology(cfg.Topology, cfg.Seed, plan)
+	ix := newNetIndex(built)
+	chk := NewChecker(built)
+
+	// The plan RNG stream must be identical between Run and Replay so the
+	// background traffic and verification pairs stay fixed while the fault
+	// schedule varies: always draw the generated schedule, then discard it
+	// when an explicit one was provided.
+	burstPort := uint16(7000)
+	ops := generateOps(cfg.Faults, plan, ix, cfg.FaultPhase, &burstPort)
+	if replayOps != nil {
+		ops = replayOps
+	}
+
+	res := &Result{
+		Config:  cfg,
+		Ops:     ops,
+		Bridges: len(built.Bridges),
+		Hosts:   len(built.Hosts),
+		Links:   len(built.Links),
+	}
+	for _, op := range ops {
+		res.OpsApplied = append(res.OpsApplied, ix.describe(op))
+	}
+
+	base := built.Now()
+	burstOffered, burstSinks := applyOps(ix, ops, base)
+	bgOffered, bgSinks := startBackground(plan, ix, cfg.FaultPhase)
+	pairs := choosePairs(plan, ix, cfg.VerifyPairs)
+
+	// Phase 1: faults + background traffic.
+	built.RunFor(cfg.FaultPhase)
+
+	// Phase 2: heal everything, then quiesce. Guard windows close and
+	// in-flight repairs resolve before verification starts.
+	heal(ix)
+	built.RunFor(cfg.Quiesce)
+	chk.MarkStable(built.Now())
+
+	// Phase 3: verification probes — fresh unicast exchanges between the
+	// chosen pairs, each of which the healed fabric must deliver. The
+	// pairs' ARP caches are flushed first so every exchange begins with
+	// the discovery flood that establishes its paths: ARP-Path's delivery
+	// promise is for ARP-initiated conversations. (A host that keeps a
+	// warm ARP cache across a fault can still be blackholed by the
+	// src-port discipline when a later flood moves its peer's locked
+	// position — a real liveness gap this engine surfaced; see ROADMAP.)
+	for _, pr := range pairs {
+		ix.host(pr[0]).ARP().Flush()
+		ix.host(pr[1]).ARP().Flush()
+	}
+	answered := make([]int, len(pairs))
+	for i, pr := range pairs {
+		i, pr := i, pr
+		a, b := ix.host(pr[0]), ix.host(pr[1])
+		nameA, nameB := ix.hostNames[pr[0]], ix.hostNames[pr[1]]
+		built.Engine.At(built.Now()+time.Duration(i)*5*time.Millisecond, func() {
+			a.PingSeries(b.IP(), cfg.VerifyPings, 56, 20*time.Millisecond, time.Second, func(rs []host.PingResult) {
+				for _, r := range rs {
+					if r.Err == nil {
+						answered[i]++
+					}
+				}
+				// Walk the tables now, while the exchange's entries are
+				// fresh — locked-state entries expire within the race
+				// window, so a post-drain walk would see legal dead ends.
+				if answered[i] == cfg.VerifyPings {
+					chk.CheckPathSymmetry(nameA, nameB)
+				}
+			})
+		})
+	}
+	res.ProbesSent = len(pairs) * cfg.VerifyPings
+	verifyWindow := time.Duration(len(pairs))*5*time.Millisecond +
+		time.Duration(cfg.VerifyPings)*20*time.Millisecond + 2*time.Second
+	built.RunFor(verifyWindow)
+
+	// Phase 4: drain to full quiescence and run the post-mortem checks.
+	// A live forwarding loop regenerates events forever, so when the
+	// online checkers already caught one the drain is skipped — the
+	// loop-class violation is the verdict.
+	if !chk.LoopSuspected() {
+		built.Run()
+		res.Drained = true
+		chk.CheckFrameDrain()
+		chk.CheckTables()
+		for i, pr := range pairs {
+			pairName := ix.hostNames[pr[0]] + "<->" + ix.hostNames[pr[1]]
+			chk.CheckDelivery(pairName, cfg.VerifyPings, answered[i])
+		}
+	}
+
+	res.BackgroundOffered = burstOffered
+	for _, s := range burstSinks {
+		res.BackgroundDelivered += s.Count()
+	}
+	res.BackgroundOffered += bgOffered
+	for _, s := range bgSinks {
+		res.BackgroundDelivered += s.Count()
+	}
+	for _, n := range answered {
+		res.ProbesAnswered += n
+	}
+	res.Violations = chk.Violations()
+	res.ViolationsDropped = chk.Dropped()
+	res.Fingerprint = chk.Fingerprint()
+	res.Events = chk.Events()
+	return res
+}
+
+// startBackground launches the steady low-rate UDP flows that run during
+// the fault phase, so faults always hit a network carrying traffic.
+// Losses here are legal (the network is being actively broken); the
+// counts feed the result's traffic accounting only.
+func startBackground(plan *rand.Rand, ix *netIndex, phase time.Duration) (offered int, sinks []*app.Sink) {
+	flows := 2 + plan.Intn(2)
+	const interval = time.Millisecond
+	count := int(phase / (2 * interval))
+	port := uint16(6000)
+	for i := 0; i < flows; i++ {
+		src := plan.Intn(len(ix.hostNames))
+		dst := plan.Intn(len(ix.hostNames))
+		if dst == src {
+			dst = (dst + 1) % len(ix.hostNames)
+		}
+		port++
+		sinks = append(sinks, app.NewSink(ix.host(dst), port))
+		offered += count
+		srcHost, dstIP := ix.host(src), ix.host(dst).IP()
+		p := port
+		ix.built.Engine.At(ix.built.Now(), func() {
+			app.StartFlow(srcHost, app.FlowConfig{
+				DstIP: dstIP, DstPort: p, SrcPort: p,
+				PayloadSize: 200, Interval: interval, Count: count,
+			}, nil)
+		})
+	}
+	return offered, sinks
+}
+
+// choosePairs draws n distinct host pairs for verification.
+func choosePairs(plan *rand.Rand, ix *netIndex, n int) [][2]int {
+	hosts := len(ix.hostNames)
+	if n > hosts*(hosts-1)/2 {
+		n = hosts * (hosts - 1) / 2
+	}
+	seen := make(map[[2]int]bool)
+	var pairs [][2]int
+	for len(pairs) < n {
+		a, b := plan.Intn(hosts), plan.Intn(hosts)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		pairs = append(pairs, [2]int{a, b})
+	}
+	return pairs
+}

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// sweepTopos × sweepFaults × sweepSeeds is the tier-1 sweep: 4 topology
+// families × 4 fault-schedule families × 4 seeds = 64 scenarios. The
+// mixed schedule and the fat tree are exercised separately (determinism
+// test, cmd/scenario) to keep tier-1 wall-clock in check.
+var (
+	sweepTopos  = []TopologyFamily{TopoErdosRenyi, TopoRingOfRings, TopoRandomRegular, TopoGrid}
+	sweepFaults = []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure}
+	sweepSeeds  = []int64{1, 2, 3, 4}
+)
+
+// TestScenarioSweep runs the full 64-scenario grid and requires every
+// invariant to hold in every one. A failure seed reproduces exactly with
+//
+//	go run ./cmd/scenario -topo <family> -faults <family> -seed0 <n> -seeds 1
+func TestScenarioSweep(t *testing.T) {
+	ran := 0
+	for _, tf := range sweepTopos {
+		for _, ff := range sweepFaults {
+			for _, seed := range sweepSeeds {
+				cfg := Config{Seed: seed, Topology: tf, Faults: ff}
+				t.Run(cfg.Name(), func(t *testing.T) {
+					r := Run(cfg)
+					if r.Failed() {
+						for _, v := range r.Violations {
+							t.Errorf("%v", v)
+						}
+						if r.ViolationsDropped > 0 {
+							t.Errorf("+%d further violations", r.ViolationsDropped)
+						}
+						for _, op := range r.OpsApplied {
+							t.Logf("schedule: %s", op)
+						}
+					}
+					if !r.Drained {
+						t.Errorf("scenario did not drain")
+					}
+					if r.ProbesAnswered != r.ProbesSent {
+						t.Errorf("probes answered %d/%d", r.ProbesAnswered, r.ProbesSent)
+					}
+				})
+				ran++
+			}
+		}
+	}
+	if ran < 64 {
+		t.Fatalf("sweep ran %d scenarios, want >= 64", ran)
+	}
+}
+
+// TestScenarioDeterminism runs one scenario per family pairing twice
+// (plus a mixed-fault fat tree) and requires bit-identical traces: same
+// seed, same fingerprint, same event count, same violations.
+func TestScenarioDeterminism(t *testing.T) {
+	cfgs := []Config{
+		{Seed: 7, Topology: TopoErdosRenyi, Faults: FaultsMixed},
+		{Seed: 7, Topology: TopoRingOfRings, Faults: FaultsLinkFlaps},
+		{Seed: 7, Topology: TopoRandomRegular, Faults: FaultsBridgeRestarts},
+		{Seed: 7, Topology: TopoGrid, Faults: FaultsUnidirLoss},
+		{Seed: 7, Topology: TopoFatTree, Faults: FaultsMixed},
+	}
+	for _, cfg := range cfgs {
+		t.Run(cfg.Name(), func(t *testing.T) {
+			a, b := Run(cfg), Run(cfg)
+			if a.Fingerprint != b.Fingerprint || a.Events != b.Events {
+				t.Fatalf("trace diverged: run1 fp=%#x events=%d, run2 fp=%#x events=%d",
+					a.Fingerprint, a.Events, b.Fingerprint, b.Events)
+			}
+			if len(a.Violations) != len(b.Violations) {
+				t.Fatalf("violations diverged: %d vs %d", len(a.Violations), len(b.Violations))
+			}
+			// Replaying the generated schedule must also reproduce the trace.
+			c := Replay(cfg, a.Ops)
+			if c.Fingerprint != a.Fingerprint {
+				t.Fatalf("replay diverged: fp=%#x want %#x", c.Fingerprint, a.Fingerprint)
+			}
+		})
+	}
+}
+
+// TestScenarioFrameAccountingAcrossFailures checks the refcount invariant
+// specifically across the faults that exercise Retain/Release edge cases:
+// bridge restarts (buffered repair frames dropped mid-flight) and flaps
+// (in-flight frames killed by epoch bumps) must still drain to zero.
+func TestScenarioFrameAccountingAcrossFailures(t *testing.T) {
+	for _, ff := range []FaultFamily{FaultsBridgeRestarts, FaultsLinkFlaps, FaultsMixed} {
+		r := Run(Config{Seed: 11, Topology: TopoErdosRenyi, Faults: ff})
+		if !r.Drained {
+			t.Fatalf("%s: did not drain", ff)
+		}
+		for _, v := range r.Violations {
+			if v.Invariant == InvFrameDrain {
+				t.Errorf("%s: %v", ff, v)
+			}
+		}
+	}
+}
+
+// TestShrinkOps pins the delta-debugging reduction: a failure caused by
+// the interaction of two specific ops out of twelve shrinks to exactly
+// those two, and the predicate is never handed an empty schedule.
+func TestShrinkOps(t *testing.T) {
+	ops := make([]FaultOp, 12)
+	for i := range ops {
+		ops[i] = FaultOp{At: time.Duration(i) * time.Millisecond, Kind: OpLinkDown, Link: i}
+	}
+	calls := 0
+	fails := func(sub []FaultOp) bool {
+		calls++
+		if len(sub) == 0 {
+			t.Fatal("predicate called with empty schedule")
+		}
+		has := func(link int) bool {
+			for _, op := range sub {
+				if op.Link == link {
+					return true
+				}
+			}
+			return false
+		}
+		return has(3) && has(7)
+	}
+	min := ShrinkOps(ops, fails)
+	if len(min) != 2 || min[0].Link != 3 || min[1].Link != 7 {
+		t.Fatalf("shrunk to %v, want ops for links 3 and 7", min)
+	}
+	if calls > 100 {
+		t.Fatalf("shrink used %d replays for 12 ops", calls)
+	}
+
+	// A passing schedule is returned unchanged.
+	same := ShrinkOps(ops, func([]FaultOp) bool { return false })
+	if len(same) != len(ops) {
+		t.Fatalf("passing schedule was shrunk to %d ops", len(same))
+	}
+}
+
+// TestShrinkEndToEnd exercises Shrink against real replays: a passing
+// scenario reports ok=false (nothing to shrink), deterministically.
+func TestShrinkEndToEnd(t *testing.T) {
+	cfg := Config{Seed: 3, Topology: TopoRingOfRings, Faults: FaultsLinkFlaps}
+	r := Run(cfg)
+	if r.Failed() {
+		t.Fatalf("expected passing scenario, got %v", r.Violations)
+	}
+	if _, _, ok := Shrink(cfg, r.Ops); ok {
+		t.Fatal("Shrink reproduced a failure from a passing scenario")
+	}
+}
+
+func ExampleConfig_Name() {
+	fmt.Println(Config{Seed: 42, Topology: TopoErdosRenyi, Faults: FaultsMixed}.Name())
+	// Output: erdos-renyi/mixed/seed=42
+}

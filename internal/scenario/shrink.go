@@ -1,0 +1,65 @@
+package scenario
+
+// ShrinkOps minimizes a failing fault schedule with ddmin-style delta
+// debugging: it tries dropping progressively finer-grained chunks of ops,
+// keeping any subset for which fails still reports a failure, until no
+// single-chunk removal at the finest granularity reproduces it. fails must
+// be deterministic (replaying a scenario is — that is the point of the
+// seeded engine). The input is returned unchanged when it does not fail.
+func ShrinkOps(ops []FaultOp, fails func([]FaultOp) bool) []FaultOp {
+	if len(ops) == 0 || !fails(ops) {
+		return ops
+	}
+	cur := append([]FaultOp(nil), ops...)
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			cand := append(append([]FaultOp(nil), cur[:lo]...), cur[hi:]...)
+			if len(cand) > 0 && fails(cand) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur
+}
+
+// Shrink minimizes the fault schedule of a failing scenario by replaying
+// it with subsets of its ops. It returns the minimal failing schedule and
+// its replay result; ok is false when the failure did not reproduce on
+// replay of the full schedule (a non-fault-induced failure cannot be
+// shrunk this way). No schedule is replayed twice: the last failing
+// replay ShrinkOps accepts is, by construction, the minimal one.
+func Shrink(cfg Config, ops []FaultOp) (minimal []FaultOp, res *Result, ok bool) {
+	var lastFail *Result
+	minimal = ShrinkOps(ops, func(sub []FaultOp) bool {
+		r := Replay(cfg, sub)
+		if r.Failed() {
+			lastFail = r
+		}
+		return r.Failed()
+	})
+	if lastFail == nil {
+		return ops, nil, false
+	}
+	return minimal, lastFail, true
+}

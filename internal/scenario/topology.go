@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/host"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// TopologyFamily names a class of seeded random topologies the engine can
+// draw a concrete instance from.
+type TopologyFamily string
+
+// Topology families. Each instance's shape parameters are drawn from the
+// scenario's plan RNG, so one (family, seed) pair names exactly one graph.
+const (
+	// TopoErdosRenyi is a connected G(n,p) random graph, the shape of the
+	// All-Path scalability study's sweeps.
+	TopoErdosRenyi TopologyFamily = "erdos-renyi"
+	// TopoRingOfRings is a hierarchical ring of rings (metro topology).
+	TopoRingOfRings TopologyFamily = "ring-of-rings"
+	// TopoRandomRegular is an approximately 3-regular random graph.
+	TopoRandomRegular TopologyFamily = "random-regular"
+	// TopoGrid is a rows×cols mesh with corner hosts.
+	TopoGrid TopologyFamily = "grid"
+	// TopoFatTree is a k=4 fat tree, the data-center fabric of the
+	// paper's introduction.
+	TopoFatTree TopologyFamily = "fat-tree"
+)
+
+// TopologyFamilies lists every family, sweep order.
+func TopologyFamilies() []TopologyFamily {
+	return []TopologyFamily{TopoErdosRenyi, TopoRingOfRings, TopoRandomRegular, TopoGrid, TopoFatTree}
+}
+
+// buildTopology draws the family's shape parameters from plan and builds
+// the instance with the scenario seed (which also seeds the simulation
+// engine, so wiring, delays and race outcomes are all functions of the
+// seed alone).
+func buildTopology(f TopologyFamily, seed int64, plan *rand.Rand) *topo.Built {
+	opts := topo.DefaultOptions(topo.ARPPath, seed)
+	switch f {
+	case TopoErdosRenyi:
+		n := 8 + plan.Intn(6)
+		p := 0.1 + 0.2*plan.Float64()
+		return topo.ErdosRenyi(opts, n, p)
+	case TopoRingOfRings:
+		return topo.RingOfRings(opts, 2+plan.Intn(2), 3+plan.Intn(3))
+	case TopoRandomRegular:
+		return topo.RandomRegular(opts, 8+2*plan.Intn(3), 3)
+	case TopoGrid:
+		return topo.Grid(opts, 3, 3+plan.Intn(2))
+	case TopoFatTree:
+		return topo.FatTree(opts, 4)
+	default:
+		panic(fmt.Sprintf("scenario: unknown topology family %q", f))
+	}
+}
+
+// netIndex gives the engine stable integer handles into a built network:
+// fault ops reference links, bridges and hosts by index into these sorted
+// name lists, which is what makes an op list replayable (and shrinkable)
+// against a rebuilt instance of the same scenario.
+type netIndex struct {
+	built     *topo.Built
+	linkNames []string
+	hostNames []string
+	trunks    []int // indices into linkNames of bridge–bridge links
+}
+
+func newNetIndex(built *topo.Built) *netIndex {
+	ix := &netIndex{built: built}
+	for name := range built.Links {
+		ix.linkNames = append(ix.linkNames, name)
+	}
+	sort.Strings(ix.linkNames)
+	for name := range built.Hosts {
+		ix.hostNames = append(ix.hostNames, name)
+	}
+	sort.Strings(ix.hostNames)
+	bridges := make(map[string]bool, len(built.Bridges))
+	for _, b := range built.Bridges {
+		bridges[b.Name()] = true
+	}
+	for i, name := range ix.linkNames {
+		l := built.Links[name]
+		if bridges[l.A().Node().Name()] && bridges[l.B().Node().Name()] {
+			ix.trunks = append(ix.trunks, i)
+		}
+	}
+	return ix
+}
+
+func (ix *netIndex) link(i int) *netsim.Link  { return ix.built.Links[ix.linkNames[i]] }
+func (ix *netIndex) host(i int) *host.Host    { return ix.built.Hosts[ix.hostNames[i]] }
+func (ix *netIndex) bridge(i int) topo.Bridge { return ix.built.Bridges[i] }
