@@ -1,17 +1,27 @@
 // Command fabricbench runs the extended experiments derived from the
 // paper's §2.2 claims (DESIGN.md T1–T4): the loop-freedom/no-blocking
 // properties table, load distribution on a fat tree, ARP-proxy broadcast
-// suppression, and the repair ablation.
+// suppression, the repair ablation, and the scaling experiment for the
+// sharded parallel engine (DESIGN.md §8).
 //
 // Usage:
 //
-//	fabricbench -exp properties|load|proxy|repair|all [-seed N] [-csv]
+//	fabricbench -exp properties|load|proxy|repair|lockwindow|tablesize|forward|scale|all
+//	            [-seed N] [-shards K] [-csv] [-bench-out FILE]
+//
+// -shards runs every experiment's simulation on K parallel engine shards;
+// all figure/table outputs are byte-identical for any K (only wall-clock
+// rates change). -exp scale sweeps shard counts 1..K on a 256-bridge
+// fabric and, with -bench-out, writes the wall-clock figures as a JSON
+// artifact (BENCH_scale.json in CI).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -31,16 +41,23 @@ func lockWindows() []time.Duration {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: properties, load, proxy, repair, lockwindow, tablesize, forward or all")
+	exp := flag.String("exp", "all", "experiment: properties, load, proxy, repair, lockwindow, tablesize, forward, scale or all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	frames := flag.Int("frames", 50_000, "data frames to pump in -exp forward")
+	shards := flag.Int("shards", 1, "run simulations on K parallel engine shards")
+	bridges := flag.Int("bridges", 256, "fabric size for -exp scale")
+	benchOut := flag.String("bench-out", "", "write -exp scale wall-clock figures as JSON to this file")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "fabricbench: unexpected arguments")
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		*shards = 1
+	}
+	experiments.Shards = *shards
 
 	var tables []*metrics.Table
 	switch *exp {
@@ -60,6 +77,8 @@ func main() {
 		tables = append(tables, experiments.T6Table(experiments.RunT6TableSize(*seed, []int{8, 16, 32})))
 	case "forward":
 		tables = append(tables, experiments.ForwardTable(experiments.RunForwardBench(*seed, *frames)))
+	case "scale":
+		tables = append(tables, runScale(*seed, *bridges, *shards, *benchOut))
 	case "all":
 		tables = append(tables, experiments.T1Table(experiments.RunT1Properties(*seed, 6)))
 		ap := experiments.RunT2Load(*seed, topo.ARPPath)
@@ -80,4 +99,55 @@ func main() {
 			fmt.Println(t)
 		}
 	}
+}
+
+// benchRecord is one scale run's machine-dependent half, serialized for
+// the CI bench artifact.
+type benchRecord struct {
+	Bridges      int     `json:"bridges"`
+	Shards       int     `json:"shards"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	LookaheadNS  int64   `json:"lookahead_ns"`
+	Events       uint64  `json:"events"`
+	Delivered    int     `json:"delivered"`
+	WallNS       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+}
+
+// runScale sweeps shard counts 1..maxShards (doubling) on one fabric and
+// renders the deterministic table; wall-clock figures go to stderr and,
+// when benchOut is set, to a JSON artifact.
+func runScale(seed int64, bridges, maxShards int, benchOut string) *metrics.Table {
+	// Shard counts: doubling from 1, always ending exactly at maxShards.
+	var counts []int
+	for k := 1; k < maxShards; k *= 2 {
+		counts = append(counts, k)
+	}
+	counts = append(counts, maxShards)
+	var results []*experiments.ScaleResult
+	var records []benchRecord
+	for _, k := range counts {
+		cfg := experiments.DefaultScaleConfig(seed, k)
+		cfg.Bridges = bridges
+		r := experiments.RunScale(cfg)
+		results = append(results, r)
+		fmt.Fprintln(os.Stderr, experiments.ScaleBenchLine(r))
+		records = append(records, benchRecord{
+			Bridges: r.Bridges, Shards: k, GOMAXPROCS: runtime.GOMAXPROCS(0),
+			LookaheadNS: int64(r.Lookahead), Events: r.Events, Delivered: r.Delivered,
+			WallNS: int64(r.Wall), EventsPerSec: r.EventsPerSec, FramesPerSec: r.FramesPerSec,
+		})
+	}
+	if benchOut != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err == nil {
+			err = os.WriteFile(benchOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabricbench: writing %s: %v\n", benchOut, err)
+			os.Exit(1)
+		}
+	}
+	return experiments.ScaleTable(results)
 }

@@ -6,7 +6,15 @@
 //
 // Usage:
 //
-//	scenario [-seeds N] [-seed0 S] [-topo fam|all] [-faults fam|all] [-shrink] [-v]
+//	scenario [-seeds N] [-seed0 S] [-topo fam|all] [-faults fam|all]
+//	         [-j N] [-big] [-shards K] [-shrink] [-v]
+//
+// Independent scenarios of a sweep run concurrently on -j workers; each
+// scenario's seed, trace and fingerprint are identical at any -j (frame
+// accounting is per-network, nothing is shared between runs). -big selects
+// the larger topology tier; -shards runs each simulation itself on the
+// sharded parallel engine, which by construction does not change any
+// result either.
 //
 // A failing scenario prints its minimal fault schedule and the exact
 // triple to reproduce it; the exit status is nonzero.
@@ -16,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/scenario"
 )
@@ -26,9 +36,15 @@ func main() {
 	seed0 := flag.Int64("seed0", 1, "first seed")
 	topoFlag := flag.String("topo", "all", "topology family (or 'all'): "+familyList(scenario.TopologyFamilies()))
 	faultFlag := flag.String("faults", "all", "fault family (or 'all'): "+familyList(scenario.FaultFamilies()))
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "scenarios to run concurrently")
+	big := flag.Bool("big", false, "larger topology tier (dozens of bridges per instance)")
+	shards := flag.Int("shards", 1, "run each simulation on K parallel engine shards")
 	shrink := flag.Bool("shrink", true, "shrink failing fault schedules to a minimal subset")
 	verbose := flag.Bool("v", false, "print every scenario, not just failures")
 	flag.Parse()
+	if *jobs < 1 {
+		*jobs = 1
+	}
 
 	topos := scenario.TopologyFamilies()
 	if *topoFlag != "all" {
@@ -39,31 +55,57 @@ func main() {
 		faults = []scenario.FaultFamily{scenario.FaultFamily(*faultFlag)}
 	}
 
-	ran, failed := 0, 0
+	var cfgs []scenario.Config
 	for _, tf := range topos {
 		for _, ff := range faults {
 			for s := 0; s < *seeds; s++ {
-				cfg := scenario.Config{Seed: *seed0 + int64(s), Topology: tf, Faults: ff}
-				r := scenario.Run(cfg)
-				ran++
-				if !r.Failed() {
-					if *verbose {
-						fmt.Printf("PASS %-40s bridges=%d links=%d events=%d probes=%d/%d bg=%d/%d fp=%#x\n",
-							cfg.Name(), r.Bridges, r.Links, r.Events,
-							r.ProbesAnswered, r.ProbesSent,
-							r.BackgroundDelivered, r.BackgroundOffered, r.Fingerprint)
-					}
-					continue
-				}
-				failed++
-				report(r)
-				if *shrink {
-					doShrink(cfg, r)
-				}
+				cfgs = append(cfgs, scenario.Config{
+					Seed: *seed0 + int64(s), Topology: tf, Faults: ff,
+					Big: *big, Shards: *shards,
+				})
 			}
 		}
 	}
-	fmt.Printf("\n%d scenarios, %d failed\n", ran, failed)
+
+	// Worker pool: scenarios are independent simulations, so the sweep
+	// parallelizes trivially; results are reported in sweep order.
+	results := make([]*scenario.Result, len(cfgs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = scenario.Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	failed := 0
+	for i, r := range results {
+		if !r.Failed() {
+			if *verbose {
+				fmt.Printf("PASS %-40s bridges=%d links=%d events=%d probes=%d/%d warm=%d/%d bg=%d/%d fp=%#x\n",
+					cfgs[i].Name(), r.Bridges, r.Links, r.Events,
+					r.ProbesAnswered, r.ProbesSent,
+					r.WarmProbesAnswered, r.WarmProbesSent,
+					r.BackgroundDelivered, r.BackgroundOffered, r.Fingerprint)
+			}
+			continue
+		}
+		failed++
+		report(r)
+		if *shrink {
+			doShrink(cfgs[i], r)
+		}
+	}
+	fmt.Printf("\n%d scenarios, %d failed (j=%d, big=%v, shards=%d)\n", len(cfgs), failed, *jobs, *big, *shards)
 	if failed > 0 {
 		os.Exit(1)
 	}

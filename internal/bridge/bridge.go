@@ -7,10 +7,12 @@
 package bridge
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/layers"
 	"repro/internal/netsim"
+	"repro/internal/sim"
 )
 
 // Protocol is the per-frame logic a concrete bridge plugs into its Chassis.
@@ -44,6 +46,8 @@ type Chassis struct {
 	// it; the STP and learning baselines do not need it.
 	HelloEnabled bool
 
+	sched *sim.Proc
+	rng   *rand.Rand
 	stats ChassisStats
 }
 
@@ -80,8 +84,39 @@ func (c *Chassis) NumID() int { return c.numID }
 // Net returns the owning network.
 func (c *Chassis) Net() *netsim.Network { return c.net }
 
-// Now returns the current virtual time.
-func (c *Chassis) Now() time.Duration { return c.net.Now() }
+// Sched returns the bridge's scheduling identity: every timer and event a
+// bridge protocol creates must go through it so the event order stays
+// independent of how the fabric is sharded (sim.Proc). Resolved lazily —
+// the topology builder registers the bridge with the network after the
+// chassis is constructed.
+func (c *Chassis) Sched() *sim.Proc {
+	if c.sched == nil {
+		c.sched = c.net.Proc(c.name)
+	}
+	return c.sched
+}
+
+// After schedules fn d from now under the bridge's identity.
+func (c *Chassis) After(d time.Duration, fn func()) *sim.Timer {
+	return c.Sched().After(d, fn)
+}
+
+// Rand returns the bridge's own deterministic random source, seeded from
+// the network seed and the bridge id. Per-bridge streams (rather than the
+// engine's) keep draws a function of this bridge's history alone, which
+// the sharded engine's determinism depends on.
+func (c *Chassis) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.net.Seed() ^ (int64(c.numID)+1)*0x5851F42D4C957F2D))
+	}
+	return c.rng
+}
+
+// Now returns the current virtual time as this bridge observes it: its
+// own shard's clock. (The network's control clock only advances at
+// barriers, so reading it from inside a parallel window would freeze
+// every lazy expiry check for the window's duration.)
+func (c *Chassis) Now() time.Duration { return c.Sched().Now() }
 
 // Stats returns a snapshot of the chassis counters.
 func (c *Chassis) Stats() ChassisStats { return c.stats }
@@ -99,7 +134,7 @@ func (c *Chassis) Port(i int) *netsim.Port { return c.ports[i] }
 // initial HELLO burst. Call once after cabling, before running the
 // simulation (the topology builder does this).
 func (c *Chassis) Start() {
-	c.net.Engine.At(c.net.Now(), func() {
+	c.Sched().At(c.net.Now(), func() {
 		c.proto.OnStart()
 		if c.HelloEnabled {
 			for _, p := range c.ports {
@@ -191,7 +226,7 @@ func (c *Chassis) FloodExcept(in *netsim.Port, f *netsim.Frame) {
 // FloodBytesExcept wraps a locally built frame in one pooled buffer and
 // floods it (the origination-side counterpart of FloodExcept).
 func (c *Chassis) FloodBytesExcept(in *netsim.Port, frame []byte) {
-	f := netsim.NewFrame(frame)
+	f := c.net.NewFrame(frame)
 	c.FloodExcept(in, f)
 	f.Release()
 }

@@ -63,9 +63,10 @@ type Stats struct {
 	PathsConfirmed    uint64 // locked→learned upgrades by replies
 
 	// Unicast dataplane.
-	Forwarded   uint64 // unicast frames forwarded along the path
-	HairpinDrop uint64 // destination resolved to the ingress port
-	SrcPortDrop uint64 // unicast from a source locked to another port
+	Forwarded      uint64 // unicast frames forwarded along the path
+	HairpinDrop    uint64 // destination resolved to the ingress port
+	SrcPortDrop    uint64 // unicast from a source locked to another port
+	SrcViolRepairs uint64 // new repairs created by non-guarded src-port violations
 
 	// Repair (§2.1.4).
 	RepairsStarted   uint64
@@ -117,7 +118,6 @@ func New(net *netsim.Network, name string, numID int, cfg Config) *Bridge {
 		cfg:     cfg,
 		table:   NewLockTable(cfg.LockTimeout, cfg.LearnedTimeout),
 		repairs: make(map[uint64]*repair),
-		wheel:   sim.NewWheel(net.Engine, repairWheelTick),
 	}
 	b.Chassis = bridge.NewChassis(net, name, numID, b)
 	b.HelloEnabled = true
@@ -130,6 +130,17 @@ func New(net *netsim.Network, name string, numID int, cfg Config) *Bridge {
 // Table exposes the locking table; experiments use it to reconstruct
 // locked paths (Figure 1) and to measure table sizes.
 func (b *Bridge) Table() *LockTable { return b.table }
+
+// repairWheel returns the bridge's repair-timeout wheel, created on first
+// use: the wheel ticks under the bridge's scheduling identity, which is
+// only resolvable once the topology builder has registered the bridge
+// (and, in a sharded fabric, after partitioning bound it to its shard).
+func (b *Bridge) repairWheel() *sim.Wheel {
+	if b.wheel == nil {
+		b.wheel = sim.NewWheelOn(b.Sched(), repairWheelTick)
+	}
+	return b.wheel
+}
 
 // Stats returns a snapshot of the protocol counters.
 func (b *Bridge) Stats() Stats { return b.stats }
@@ -152,7 +163,7 @@ func (b *Bridge) OnStart() {}
 // fault schedules probe. Must be called from the simulation goroutine.
 func (b *Bridge) Restart() {
 	for dst, r := range b.repairs {
-		b.wheel.Stop(r.timer)
+		b.repairWheel().Stop(r.timer)
 		b.stats.RepairDropped += uint64(len(r.buffered))
 		for _, f := range r.buffered {
 			f.Release()
@@ -321,9 +332,25 @@ func (b *Bridge) handleUnicast(in *netsim.Port, f *netsim.Frame, v *layers.Frame
 			// A reply on a new port re-establishes the path (repair).
 			b.table.LearnKey(src, in, now)
 		default:
-			// Data violating the symmetric path: discard; repair or
-			// re-ARP will rebuild state.
+			// Data violating the symmetric path outside any race window.
+			// This used to be a silent discard — and a silent discard is
+			// exactly the stale-ARP blackhole the scenario engine surfaced
+			// (DESIGN.md §7 finding 2): a host with a warm ARP cache whose
+			// position was moved by a later flood keeps sending along the
+			// old path, every frame dies here, and nothing ever repairs.
+			// The frame still must not be forwarded (that is the loop
+			// protection, unweakened), but a persistent violation on a
+			// non-guarded entry is evidence the source's path is stale:
+			// buffer the frame and trigger repair toward the source — the
+			// PathFail/PathRequest/PathReply exchange re-locks the
+			// source's position and the buffered frames are released along
+			// the confirmed path. Guarded entries above stay pure drops:
+			// inside the race window a wrong-port copy is the §2.1.1
+			// filter working as designed.
 			b.stats.SrcPortDrop++
+			if b.startRepair(f, v, now) {
+				b.stats.SrcViolRepairs++
+			}
 			return
 		}
 	} else {

@@ -87,7 +87,7 @@ func (b *Bridge) proxyHandleBroadcast(in *netsim.Port, v *layers.FrameView, now 
 	// Hand the rewritten frame to the normal unicast dataplane as if it
 	// had arrived this way: the source entry refreshes and the frame
 	// follows the learned path to the target.
-	uf := netsim.NewFrame(unicast)
+	uf := b.Net().NewFrame(unicast) // net-scoped: visible to the frame-drain balance
 	b.handleUnicast(in, uf, uf.View())
 	uf.Release()
 	return true

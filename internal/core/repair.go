@@ -10,22 +10,24 @@ import (
 // startRepair handles a unicast table miss for the frame's destination
 // (§2.1.4): buffer the frame, then emulate an ARP exchange — tell src's
 // edge bridge to flood a PathRequest (via PathFail), or flood it
-// ourselves if we cannot reach src.
-func (b *Bridge) startRepair(f *netsim.Frame, v *layers.FrameView, now time.Duration) {
+// ourselves if we cannot reach src. It reports whether a new repair was
+// actually created (false when one was already pending for dst, or when
+// repair is disabled entirely).
+func (b *Bridge) startRepair(f *netsim.Frame, v *layers.FrameView, now time.Duration) bool {
 	if b.cfg.DisableRepair {
 		b.stats.RepairDropped++
-		return
+		return false
 	}
 	src, dst := v.SrcKey, v.DstKey
 	r, pending := b.repairs[dst]
 	if !pending {
 		r = &repair{
-			nonce: b.Net().Engine.Rand().Uint32(),
+			nonce: b.Rand().Uint32(), // per-bridge stream: shard-independent
 			src:   v.Src,
 		}
 		b.repairs[dst] = r
 		b.stats.RepairsStarted++
-		r.timer = b.wheel.After(b.cfg.RepairTimeout, func() {
+		r.timer = b.repairWheel().After(b.cfg.RepairTimeout, func() {
 			b.stats.RepairDropped += uint64(len(r.buffered))
 			for _, bf := range r.buffered {
 				bf.Release()
@@ -53,12 +55,13 @@ func (b *Bridge) startRepair(f *netsim.Frame, v *layers.FrameView, now time.Dura
 	}
 	if len(r.buffered) >= b.cfg.RepairBuffer {
 		b.stats.RepairDropped++
-		return
+		return !pending
 	}
 	// Retain instead of copy: the buffered frame parks the pooled buffer
 	// until the repair resolves (the explicit-Retain half of the netsim
 	// ownership contract).
 	r.buffered = append(r.buffered, f.Retain())
+	return !pending
 }
 
 // completeRepair releases frames buffered for the packed destination dst
@@ -69,7 +72,7 @@ func (b *Bridge) completeRepair(dst uint64, out *netsim.Port, _ time.Duration) {
 		return
 	}
 	delete(b.repairs, dst)
-	b.wheel.Stop(r.timer)
+	b.repairWheel().Stop(r.timer)
 	for _, f := range r.buffered {
 		b.stats.RepairReleased++
 		b.stats.Forwarded++

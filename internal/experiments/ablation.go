@@ -40,7 +40,7 @@ func RunT5LockWindow(seed int64, windows []time.Duration) []T5Row {
 	floodTime := time.Duration(ringSize) * linkDelay // long-arc bound
 	var rows []T5Row
 	for _, w := range windows {
-		opts := topo.DefaultOptions(topo.ARPPath, seed)
+		opts := expOptions(topo.ARPPath, seed)
 		opts.ARPPathConfig.LockTimeout = w
 		opts.Link = opts.Link.WithDelay(linkDelay)
 		built := topo.Ring(opts, ringSize)
@@ -117,7 +117,7 @@ func RunT6TableSize(seed int64, sizes []int) []T6Row {
 }
 
 func t6Measure(proto topo.Protocol, seed int64, n int) (maxLen int, meanLen float64) {
-	built := topo.Ring(topo.DefaultOptions(proto, seed), n)
+	built := topo.Ring(expOptions(proto, seed), n)
 	defer finishNet(built)
 	server := built.Host("H1")
 	at := built.Now()

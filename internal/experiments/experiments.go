@@ -12,6 +12,20 @@ import (
 	"repro/internal/topo"
 )
 
+// Shards is the shard count applied to every experiment topology
+// (fabricbench -shards): >1 runs each simulation on the partitioned
+// parallel engine. Every figure and table is bit-identical for any value
+// — that equivalence is enforced by TestExperimentsShardInvariant.
+var Shards = 1
+
+// expOptions is topo.DefaultOptions plus the package shard setting; every
+// experiment builds its topology through it.
+func expOptions(p topo.Protocol, seed int64) topo.Options {
+	o := topo.DefaultOptions(p, seed)
+	o.Shards = Shards
+	return o
+}
+
 // OnNetworkDone is a test hook: when set, every runner invokes it with
 // each network it built, after that network's measurements are complete.
 // The pooled-frame leak gate uses it to drain every figure/table

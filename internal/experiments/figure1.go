@@ -29,7 +29,7 @@ type Figure1Result struct {
 
 // RunFigure1 executes the discovery walkthrough on the Figure 1 topology.
 func RunFigure1(seed int64) *Figure1Result {
-	n := topo.Figure1(topo.DefaultOptions(topo.ARPPath, seed))
+	n := topo.Figure1(expOptions(topo.ARPPath, seed))
 	defer finishNet(n)
 	s, d := n.Host("S"), n.Host("D")
 

@@ -59,7 +59,7 @@ func RunFigure2(cfg Figure2Config) []Figure2Row {
 }
 
 func runFigure2Cell(cfg Figure2Config, profile topo.Figure2Profile, proto topo.Protocol) Figure2Row {
-	n := topo.Figure2(topo.DefaultOptions(proto, cfg.Seed), profile)
+	n := topo.Figure2(expOptions(proto, cfg.Seed), profile)
 	defer finishNet(n)
 	a, b := n.Host("A"), n.Host("B")
 	row := Figure2Row{

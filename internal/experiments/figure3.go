@@ -63,7 +63,7 @@ func DefaultFigure3Config() Figure3Config {
 
 // RunFigure3 runs the streaming-under-failures demo for one protocol.
 func RunFigure3(cfg Figure3Config, proto topo.Protocol) *Figure3Result {
-	opts := topo.DefaultOptions(proto, cfg.Seed)
+	opts := expOptions(proto, cfg.Seed)
 	opts.STPTimers = cfg.STPTimers
 	n := topo.Figure2(opts, topo.ProfileUniform)
 	defer finishNet(n)

@@ -36,7 +36,7 @@ type ForwardResult struct {
 // wall-clock forwarding rate. Protocol results are deterministic for a
 // given seed; only the wall-clock figures vary between machines.
 func RunForwardBench(seed int64, frames int) *ForwardResult {
-	built := topo.FatTree(topo.DefaultOptions(topo.ARPPath, seed), 4)
+	built := topo.FatTree(expOptions(topo.ARPPath, seed), 4)
 	defer finishNet(built)
 
 	type pair struct{ src, dst int }

@@ -37,7 +37,7 @@ func RunT1Properties(seed int64, trials int) []T1Row {
 		extra := 2 + trial%3
 		row := T1Row{Trial: trial}
 
-		built := topo.Random(topo.DefaultOptions(topo.ARPPath, seed+int64(trial)), n, extra)
+		built := topo.Random(expOptions(topo.ARPPath, seed+int64(trial)), n, extra)
 		row.Bridges = len(built.Bridges)
 		trunkLinks := 0
 		for _, l := range built.Network.Links() {
@@ -75,7 +75,7 @@ func RunT1Properties(seed int64, trials int) []T1Row {
 		finishNet(built)
 
 		// Same wiring under STP: count blocked ports after convergence.
-		stpBuilt := topo.Random(topo.DefaultOptions(topo.STP, seed+int64(trial)), n, extra)
+		stpBuilt := topo.Random(expOptions(topo.STP, seed+int64(trial)), n, extra)
 		for _, br := range stpBuilt.Bridges {
 			sb := br.(*stp.Bridge)
 			for _, p := range sb.Ports() {
@@ -127,7 +127,7 @@ type T2Result struct {
 
 // RunT2Load runs 8 cross-pod UDP flows on a k=4 fat tree.
 func RunT2Load(seed int64, proto topo.Protocol) *T2Result {
-	built := topo.FatTree(topo.DefaultOptions(proto, seed), 4)
+	built := topo.FatTree(expOptions(proto, seed), 4)
 	defer finishNet(built)
 	res := &T2Result{Protocol: proto}
 
@@ -261,7 +261,7 @@ func RunT3Proxy(seed int64, sizes []int) []T3Row {
 }
 
 func runT3Cell(seed int64, n int, proxy bool) T3Row {
-	opts := topo.DefaultOptions(topo.ARPPath, seed)
+	opts := expOptions(topo.ARPPath, seed)
 	opts.ARPPathConfig.Proxy = proxy
 	built := topo.Ring(opts, n)
 	defer finishNet(built)
@@ -343,7 +343,7 @@ func RunT4Repair(seed int64) []T4Row {
 	}
 	var rows []T4Row
 	for _, v := range variants {
-		opts := topo.DefaultOptions(v.proto, seed)
+		opts := expOptions(v.proto, seed)
 		if v.mod != nil {
 			v.mod(&opts)
 			opts.WarmUp = 0 // recompute for modified timers

@@ -53,7 +53,7 @@ func StartFlow(h *host.Host, cfg FlowConfig, done func(FlowResult)) {
 		sock.SendTo(cfg.DstIP, cfg.DstPort, payload)
 		sent++
 		if sent < cfg.Count {
-			h.Net().Engine.After(cfg.Interval, tick)
+			h.After(cfg.Interval, tick)
 			return
 		}
 		if done != nil {

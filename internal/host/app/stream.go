@@ -76,7 +76,7 @@ func StartStream(server, client *host.Host, cfg StreamConfig, onDone func(*Strea
 	if cfg.Size <= 0 || cfg.Bucket <= 0 || cfg.StallThreshold <= 0 {
 		panic("app: invalid stream config")
 	}
-	now := client.Net().Now()
+	now := client.Now()
 	s := &Streamer{
 		cfg:    cfg,
 		onDone: onDone,
@@ -95,7 +95,7 @@ func StartStream(server, client *host.Host, cfg StreamConfig, onDone func(*Strea
 		c.Close()
 	})
 	client.Dial(server.IP(), cfg.Port, func(c *host.Conn) {
-		s.report.Connected = client.Net().Now()
+		s.report.Connected = client.Now()
 		s.lastByteAt = s.report.Connected
 		c.OnData = s.onData
 		c.OnClose = s.onClose
@@ -108,7 +108,7 @@ func StartStream(server, client *host.Host, cfg StreamConfig, onDone func(*Strea
 func (s *Streamer) Report() *StreamReport { return s.report }
 
 func (s *Streamer) onData(p []byte) {
-	now := s.client.Net().Now()
+	now := s.client.Now()
 	if gap := now - s.lastByteAt; gap > s.cfg.StallThreshold {
 		s.report.Stalls = append(s.report.Stalls, Stall{Start: s.lastByteAt, Duration: gap})
 		s.report.TotalStall += gap
@@ -135,7 +135,7 @@ func (s *Streamer) onClose() {
 	}
 	s.finished = true
 	s.flushBucket()
-	s.report.Finished = s.client.Net().Now()
+	s.report.Finished = s.client.Now()
 	s.report.Complete = s.report.Received == s.cfg.Size
 	if s.onDone != nil {
 		s.onDone(s.report)

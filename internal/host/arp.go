@@ -124,7 +124,7 @@ func (c *arpCache) transmitRequest(dst layers.Addr4, p *arpPending) {
 	}
 	c.h.stats.ARPRequestsTx++
 	c.h.send(frame)
-	p.timer = c.h.engine().After(c.cfg.RetryInterval, func() {
+	p.timer = c.h.After(c.cfg.RetryInterval, func() {
 		if p.attempts < c.cfg.Retries {
 			c.transmitRequest(dst, p)
 			return

@@ -8,6 +8,7 @@ package host
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/layers"
@@ -41,6 +42,8 @@ type Host struct {
 	ip    layers.Addr4
 	ports []*netsim.Port
 
+	proc  *sim.Proc
+	rng   *rand.Rand
 	arp   *arpCache
 	icmp  *icmpEndpoint
 	udp   map[uint16]*UDPSocket
@@ -61,6 +64,11 @@ func New(net *netsim.Network, name string, n int) *Host {
 	h.icmp = newICMPEndpoint(h)
 	h.tcp = newTCPHost(h)
 	net.AddNode(h)
+	h.proc = net.Proc(name)
+	// The host's own random stream (TCP ISNs): a function of the network
+	// seed and the host number, never of event interleaving, so draws are
+	// identical at any shard count.
+	h.rng = rand.New(rand.NewSource(net.Seed() ^ (int64(n)+1)*0x2545F4914F6CDD1D))
 	return h
 }
 
@@ -83,11 +91,23 @@ func (h *Host) Stats() Stats { return h.stats }
 // cache behaviour).
 func (h *Host) ARP() *ARPView { return &ARPView{h.arp} }
 
-// now returns the current virtual time.
-func (h *Host) now() time.Duration { return h.net.Now() }
+// now returns the current virtual time (the host's shard clock).
+func (h *Host) now() time.Duration { return h.proc.Now() }
 
-// engine returns the simulation engine.
-func (h *Host) engine() *sim.Engine { return h.net.Engine }
+// Now returns the current virtual time as this host observes it —
+// application code (internal/host/app) must use this, not the network's
+// control clock, which stands still during parallel windows.
+func (h *Host) Now() time.Duration { return h.proc.Now() }
+
+// Sched returns the host's scheduling identity; all host timers go
+// through it (sim.Proc), keeping event order shard-independent.
+func (h *Host) Sched() *sim.Proc { return h.proc }
+
+// After schedules fn d from now under the host's identity. Application
+// code driving a host (internal/host/app) must use this, not the engine.
+func (h *Host) After(d time.Duration, fn func()) *sim.Timer {
+	return h.proc.After(d, fn)
+}
 
 // AttachPort implements netsim.Node.
 func (h *Host) AttachPort(p *netsim.Port) { h.ports = append(h.ports, p) }

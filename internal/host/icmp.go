@@ -53,7 +53,7 @@ func (h *Host) Ping(dst layers.Addr4, size int, timeout time.Duration, cb func(P
 	e.nextSeq++
 	w := &pingWait{sent: h.now(), cb: cb}
 	e.waiting[seq] = w
-	w.timer = h.engine().After(timeout, func() {
+	w.timer = h.After(timeout, func() {
 		delete(e.waiting, seq)
 		cb(PingResult{Seq: seq, Err: ErrPingTimeout, Sent: w.sent})
 	})
@@ -76,7 +76,7 @@ func (h *Host) PingSeries(dst layers.Addr4, count, size int, interval, timeout t
 			}
 		})
 		if i+1 < count {
-			h.engine().After(interval, func() { fire(i + 1) })
+			h.After(interval, func() { fire(i + 1) })
 		}
 	}
 	if count <= 0 {

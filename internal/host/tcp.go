@@ -216,7 +216,7 @@ func (h *Host) DialConfig(dst layers.Addr4, port uint16, cfg TCPConfig, onConnec
 }
 
 func newConn(h *Host, cfg TCPConfig, key connKey) *Conn {
-	isn := uint32(h.engine().Rand().Int63()) // deterministic per seed
+	isn := uint32(h.rng.Int63()) // deterministic per seed
 	return &Conn{
 		h:        h,
 		cfg:      cfg,
@@ -371,7 +371,7 @@ func (c *Conn) armRTX() {
 	if c.flightSize() == 0 && c.state != StateSynSent && c.state != StateSynReceived {
 		return
 	}
-	c.rtxTimer = c.h.engine().After(c.rto, c.onRTO)
+	c.rtxTimer = c.h.After(c.rto, c.onRTO)
 }
 
 // onRTO fires when the oldest outstanding data went unacknowledged.
@@ -463,7 +463,7 @@ func (c *Conn) armIdle() {
 	if c.idleTimer != nil {
 		c.idleTimer.Stop()
 	}
-	c.idleTimer = c.h.engine().After(c.cfg.IdleTimeout, c.abort)
+	c.idleTimer = c.h.After(c.cfg.IdleTimeout, c.abort)
 }
 
 // handleSegment is the connection state machine.

@@ -1,0 +1,71 @@
+package netsim
+
+import (
+	"hash/fnv"
+)
+
+// TapFingerprint folds every tap event into a running FNV-1a digest with
+// frame identities normalized to first-seen order. It is THE trace
+// fingerprint of the repository — the scenario checker, the scaling
+// experiment and the shard determinism tests all share this one
+// construction, so their digests are comparable and a change to what a
+// fingerprint covers happens in exactly one place. Two runs of the same
+// seed must produce equal digests regardless of shard count, GOMAXPROCS,
+// or what ran earlier in the process (the normalization removes the
+// process-global frame counter).
+type TapFingerprint struct {
+	fp     uint64
+	events uint64
+	ids    map[uint64]uint32
+}
+
+// NewTapFingerprint returns an empty fingerprint; feed it with Observe
+// (typically by registering it as a tap: n.Tap(f.Observe)).
+func NewTapFingerprint() *TapFingerprint {
+	return &TapFingerprint{ids: make(map[uint64]uint32)}
+}
+
+// NormID normalizes a frame identity to its first-seen index.
+func (t *TapFingerprint) NormID(id uint64) uint32 {
+	if n, ok := t.ids[id]; ok {
+		return n
+	}
+	n := uint32(len(t.ids)) + 1
+	t.ids[id] = n
+	return n
+}
+
+// Observe folds one tap event into the digest.
+func (t *TapFingerprint) Observe(ev TapEvent) {
+	t.fold(uint64(ev.At), uint64(ev.Kind), uint64(t.NormID(ev.FrameID)), uint64(len(ev.Frame)))
+	t.foldString(ev.From.String())
+	t.foldString(ev.To.String())
+	t.events++
+}
+
+// Sum returns the digest over everything observed so far.
+func (t *TapFingerprint) Sum() uint64 { return t.fp }
+
+// Events returns the number of tap events folded in.
+func (t *TapFingerprint) Events() uint64 { return t.events }
+
+// fold mixes integers into the FNV-1a state.
+func (t *TapFingerprint) fold(vs ...uint64) {
+	h := t.fp
+	if h == 0 {
+		h = 14695981039346656037 // FNV-1a offset basis
+	}
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	t.fp = h
+}
+
+func (t *TapFingerprint) foldString(s string) {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	t.fold(h.Sum64())
+}

@@ -32,8 +32,9 @@ import (
 // frame's bytes.
 type Frame struct {
 	refs int32
-	id   uint64 // origination identity, fresh per NewFrame (not per buffer)
-	data []byte // aliases buf for wire-sized frames
+	id   uint64        // origination identity, fresh per NewFrame (not per buffer)
+	live *atomic.Int64 // owning network's live-frame counter (nil for bare frames)
+	data []byte        // aliases buf for wire-sized frames
 	view layers.FrameView
 	buf  [layers.MaxFrameLen]byte
 }
@@ -65,12 +66,21 @@ func LiveFrames() int64 { return frameLive.Load() }
 
 // NewFrame copies b into a pooled frame and decodes its view. The caller
 // owns the returned reference and must Release it (sending is not
-// releasing: Port.SendFrame takes its own reference).
-func NewFrame(b []byte) *Frame {
+// releasing: Port.SendFrame takes its own reference). Frames originated
+// through a Network (Port.Send, Network.NewFrame) are additionally counted
+// against that network, so concurrent simulations can each balance their
+// own refcounts.
+func NewFrame(b []byte) *Frame { return newFrame(b, nil) }
+
+func newFrame(b []byte, live *atomic.Int64) *Frame {
 	f := framePool.Get().(*Frame)
 	f.refs = 1
 	f.id = frameSeq.Add(1)
+	f.live = live
 	frameLive.Add(1)
+	if live != nil {
+		live.Add(1)
+	}
 	if len(b) <= len(f.buf) {
 		f.data = f.buf[:copy(f.buf[:], b)]
 	} else {
@@ -81,6 +91,30 @@ func NewFrame(b []byte) *Frame {
 	}
 	f.view.Decode(f.data)
 	return f
+}
+
+// clone duplicates the frame into a fresh pooled buffer that keeps the
+// same origination identity and an already-decoded view. This is the one
+// copy a frame suffers when it crosses a shard boundary: reference counts
+// are shard-local (non-atomic), so the sending shard keeps its buffer and
+// the destination shard receives its own — the clone's single reference is
+// owned by the in-flight delivery event (DESIGN.md §8).
+func (f *Frame) clone() *Frame {
+	nf := framePool.Get().(*Frame)
+	nf.refs = 1
+	nf.id = f.id
+	nf.live = f.live
+	frameLive.Add(1)
+	if nf.live != nil {
+		nf.live.Add(1)
+	}
+	if len(f.data) <= len(nf.buf) {
+		nf.data = nf.buf[:copy(nf.buf[:], f.data)]
+	} else {
+		nf.data = append([]byte(nil), f.data...)
+	}
+	nf.view = f.view // flat struct: safe to copy wholesale
+	return nf
 }
 
 // Bytes returns the frame contents. The slice is valid only while the
@@ -115,6 +149,10 @@ func (f *Frame) Release() {
 	case f.refs == 0:
 		f.data = nil
 		frameLive.Add(-1)
+		if f.live != nil {
+			f.live.Add(-1)
+			f.live = nil
+		}
 		framePool.Put(f)
 	default:
 		panic(fmt.Sprintf("netsim: frame over-released (refs=%d)", f.refs))

@@ -12,7 +12,9 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/layers"
@@ -116,35 +118,77 @@ type TapEvent struct {
 // TapFunc observes frames network-wide.
 type TapFunc func(TapEvent)
 
-// Network owns the simulation engine, the nodes and the links.
+// Network owns the simulation engine(s), the nodes and the links.
+//
+// A network starts single-engine. Partition splits it into shards — one
+// engine per shard, one worker per engine — synchronized by a conservative
+// lookahead coordinator (DESIGN.md §8). Engine remains the control engine:
+// driver code (experiments, fault schedules) keeps scheduling on it, and in
+// a sharded run those root events execute at barriers with every shard
+// paused and lined up on the same virtual instant.
 type Network struct {
 	Engine *sim.Engine
 
+	seed   int64
 	nodes  []Node
 	byNam  map[string]Node
 	nports map[Node]int
 	links  []*Link
 	taps   []TapFunc
+	procs  map[string]*sim.Proc
+	owners uint64 // scheduling-identity allocator; id 0 is the root driver
+	live   atomic.Int64
+
+	co *coordinator // non-nil once Partition sharded the fabric
 }
 
 // NewNetwork creates an empty network with a deterministic engine.
 func NewNetwork(seed int64) *Network {
 	return &Network{
 		Engine: sim.New(seed),
+		seed:   seed,
 		byNam:  make(map[string]Node),
 		nports: make(map[Node]int),
+		procs:  make(map[string]*sim.Proc),
 	}
 }
 
-// AddNode registers a node. Connect registers implicitly; explicit
-// registration is only needed for nodes created before any cabling.
+// Seed returns the seed the network was created with.
+func (n *Network) Seed() int64 { return n.seed }
+
+// AddNode registers a node and mints its scheduling identity. Connect
+// registers implicitly; explicit registration is only needed for nodes
+// created before any cabling.
 func (n *Network) AddNode(node Node) {
 	if _, dup := n.byNam[node.Name()]; dup {
 		panic(fmt.Sprintf("netsim: duplicate node name %q", node.Name()))
 	}
 	n.byNam[node.Name()] = node
 	n.nodes = append(n.nodes, node)
+	n.owners++
+	n.procs[node.Name()] = sim.NewProc(n.Engine, n.owners)
 }
+
+// Proc returns the scheduling identity of the named node: the handle its
+// code must use for every timer and event it creates, so the event order
+// stays independent of how the fabric is sharded. It panics for unknown
+// names (identities are minted at registration).
+func (n *Network) Proc(name string) *sim.Proc {
+	p, ok := n.procs[name]
+	if !ok {
+		panic(fmt.Sprintf("netsim: no scheduling identity for node %q", name))
+	}
+	return p
+}
+
+// NewFrame copies b into a pooled frame counted against this network's
+// live-frame balance (see LiveFrames).
+func (n *Network) NewFrame(b []byte) *Frame { return newFrame(b, &n.live) }
+
+// LiveFrames returns the number of this network's pooled frames currently
+// referenced anywhere. Unlike the package-level LiveFrames it is immune to
+// other simulations running concurrently in the same process.
+func (n *Network) LiveFrames() int64 { return n.live.Load() }
 
 // Nodes returns the registered nodes in registration order.
 func (n *Network) Nodes() []Node { return n.nodes }
@@ -158,7 +202,22 @@ func (n *Network) Links() []*Link { return n.links }
 // Tap registers fn to observe every frame event in the network.
 func (n *Network) Tap(fn TapFunc) { n.taps = append(n.taps, fn) }
 
-func (n *Network) emit(ev TapEvent) {
+// emit reports a tap event observed while engine e was executing. During
+// a parallel window the event is buffered per shard (bytes copied into a
+// per-shard arena, stamped with the executing event's ordering key) and
+// delivered later by the coordinator's deterministic merge. Everywhere
+// else — unsharded runs, barrier events, driver code between runs — it is
+// delivered inline: those contexts are single-threaded with every earlier
+// window tap already flushed, so inline program order is exactly the order
+// the unsharded run would have emitted.
+func (n *Network) emit(e *sim.Engine, ev TapEvent) {
+	if len(n.taps) == 0 {
+		return
+	}
+	if n.co != nil && n.co.inWindow {
+		n.co.buffer(e, ev)
+		return
+	}
 	for _, t := range n.taps {
 		t(ev)
 	}
@@ -181,27 +240,47 @@ func (n *Network) Connect(a, b Node, cfg LinkConfig) *Link {
 			n.AddNode(node)
 		}
 	}
-	l := &Link{net: n, cfg: cfg, up: true}
+	l := &Link{net: n, cfg: cfg, up: true, idx: len(n.links)}
 	ia := n.nports[a]
 	n.nports[a]++
 	ib := n.nports[b] // after a's increment so self-loops get distinct indices
 	n.nports[b]++
 	l.ports[0] = &Port{node: a, index: ia, link: l, side: 0}
 	l.ports[1] = &Port{node: b, index: ib, link: l, side: 1}
+	// Each direction transmits under its own identity: flight events are
+	// keyed by (link direction, per-direction sequence), both functions of
+	// the sending side's deterministic history alone, so delivery order is
+	// the same whether the link is intra-shard or a shard boundary.
+	n.owners++
+	l.proc[0] = sim.NewProc(n.Engine, n.owners)
+	n.owners++
+	l.proc[1] = sim.NewProc(n.Engine, n.owners)
 	n.links = append(n.links, l)
 	a.AttachPort(l.ports[0])
 	b.AttachPort(l.ports[1])
 	return l
 }
 
-// Run drains the event queue (sim.Engine.Run).
-func (n *Network) Run() { n.Engine.Run() }
+// Run drains the event queue(s) to full quiescence.
+func (n *Network) Run() {
+	if n.co != nil {
+		n.co.run(0, false)
+		return
+	}
+	n.Engine.Run()
+}
 
 // RunFor advances virtual time by d.
-func (n *Network) RunFor(d time.Duration) { n.Engine.RunFor(d) }
+func (n *Network) RunFor(d time.Duration) { n.RunUntil(n.Now() + d) }
 
 // RunUntil advances virtual time to t.
-func (n *Network) RunUntil(t time.Duration) { n.Engine.RunUntil(t) }
+func (n *Network) RunUntil(t time.Duration) {
+	if n.co != nil {
+		n.co.run(t, true)
+		return
+	}
+	n.Engine.RunUntil(t)
+}
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return n.Engine.Now() }
@@ -249,8 +328,15 @@ func (p *Port) Peer() *Port { return p.link.ports[1-p.side] }
 // Up reports whether the attached link is up.
 func (p *Port) Up() bool { return p.link.up }
 
-// Stats returns a snapshot of the port's counters.
-func (p *Port) Stats() PortStats { return p.stats }
+// Stats returns a snapshot of the port's counters. Call it while the
+// simulation is paused; DropsDown is the one counter a remote shard may
+// touch (an in-flight frame killed at the far side of a boundary link), so
+// it is re-read atomically.
+func (p *Port) Stats() PortStats {
+	s := p.stats
+	s.DropsDown = atomic.LoadUint64(&p.stats.DropsDown)
+	return s
+}
 
 // String renders "node[index]".
 func (p *Port) String() string { return fmt.Sprintf("%s[%d]", p.node.Name(), p.index) }
@@ -266,7 +352,7 @@ func (p *Port) Send(frame []byte) {
 	if !p.link.admit(p, frame, 0) {
 		return
 	}
-	f := NewFrame(frame)
+	f := p.link.net.NewFrame(frame)
 	p.link.transmit(p, f)
 	f.Release()
 }
@@ -281,12 +367,14 @@ func (p *Port) SendFrame(f *Frame) {
 	p.link.transmit(p, f)
 }
 
-// linkDir is the per-direction transmission state of a link.
+// linkDir is the per-direction transmission state of a link. It is owned
+// by the shard of the transmitting node: only sender-side events touch it.
 type linkDir struct {
 	busyUntil   time.Duration // when the serializer frees up
 	queuedBytes int           // wire bytes accepted but not yet serialized
 	busyTotal   time.Duration // cumulative serialization time (utilization)
 	lossRate    float64       // probability a frame this direction is lost
+	rng         *rand.Rand    // per-direction loss draws, seeded from (net seed, link, side)
 }
 
 // Link is a full-duplex point-to-point Ethernet link.
@@ -294,7 +382,10 @@ type Link struct {
 	net   *Network
 	cfg   LinkConfig
 	ports [2]*Port
+	proc  [2]*sim.Proc // per-direction transmit identity (side = sender)
+	shard [2]int       // shard of each side's node (set by Partition)
 	dir   [2]linkDir
+	idx   int // creation order; seeds the per-direction loss RNGs
 	up    bool
 	epoch uint64 // bumped on every up/down transition; kills in-flight frames
 }
@@ -336,7 +427,20 @@ func (l *Link) SetLoss(from *Port, rate float64) {
 	if rate < 0 || rate > 1 {
 		panic(fmt.Sprintf("netsim: loss rate %v out of [0,1]", rate))
 	}
-	l.dir[from.side].lossRate = rate
+	d := &l.dir[from.side]
+	d.lossRate = rate
+	if rate > 0 && d.rng == nil {
+		// A direction draws losses from its own stream, seeded by the
+		// network seed and the direction's identity. The k-th admitted
+		// frame on this direction sees the same draw however the fabric is
+		// sharded — a shared engine RNG consumed in execution order would
+		// not survive repartitioning.
+		// Domain-separated from the other per-entity streams (bridges use
+		// 0x5851F42D4C957F2D, hosts 0x2545F4914F6CDD1D): without a
+		// distinct multiplier a low-numbered bridge and a low-indexed link
+		// direction would draw byte-identical streams.
+		d.rng = rand.New(rand.NewSource(l.net.seed ^ (int64(l.idx*2+from.side)+1)*0x6A09E667F3BCC909))
+	}
 }
 
 // Loss returns the loss rate in the direction transmitting away from from.
@@ -344,14 +448,17 @@ func (l *Link) Loss(from *Port) float64 { return l.dir[from.side].lossRate }
 
 // SetUp changes the link state, purging queued traffic on a down
 // transition and notifying both nodes. Must be called from the simulation
-// goroutine (inside an event, or via Network.ScheduleLink{Down,Up}).
+// goroutine (inside an event, or via Network.ScheduleLink{Down,Up}). In a
+// sharded run the link's state is read by both sides' shards, so SetUp is
+// only legal from root/driver context — a fault op or a phase boundary —
+// which the coordinator executes as a barrier with every shard paused.
 func (l *Link) SetUp(up bool) {
 	if l.up == up {
 		return
 	}
 	l.up = up
 	l.epoch++
-	now := l.net.Engine.Now()
+	now := l.net.Now()
 	for i := range l.dir {
 		l.dir[i].busyUntil = now
 		l.dir[i].queuedBytes = 0
@@ -367,9 +474,10 @@ func (l *Link) SetUp(up bool) {
 // allocates nothing, which together with the pooled Frame makes the
 // steady-state forwarding path allocation-free.
 type flight struct {
+	eng   *sim.Engine // the shard engine executing this flight's events
 	link  *Link
 	from  *Port
-	frame *Frame
+	frame *Frame // nil when the arrival was shipped to another shard
 	epoch uint64
 	wire  int
 }
@@ -384,33 +492,69 @@ var flightPool = sync.Pool{New: func() any { return new(flight) }}
 
 // RunEvent implements sim.Runner. The txDone event always fires before
 // the arrival event (it is scheduled first at an earlier-or-equal time),
-// so the flight can be recycled once arrival runs.
+// so the flight can be recycled once arrival runs — or at txDone when the
+// arrival was shipped across a shard boundary and no local arrival exists.
 func (fl *flight) RunEvent(arg int32) {
 	l := fl.link
 	if arg == flightTxDone {
 		if l.epoch == fl.epoch {
 			l.dir[fl.from.side].queuedBytes -= fl.wire
 		}
+		if fl.frame == nil {
+			*fl = flight{}
+			flightPool.Put(fl)
+		}
 		return
 	}
-	e := l.net.Engine
+	e := fl.eng
 	from, f, epoch := fl.from, fl.frame, fl.epoch
 	to := from.Peer()
 	// Recycle before delivering so a forwarding chain reuses this flight
 	// for the next hop's transmission within the same event.
 	*fl = flight{}
 	flightPool.Put(fl)
+	deliver(e, l, from, to, f, epoch)
+}
+
+// deliver is the shared arrival tail of local flights and cross-shard
+// remote flights: epoch check, stats, tap, handoff to the node.
+func deliver(e *sim.Engine, l *Link, from, to *Port, f *Frame, epoch uint64) {
 	if l.epoch != epoch || !l.up {
-		from.stats.DropsDown++
-		l.net.emit(TapEvent{At: e.Now(), Kind: TapDropDown, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
+		// The frame was in flight when the link flapped. On a boundary
+		// link this runs in the receiver's shard while the sender owns the
+		// rest of the port counters, hence the atomic.
+		atomic.AddUint64(&from.stats.DropsDown, 1)
+		l.net.emit(e, TapEvent{At: e.Now(), Kind: TapDropDown, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
 		f.Release()
 		return
 	}
 	to.stats.RxFrames++
 	to.stats.RxBytes += uint64(f.Len())
-	l.net.emit(TapEvent{At: e.Now(), Kind: TapDeliver, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
+	l.net.emit(e, TapEvent{At: e.Now(), Kind: TapDeliver, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
 	to.node.HandleFrame(to, f)
 	f.Release()
+}
+
+// remoteFlight is a cross-shard arrival: materialized by the coordinator's
+// exchange in the destination shard, carrying that shard's own clone of
+// the frame. Its ordering key was stamped by the sending link direction,
+// so it sorts exactly where the local arrival would have.
+type remoteFlight struct {
+	eng   *sim.Engine
+	link  *Link
+	from  *Port
+	frame *Frame
+	epoch uint64
+}
+
+var remoteFlightPool = sync.Pool{New: func() any { return new(remoteFlight) }}
+
+// RunEvent implements sim.Runner.
+func (rf *remoteFlight) RunEvent(int32) {
+	e, l, from, f, epoch := rf.eng, rf.link, rf.from, rf.frame, rf.epoch
+	*rf = remoteFlight{}
+	remoteFlightPool.Put(rf)
+	deliver(e, l, from, from.Peer(), f, epoch)
 }
 
 // admit runs the egress drop checks (link down, queue overflow, lossy
@@ -420,29 +564,36 @@ func (fl *flight) RunEvent(arg int32) {
 // (SendFrame), zero on the origination path (Send) where the frame has
 // not been materialized yet.
 func (l *Link) admit(from *Port, frame []byte, id uint64) bool {
-	now := l.net.Engine.Now()
+	e := l.proc[from.side].Engine()
+	now := e.Now()
 	if !l.up {
-		from.stats.DropsDown++
-		l.net.emit(TapEvent{At: now, Kind: TapDropDown, From: from, To: from.Peer(), Frame: frame, FrameID: id})
+		atomic.AddUint64(&from.stats.DropsDown, 1)
+		l.net.emit(e, TapEvent{At: now, Kind: TapDropDown, From: from, To: from.Peer(), Frame: frame, FrameID: id})
 		return false
 	}
 	d := &l.dir[from.side]
-	if d.lossRate > 0 && l.net.Engine.Rand().Float64() < d.lossRate {
+	if d.lossRate > 0 && d.rng.Float64() < d.lossRate {
 		from.stats.DropsLoss++
-		l.net.emit(TapEvent{At: now, Kind: TapDropLoss, From: from, To: from.Peer(), Frame: frame, FrameID: id})
+		l.net.emit(e, TapEvent{At: now, Kind: TapDropLoss, From: from, To: from.Peer(), Frame: frame, FrameID: id})
 		return false
 	}
 	if d.queuedBytes+layers.WireBytes(len(frame)) > l.cfg.Queue {
 		from.stats.DropsQueue++
-		l.net.emit(TapEvent{At: now, Kind: TapDropQueue, From: from, To: from.Peer(), Frame: frame, FrameID: id})
+		l.net.emit(e, TapEvent{At: now, Kind: TapDropQueue, From: from, To: from.Peer(), Frame: frame, FrameID: id})
 		return false
 	}
 	return true
 }
 
+// serTime is the serialization delay of wire bytes at rate bits/s.
+func serTime(rate int64, wire int) time.Duration {
+	return time.Duration(wire) * 8 * time.Duration(time.Second) / time.Duration(rate)
+}
+
 // transmit queues an admitted frame for serialization and delivery.
 func (l *Link) transmit(from *Port, f *Frame) {
-	e := l.net.Engine
+	p := l.proc[from.side]
+	e := p.Engine()
 	now := e.Now()
 	wire := layers.WireBytes(f.Len())
 	d := &l.dir[from.side]
@@ -451,7 +602,7 @@ func (l *Link) transmit(from *Port, f *Frame) {
 	if start < now {
 		start = now
 	}
-	serialization := time.Duration(wire) * 8 * time.Duration(time.Second) / time.Duration(l.cfg.Rate)
+	serialization := serTime(l.cfg.Rate, wire)
 	txDone := start + serialization
 	arrival := txDone + l.cfg.Delay
 
@@ -462,17 +613,39 @@ func (l *Link) transmit(from *Port, f *Frame) {
 	from.stats.TxFrames++
 	from.stats.TxBytes += uint64(f.Len())
 	to := from.Peer()
-	l.net.emit(TapEvent{At: now, Kind: TapSend, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
+	l.net.emit(e, TapEvent{At: now, Kind: TapSend, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
 
+	// Both events are keyed now (not at txDone) by this direction's
+	// identity, so the (time, owner, seq) order of deliveries — and every
+	// ARP race outcome — is a function of the senders' histories alone.
+	if co := l.net.co; co != nil && l.shard[from.side] != l.shard[to.side] {
+		// Boundary link: serializer bookkeeping stays home; the arrival is
+		// shipped with a sender-stamped key and its own clone of the
+		// frame, to be injected into the destination shard's future at the
+		// next window exchange. The key consumes this direction's sequence
+		// numbers in the same order as the local path below, so the
+		// destination's event order is identical at any shard count.
+		fl := flightPool.Get().(*flight)
+		fl.eng = e
+		fl.link = l
+		fl.from = from
+		fl.frame = nil
+		fl.epoch = l.epoch
+		fl.wire = wire
+		p.ScheduleRunner(txDone, fl, flightTxDone)
+		co.ship(e.ID(), l.shard[to.side], remoteRec{
+			at: arrival, owner: p.ID(), oseq: p.NextSeq(),
+			link: l, side: int8(from.side), epoch: l.epoch, frame: f.clone(),
+		})
+		return
+	}
 	fl := flightPool.Get().(*flight)
+	fl.eng = e
 	fl.link = l
 	fl.from = from
 	fl.frame = f.Retain() // the flight's reference, released on delivery/drop
 	fl.epoch = l.epoch
 	fl.wire = wire
-	// Both events are enqueued now (not at txDone) so the (time, seq)
-	// order of deliveries is identical to the pre-pooling scheduler and
-	// every race outcome is preserved bit for bit.
-	e.ScheduleRunner(txDone, fl, flightTxDone)
-	e.ScheduleRunner(arrival, fl, flightArrival)
+	p.ScheduleRunner(txDone, fl, flightTxDone)
+	p.ScheduleRunner(arrival, fl, flightArrival)
 }

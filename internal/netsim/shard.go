@@ -1,0 +1,432 @@
+package netsim
+
+// This file is the parallel half of the simulator: a conservative
+// discrete-event coordinator that runs a partitioned fabric on one worker
+// goroutine per shard while preserving, bit for bit, the event order of
+// the single-engine run (DESIGN.md §8).
+//
+// The synchronization protocol is a null-message-free window barrier. Let
+// L (the lookahead) be the minimum latency — serialization of a minimum
+// frame plus propagation — over all links whose two ends live in
+// different shards. If the earliest pending event anywhere sits at time T,
+// then no shard can receive a cross-shard arrival before T+L (a send at
+// s ≥ T arrives strictly after s+L), so every shard may run all events in
+// [T, T+L) without looking up. After the window, the shards' outboxes are
+// exchanged: each cross-shard arrival was stamped by the *sending* link
+// direction with the key it would have carried in the unsharded run, so
+// where it sorts in the destination heap does not depend on when the
+// exchange happened to deliver it.
+//
+// Driver events — fault injection, experiment phases, anything scheduled
+// on the control engine — execute as barriers: all shards drain below the
+// event's timestamp, line their clocks up on it, and the event runs alone
+// with the whole fabric paused. That is what makes "global" actions like
+// cutting a boundary link or walking every bridge's table safe and
+// deterministic in a parallel run.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/layers"
+	"repro/internal/sim"
+)
+
+// remoteRec is one cross-shard arrival waiting in a sender's outbox: the
+// destination-shard event (key + payload) in wire form.
+type remoteRec struct {
+	at          time.Duration
+	owner, oseq uint64
+	link        *Link
+	side        int8 // transmitting side
+	epoch       uint64
+	frame       *Frame // destination shard's own clone (ownership transfers)
+}
+
+// tapRec is one buffered tap observation: the TapEvent fields plus the
+// ordering key of the event that emitted it and the byte range of the
+// frame copy in the shard's arena.
+type tapRec struct {
+	at          time.Duration
+	owner, oseq uint64
+	kind        TapKind
+	from, to    *Port
+	frameID     uint64
+	off, ln     int32
+}
+
+// tapShard buffers one shard's tap stream for the deterministic merge.
+type tapShard struct {
+	recs  []tapRec
+	arena []byte
+}
+
+// coordinator drives a partitioned network.
+type coordinator struct {
+	net       *Network
+	shards    []*sim.Engine
+	shardOf   map[Node]int
+	lookahead time.Duration
+	out       [][][]remoteRec // [from][to] outboxes, written only by `from`'s worker
+	tap       []tapShard      // per-shard tap buffers, written only by that shard's worker
+
+	// inWindow is true while shard workers are executing a parallel
+	// window. Written only while every worker is idle (the window channel
+	// send/receive pairs are the synchronization edges), read by workers
+	// inside the window to route tap emissions into the shard buffers.
+	inWindow bool
+
+	mu       sync.Mutex
+	panicked any // first worker panic, re-raised on the coordinator goroutine
+}
+
+// Partition splits the fabric into k shards: shardOf assigns every node,
+// nodes' and link directions' scheduling identities are rebound to their
+// shard's engine, and subsequent Run/RunFor/RunUntil calls execute shards
+// in parallel under the conservative coordinator. Partitioning must happen
+// before the simulation has run (topologies partition between cabling and
+// Start). k <= 1 is a no-op. Multi-homed nodes are legal but every
+// boundary link must have positive latency — the lookahead window is
+// derived from the smallest one.
+func (n *Network) Partition(k int, shardOf func(Node) int) {
+	if k <= 1 {
+		return
+	}
+	if n.co != nil {
+		panic("netsim: network already partitioned")
+	}
+	if n.Engine.Processed() != 0 {
+		panic("netsim: Partition after the simulation has run")
+	}
+	shards := make([]*sim.Engine, k)
+	for i := range shards {
+		e := sim.New(n.seed + int64(i) + 1)
+		e.SetID(i)
+		e.SetEventLimit(n.Engine.EventLimit())
+		shards[i] = e
+	}
+	co := &coordinator{
+		net:     n,
+		shards:  shards,
+		shardOf: make(map[Node]int, len(n.nodes)),
+		tap:     make([]tapShard, k),
+	}
+	co.out = make([][][]remoteRec, k)
+	for i := range co.out {
+		co.out[i] = make([][]remoteRec, k)
+	}
+	for _, node := range n.nodes {
+		s := shardOf(node)
+		if s < 0 || s >= k {
+			panic(fmt.Sprintf("netsim: node %q assigned to shard %d of %d", node.Name(), s, k))
+		}
+		co.shardOf[node] = s
+		n.procs[node.Name()].Rebind(shards[s])
+	}
+	la := time.Duration(math.MaxInt64)
+	for _, l := range n.links {
+		sa := co.shardOf[l.ports[0].node]
+		sb := co.shardOf[l.ports[1].node]
+		l.shard = [2]int{sa, sb}
+		l.proc[0].Rebind(shards[sa])
+		l.proc[1].Rebind(shards[sb])
+		if sa != sb {
+			lb := l.cfg.Delay + serTime(l.cfg.Rate, layers.WireBytes(0))
+			if lb <= 0 {
+				panic(fmt.Sprintf("netsim: boundary link %v needs positive latency", l))
+			}
+			if lb < la {
+				la = lb
+			}
+		}
+	}
+	if la == time.Duration(math.MaxInt64) {
+		// No boundary links: shards are independent; any window will do.
+		la = time.Millisecond
+	}
+	co.lookahead = la
+	n.co = co
+}
+
+// Sharded reports whether the network has been partitioned, and into how
+// many shards.
+func (n *Network) Sharded() (int, bool) {
+	if n.co == nil {
+		return 1, false
+	}
+	return len(n.co.shards), true
+}
+
+// Lookahead returns the coordinator's synchronization window (0 when
+// unsharded).
+func (n *Network) Lookahead() time.Duration {
+	if n.co == nil {
+		return 0
+	}
+	return n.co.lookahead
+}
+
+// Processed returns the total number of events executed across the
+// control engine and every shard.
+func (n *Network) Processed() uint64 {
+	total := n.Engine.Processed()
+	if n.co != nil {
+		for _, e := range n.co.shards {
+			total += e.Processed()
+		}
+	}
+	return total
+}
+
+// ship queues one cross-shard arrival; called by the sending shard's
+// worker during a window, drained by exchange between windows.
+func (co *coordinator) ship(from, to int, rec remoteRec) {
+	co.out[from][to] = append(co.out[from][to], rec)
+}
+
+// exchange injects every outbox record into its destination shard and
+// reports how many moved. Runs between windows, all workers paused.
+func (co *coordinator) exchange() int {
+	n := 0
+	for from := range co.out {
+		for to := range co.out[from] {
+			recs := co.out[from][to]
+			for i := range recs {
+				rec := &recs[i]
+				rf := remoteFlightPool.Get().(*remoteFlight)
+				rf.eng = co.shards[to]
+				rf.link = rec.link
+				rf.from = rec.link.ports[rec.side]
+				rf.frame = rec.frame
+				rf.epoch = rec.epoch
+				co.shards[to].ScheduleKeyed(rec.at, rec.owner, rec.oseq, rf, 0)
+				recs[i] = remoteRec{}
+				n++
+			}
+			co.out[from][to] = recs[:0]
+		}
+	}
+	return n
+}
+
+// buffer records a tap observation in the emitting shard's buffer, frame
+// bytes copied into the shard arena, stamped with the executing event's
+// ordering key.
+func (co *coordinator) buffer(e *sim.Engine, ev TapEvent) {
+	ts := &co.tap[e.ID()]
+	_, owner, oseq := e.CurKey()
+	off := int32(len(ts.arena))
+	ts.arena = append(ts.arena, ev.Frame...)
+	ts.recs = append(ts.recs, tapRec{
+		at: ev.At, owner: owner, oseq: oseq,
+		kind: ev.Kind, from: ev.From, to: ev.To, frameID: ev.FrameID,
+		off: off, ln: int32(len(ev.Frame)),
+	})
+}
+
+// flushTaps merges the per-shard tap buffers into the deterministic total
+// order and delivers them to the registered taps. Within a shard the
+// buffer is already key-sorted (events execute in key order); across
+// shards a stable k-way merge on (at, owner, oseq) reconstructs exactly
+// the emission order of the unsharded run. Keys never tie across buffers:
+// only shard events are buffered (barrier and driver emissions deliver
+// inline), and every shard event's owner is a distinct node or link
+// direction.
+func (co *coordinator) flushTaps() {
+	if len(co.net.taps) == 0 {
+		for s := range co.tap {
+			co.tap[s].recs = co.tap[s].recs[:0]
+			co.tap[s].arena = co.tap[s].arena[:0]
+		}
+		return
+	}
+	idx := make([]int, len(co.tap))
+	for {
+		best := -1
+		for s := range co.tap {
+			if idx[s] >= len(co.tap[s].recs) {
+				continue
+			}
+			if best == -1 || tapKeyLess(&co.tap[s].recs[idx[s]], &co.tap[best].recs[idx[best]]) {
+				best = s
+			}
+		}
+		if best == -1 {
+			break
+		}
+		r := &co.tap[best].recs[idx[best]]
+		idx[best]++
+		ev := TapEvent{
+			At: r.at, Kind: r.kind, From: r.from, To: r.to,
+			Frame: co.tap[best].arena[r.off : r.off+r.ln], FrameID: r.frameID,
+		}
+		for _, t := range co.net.taps {
+			t(ev)
+		}
+	}
+	for s := range co.tap {
+		co.tap[s].recs = co.tap[s].recs[:0]
+		co.tap[s].arena = co.tap[s].arena[:0]
+	}
+}
+
+// tapKeyLess orders buffered tap records by the emitting event's key.
+func tapKeyLess(a, b *tapRec) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.owner != b.owner {
+		return a.owner < b.owner
+	}
+	return a.oseq < b.oseq
+}
+
+// noteWorkerPanic records the first panic raised inside a shard worker.
+func (co *coordinator) noteWorkerPanic(r any) {
+	co.mu.Lock()
+	if co.panicked == nil {
+		co.panicked = r
+	}
+	co.mu.Unlock()
+}
+
+// run is the coordinator's main loop: alternate parallel lookahead windows
+// with root-event barriers until the horizon (bounded) or quiescence.
+// When bounded, events at exactly `until` run too and every clock ends at
+// `until`, mirroring Engine.RunUntil.
+func (co *coordinator) run(until time.Duration, bounded bool) {
+	defer co.flushTaps()
+	root := co.net.Engine
+	k := len(co.shards)
+
+	// Workers for the duration of this run — one per shard, window bounds
+	// in, completions out — spawned lazily at the first parallel window,
+	// so barrier-only calls (driver code slicing time in small steps) pay
+	// no goroutine churn. They are not kept across run() calls: a parked
+	// pool would outlive the Network (blocked goroutines never collect),
+	// and the spawn cost is microseconds against any window-bearing run.
+	var bounds []chan time.Duration
+	var done chan struct{}
+	startWorkers := func() {
+		bounds = make([]chan time.Duration, k)
+		done = make(chan struct{}, k)
+		for s := 0; s < k; s++ {
+			bounds[s] = make(chan time.Duration, 1)
+			go func(s int) {
+				for b := range bounds[s] {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								co.noteWorkerPanic(r)
+							}
+						}()
+						co.shards[s].RunWindow(b)
+					}()
+					done <- struct{}{}
+				}
+			}(s)
+		}
+	}
+	defer func() {
+		for s := range bounds {
+			close(bounds[s])
+		}
+	}()
+
+	startProcessed := co.net.Processed()
+	limit := root.EventLimit()
+	for {
+		co.flushTaps()
+		co.exchange()
+		// Runaway-loop backstop, checked every iteration so both code
+		// paths — parallel windows and root-event barriers — are covered;
+		// a self-rescheduling driver event must panic here exactly like
+		// it would under Engine.Run at shards=1.
+		if co.net.Processed()-startProcessed > limit {
+			panic(fmt.Sprintf("netsim: event limit %d exceeded across shards — probable forwarding loop", limit))
+		}
+
+		rootT, rootOK := root.NextEventAt()
+		minT := time.Duration(math.MaxInt64)
+		for _, e := range co.shards {
+			if t, ok := e.NextEventAt(); ok && t < minT {
+				minT = t
+			}
+		}
+		shardOK := minT != time.Duration(math.MaxInt64)
+
+		if !rootOK && !shardOK {
+			if bounded {
+				co.setAllNow(until)
+			} else {
+				co.levelClocks()
+			}
+			return
+		}
+		earliest := minT
+		if rootOK && rootT < earliest {
+			earliest = rootT
+		}
+		if bounded && earliest > until {
+			co.setAllNow(until)
+			return
+		}
+
+		if rootOK && rootT <= minT {
+			// Barrier: no shard event strictly before the root event is
+			// pending anywhere, so line every clock up on its timestamp
+			// and run it alone. Root events at one instant run in FIFO
+			// order; anything they schedule re-enters the loop. Taps the
+			// barrier emits deliver inline (emit), in program order,
+			// after everything the windows already flushed.
+			co.setAllNow(rootT)
+			root.Step()
+			continue
+		}
+
+		// Parallel window: everything strictly below bound is safe.
+		bound := minT + co.lookahead
+		if rootOK && rootT < bound {
+			bound = rootT // stop below the pending barrier
+		}
+		if bounded && bound > until+1 {
+			bound = until + 1 // inclusive of events at exactly `until`
+		}
+		if bounds == nil {
+			startWorkers()
+		}
+		co.inWindow = true
+		for s := 0; s < k; s++ {
+			bounds[s] <- bound
+		}
+		for s := 0; s < k; s++ {
+			<-done
+		}
+		co.inWindow = false
+		if co.panicked != nil {
+			panic(co.panicked)
+		}
+	}
+}
+
+// setAllNow lines the control engine and every shard up on t.
+func (co *coordinator) setAllNow(t time.Duration) {
+	co.net.Engine.SetNow(t)
+	for _, e := range co.shards {
+		e.SetNow(t)
+	}
+}
+
+// levelClocks advances every engine to the maximum current time after an
+// unbounded drain, so Now() is consistent across the fabric.
+func (co *coordinator) levelClocks() {
+	max := co.net.Engine.Now()
+	for _, e := range co.shards {
+		if n := e.Now(); n > max {
+			max = n
+		}
+	}
+	co.setAllNow(max)
+}

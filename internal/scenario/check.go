@@ -2,7 +2,6 @@ package scenario
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 	"time"
@@ -84,13 +83,11 @@ type Checker struct {
 	stableAt time.Duration // math.MaxInt64 until MarkStable
 	baseLive int64
 
-	fp         uint64            // running FNV-1a over all tap events
-	events     uint64            // tap events folded in
-	frameIndex map[uint64]uint32 // frame id -> first-seen order (normalized identity)
-	firstSeen  map[uint64]time.Duration
-	uvisits    map[uint64]map[string]int // unicast frame -> bridge -> deliveries
-	bsends     map[uint64]map[string]int // broadcast frame -> "bridge[port]" -> sends
-	delivered  map[uint64]int            // frame -> total deliveries
+	tfp       *netsim.TapFingerprint // shared trace digest + frame-id normalization
+	firstSeen map[uint64]time.Duration
+	uvisits   map[uint64]map[string]int // unicast frame -> bridge -> deliveries
+	bsends    map[uint64]map[string]int // broadcast frame -> "bridge[port]" -> sends
+	delivered map[uint64]int            // frame -> total deliveries
 
 	violations []Violation
 	dropped    int // violations beyond maxViolationDetails
@@ -102,16 +99,16 @@ type Checker struct {
 // snapshotted here.
 func NewChecker(built *topo.Built) *Checker {
 	c := &Checker{
-		built:      built,
-		bridges:    make(map[string]bool, len(built.Bridges)),
-		hopCap:     8*len(built.Links) + 64,
-		stableAt:   math.MaxInt64,
-		baseLive:   netsim.LiveFrames(),
-		frameIndex: make(map[uint64]uint32),
-		firstSeen:  make(map[uint64]time.Duration),
-		uvisits:    make(map[uint64]map[string]int),
-		bsends:     make(map[uint64]map[string]int),
-		delivered:  make(map[uint64]int),
+		built:     built,
+		bridges:   make(map[string]bool, len(built.Bridges)),
+		hopCap:    8*len(built.Links) + 64,
+		stableAt:  math.MaxInt64,
+		baseLive:  built.Network.LiveFrames(),
+		tfp:       netsim.NewTapFingerprint(),
+		firstSeen: make(map[uint64]time.Duration),
+		uvisits:   make(map[uint64]map[string]int),
+		bsends:    make(map[uint64]map[string]int),
+		delivered: make(map[uint64]int),
 	}
 	for _, b := range built.Bridges {
 		c.bridges[b.Name()] = true
@@ -136,13 +133,14 @@ func (c *Checker) Dropped() int { return c.dropped }
 // the engine to quiescence once this is set.
 func (c *Checker) LoopSuspected() bool { return c.loops }
 
-// Fingerprint returns the FNV-1a digest of every tap event seen, with
-// frame identities normalized to first-seen order. Equal scenarios give
-// equal fingerprints regardless of what ran earlier in the process.
-func (c *Checker) Fingerprint() uint64 { return c.fp }
+// Fingerprint returns the digest of every tap event seen
+// (netsim.TapFingerprint: frame identities normalized to first-seen
+// order). Equal scenarios give equal fingerprints regardless of what ran
+// earlier in the process, or at how many shards either run executed.
+func (c *Checker) Fingerprint() uint64 { return c.tfp.Sum() }
 
 // Events returns the number of tap events folded into the fingerprint.
-func (c *Checker) Events() uint64 { return c.events }
+func (c *Checker) Events() uint64 { return c.tfp.Events() }
 
 func (c *Checker) violate(inv Invariant, at time.Duration, format string, args ...any) {
 	if inv == InvLoopFreedom || inv == InvHopCap || inv == InvFloodBound {
@@ -155,24 +153,10 @@ func (c *Checker) violate(inv Invariant, at time.Duration, format string, args .
 	c.violations = append(c.violations, Violation{Invariant: inv, At: at, Detail: fmt.Sprintf(format, args...)})
 }
 
-// frameID normalizes a frame identity to its first-seen index, keeping
-// fingerprints independent of the process-global frame counter.
-func (c *Checker) frameID(id uint64) uint32 {
-	if n, ok := c.frameIndex[id]; ok {
-		return n
-	}
-	n := uint32(len(c.frameIndex)) + 1
-	c.frameIndex[id] = n
-	return n
-}
-
 // tap is the hop-trace hook: every link event flows through here.
 func (c *Checker) tap(ev netsim.TapEvent) {
-	nid := c.frameID(ev.FrameID)
-	c.fold(uint64(ev.At), uint64(ev.Kind), uint64(nid), uint64(len(ev.Frame)))
-	c.foldString(ev.From.String())
-	c.foldString(ev.To.String())
-	c.events++
+	c.tfp.Observe(ev)
+	nid := c.tfp.NormID(ev.FrameID)
 
 	if ev.FrameID == 0 {
 		return // origination-side drop, no pooled frame to trace
@@ -227,32 +211,13 @@ func (c *Checker) tap(ev netsim.TapEvent) {
 	}
 }
 
-// fold mixes integers into the FNV-1a fingerprint.
-func (c *Checker) fold(vs ...uint64) {
-	h := c.fp
-	if h == 0 {
-		h = 14695981039346656037 // FNV-1a offset basis
-	}
-	for _, v := range vs {
-		for i := 0; i < 8; i++ {
-			h ^= (v >> (8 * i)) & 0xff
-			h *= 1099511628211
-		}
-	}
-	c.fp = h
-}
-
-func (c *Checker) foldString(s string) {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	c.fold(h.Sum64())
-}
-
 // CheckFrameDrain asserts the pooled-frame population is back at the
 // pre-scenario baseline. Only meaningful after the engine has fully
-// drained (no event in flight may hold a reference).
+// drained (no event in flight may hold a reference). The balance is
+// per-network (Network.LiveFrames), so concurrently running scenarios in
+// one process (cmd/scenario -j) cannot pollute each other's verdicts.
 func (c *Checker) CheckFrameDrain() {
-	if live := netsim.LiveFrames(); live != c.baseLive {
+	if live := c.built.Network.LiveFrames(); live != c.baseLive {
 		c.violate(InvFrameDrain, 0, "%d pooled frame(s) still referenced after drain (baseline %d, now %d)", live-c.baseLive, c.baseLive, live)
 	}
 }
@@ -393,5 +358,19 @@ func (c *Checker) CheckPathSymmetry(a, b string) {
 func (c *Checker) CheckDelivery(pair string, sent, answered int) {
 	if answered != sent {
 		c.violate(InvDelivery, 0, "pair %s: %d of %d post-quiescence probes answered", pair, answered, sent)
+	}
+}
+
+// CheckWarmDelivery records the warm-cache liveness verdict (the stale-ARP
+// blackhole regression, DESIGN.md §7 finding 2). Individual in-flight
+// frames may legally die while src-violation repair rebuilds a stale path
+// — like every ARP-Path repair, delivery of the frames that *trigger* it
+// is best-effort — but the conversation must unblock: the final probe of
+// the warm series, sent after the repair machinery had every chance to
+// run, must be answered. Before the fix, a blackholed pair failed this
+// forever.
+func (c *Checker) CheckWarmDelivery(pair string, sent, answered int, lastOK bool) {
+	if !lastOK {
+		c.violate(InvDelivery, 0, "pair %s: warm-cache conversation stayed blocked (%d of %d probes answered, final probe unanswered)", pair, answered, sent)
 	}
 }

@@ -143,7 +143,9 @@ func TestCheckerFrameDrain(t *testing.T) {
 		t.Fatalf("drained network flagged: %v", chk.Violations())
 	}
 
-	leak := netsim.NewFrame(make([]byte, 64)) // deliberately never released
+	// The balance is per-network now (cmd/scenario -j runs scenarios
+	// concurrently), so the leak must be charged to this network.
+	leak := built.Network.NewFrame(make([]byte, 64)) // deliberately never released
 	chk.CheckFrameDrain()
 	found := false
 	for _, v := range chk.Violations() {

@@ -25,13 +25,19 @@ const (
 	// FaultsQueuePressure fires line-rate UDP bursts that overflow output
 	// queues, so discovery races and repairs run under congestion drop.
 	FaultsQueuePressure FaultFamily = "queue-pressure"
-	// FaultsMixed combines one of each of the above.
+	// FaultsPartition splits the fabric in two along a seeded cut of the
+	// bridge graph (every crossing trunk goes down at once), runs traffic
+	// against the halves, then heals the cut — the harshest repair
+	// stimulus: both sides keep stale state about the other for the whole
+	// partition, and reconciliation must not loop or blackhole.
+	FaultsPartition FaultFamily = "partition-heal"
+	// FaultsMixed combines one of each of the single-fault families.
 	FaultsMixed FaultFamily = "mixed"
 )
 
 // FaultFamilies lists every schedule family, sweep order.
 func FaultFamilies() []FaultFamily {
-	return []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure, FaultsMixed}
+	return []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure, FaultsPartition, FaultsMixed}
 }
 
 // FaultKind discriminates the ops a schedule is made of.
@@ -157,6 +163,19 @@ func generateOps(family FaultFamily, plan *rand.Rand, ix *netIndex, phase time.D
 			Payload:  1000 + plan.Intn(400),
 		})
 	}
+	part := func() {
+		cut := ix.partitionCut(plan)
+		if len(cut) == 0 {
+			return
+		}
+		start := at(0.3)
+		dur := 80*time.Millisecond + time.Duration(plan.Intn(int(120*time.Millisecond)))
+		for _, li := range cut {
+			ops = append(ops,
+				FaultOp{At: start, Kind: OpLinkDown, Link: li},
+				FaultOp{At: start + dur, Kind: OpLinkUp, Link: li})
+		}
+	}
 	switch family {
 	case FaultsLinkFlaps:
 		for i, n := 0, 2+plan.Intn(3); i < n; i++ {
@@ -174,6 +193,8 @@ func generateOps(family FaultFamily, plan *rand.Rand, ix *netIndex, phase time.D
 		for i, n := 0, 2+plan.Intn(2); i < n; i++ {
 			burst()
 		}
+	case FaultsPartition:
+		part()
 	case FaultsMixed:
 		flap()
 		restart()

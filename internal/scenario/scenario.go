@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/host"
 	"repro/internal/host/app"
+	"repro/internal/topo"
 )
 
 // Config names one scenario. Topology, Faults and Seed fully determine
@@ -29,6 +30,16 @@ type Config struct {
 	Seed     int64
 	Topology TopologyFamily
 	Faults   FaultFamily
+
+	// Shards runs the simulation on a parallel engine partitioned into
+	// that many shards (0/1 = classic single engine). A scenario's trace,
+	// fingerprint and verdict are bit-identical at every value — that
+	// equivalence is itself a tested invariant of the sharded engine.
+	Shards int
+	// Big selects the larger topology tier (cmd/scenario -big): the same
+	// families, drawn several times bigger now that sweeps run in
+	// parallel. Big and non-Big runs of one seed are different scenarios.
+	Big bool
 
 	// FaultPhase is how long faults and background traffic run.
 	FaultPhase time.Duration
@@ -65,7 +76,11 @@ func (c Config) withDefaults() Config {
 
 // Name renders the scenario triple for reports.
 func (c Config) Name() string {
-	return fmt.Sprintf("%s/%s/seed=%d", c.Topology, c.Faults, c.Seed)
+	name := fmt.Sprintf("%s/%s/seed=%d", c.Topology, c.Faults, c.Seed)
+	if c.Big {
+		name += "/big"
+	}
+	return name
 }
 
 // Result is one scenario's outcome.
@@ -89,9 +104,13 @@ type Result struct {
 	// Traffic accounting: background/burst datagrams offered and
 	// delivered during the fault phase (losses there are legal), and
 	// verification probes offered and answered after quiescence (losses
-	// there are an eventual-delivery violation).
+	// there are an eventual-delivery violation). The warm wave re-probes
+	// the same pairs without flushing ARP caches — the stale-ARP blackhole
+	// regression (DESIGN.md §7 finding 2): before src-violation repair, a
+	// warm-cache sender whose peer's position moved could blackhole here.
 	BackgroundOffered, BackgroundDelivered int
 	ProbesSent, ProbesAnswered             int
+	WarmProbesSent, WarmProbesAnswered     int
 	// Drained reports the engine ran to full quiescence (skipped when a
 	// loop-class violation fires, since a live loop never drains).
 	Drained bool
@@ -112,7 +131,7 @@ func Replay(cfg Config, ops []FaultOp) *Result { return run(cfg, ops) }
 func run(cfg Config, replayOps []FaultOp) *Result {
 	cfg = cfg.withDefaults()
 	plan := rand.New(rand.NewSource(cfg.Seed))
-	built := buildTopology(cfg.Topology, cfg.Seed, plan)
+	built := buildTopology(cfg.Topology, cfg.Seed, plan, cfg.Shards, cfg.Big)
 	ix := newNetIndex(built)
 	chk := NewChecker(built)
 
@@ -155,19 +174,17 @@ func run(cfg Config, replayOps []FaultOp) *Result {
 	// chosen pairs, each of which the healed fabric must deliver. The
 	// pairs' ARP caches are flushed first so every exchange begins with
 	// the discovery flood that establishes its paths: ARP-Path's delivery
-	// promise is for ARP-initiated conversations. (A host that keeps a
-	// warm ARP cache across a fault can still be blackholed by the
-	// src-port discipline when a later flood moves its peer's locked
-	// position — a real liveness gap this engine surfaced; see ROADMAP.)
+	// promise is for ARP-initiated conversations. (Warm-cache delivery is
+	// probed separately by the wave below.)
 	for _, pr := range pairs {
 		ix.host(pr[0]).ARP().Flush()
 		ix.host(pr[1]).ARP().Flush()
 	}
 	answered := make([]int, len(pairs))
+	completed := make([]bool, len(pairs))
 	for i, pr := range pairs {
 		i, pr := i, pr
 		a, b := ix.host(pr[0]), ix.host(pr[1])
-		nameA, nameB := ix.hostNames[pr[0]], ix.hostNames[pr[1]]
 		built.Engine.At(built.Now()+time.Duration(i)*5*time.Millisecond, func() {
 			a.PingSeries(b.IP(), cfg.VerifyPings, 56, 20*time.Millisecond, time.Second, func(rs []host.PingResult) {
 				for _, r := range rs {
@@ -175,19 +192,70 @@ func run(cfg Config, replayOps []FaultOp) *Result {
 						answered[i]++
 					}
 				}
-				// Walk the tables now, while the exchange's entries are
-				// fresh — locked-state entries expire within the race
-				// window, so a post-drain walk would see legal dead ends.
-				if answered[i] == cfg.VerifyPings {
-					chk.CheckPathSymmetry(nameA, nameB)
-				}
+				completed[i] = true
 			})
 		})
 	}
 	res.ProbesSent = len(pairs) * cfg.VerifyPings
 	verifyWindow := time.Duration(len(pairs))*5*time.Millisecond +
 		time.Duration(cfg.VerifyPings)*20*time.Millisecond + 2*time.Second
-	built.RunFor(verifyWindow)
+	// Step through the window in slices and walk the tables of freshly
+	// completed pairs between slices, while their locked-state entries are
+	// still alive (a post-drain walk would see legal dead ends). The walk
+	// happens with the fabric paused at a deterministic virtual instant —
+	// in a sharded run that means every shard lined up on the slice
+	// boundary — so the verdict is identical at any shard count.
+	checked := make([]bool, len(pairs))
+	walkFresh := func() {
+		for i, pr := range pairs {
+			if completed[i] && !checked[i] {
+				checked[i] = true
+				if answered[i] == cfg.VerifyPings {
+					chk.CheckPathSymmetry(ix.hostNames[pr[0]], ix.hostNames[pr[1]])
+				}
+			}
+		}
+	}
+	runSliced(built, verifyWindow, walkFresh)
+
+	// Phase 3b: the warm wave — the same pairs probe again WITHOUT
+	// flushing ARP caches, exercising exactly the stale-ARP src-port
+	// blackhole: a warm sender whose peer's locked position moved during
+	// the preceding floods used to have its unicasts silently discarded
+	// forever. With src-violation repair (core), these probes must also
+	// deliver. This wave is the scenario-engine regression for that fix.
+	// Probes are spaced wider than the lock window: a src-violation repair
+	// floods a fresh PathRequest, and until its race guards expire,
+	// stale-path frames are still (correctly, §2.1.1) filtered — the
+	// conversation can only be observed unblocked once the guards are
+	// gone. The pairs are a host-disjoint subset of the verification
+	// pairs: two warm conversations sharing an endpoint can re-arm each
+	// other's guards indefinitely (each repair flood guards the shared
+	// host's position for another lock window), which is legal protocol
+	// behavior, not a blackhole — the invariant needs interference-free
+	// conversations to be meaningful.
+	const warmSpacing = 250 * time.Millisecond
+	warmPairs := disjointPairs(pairs)
+	warmAnswered := make([]int, len(warmPairs))
+	warmLastOK := make([]bool, len(warmPairs))
+	for i, pr := range warmPairs {
+		i, pr := i, pr
+		a, b := ix.host(pr[0]), ix.host(pr[1])
+		built.Engine.At(built.Now()+time.Duration(i)*5*time.Millisecond, func() {
+			a.PingSeries(b.IP(), cfg.VerifyPings, 56, warmSpacing, time.Second, func(rs []host.PingResult) {
+				for _, r := range rs {
+					if r.Err == nil {
+						warmAnswered[i]++
+					}
+				}
+				warmLastOK[i] = len(rs) > 0 && rs[len(rs)-1].Err == nil
+			})
+		})
+	}
+	res.WarmProbesSent = len(warmPairs) * cfg.VerifyPings
+	warmWindow := time.Duration(len(pairs))*5*time.Millisecond +
+		time.Duration(cfg.VerifyPings)*warmSpacing + 2*time.Second
+	built.RunFor(warmWindow)
 
 	// Phase 4: drain to full quiescence and run the post-mortem checks.
 	// A live forwarding loop regenerates events forever, so when the
@@ -202,6 +270,10 @@ func run(cfg Config, replayOps []FaultOp) *Result {
 			pairName := ix.hostNames[pr[0]] + "<->" + ix.hostNames[pr[1]]
 			chk.CheckDelivery(pairName, cfg.VerifyPings, answered[i])
 		}
+		for i, pr := range warmPairs {
+			pairName := ix.hostNames[pr[0]] + "<->" + ix.hostNames[pr[1]]
+			chk.CheckWarmDelivery(pairName, cfg.VerifyPings, warmAnswered[i], warmLastOK[i])
+		}
 	}
 
 	res.BackgroundOffered = burstOffered
@@ -215,11 +287,32 @@ func run(cfg Config, replayOps []FaultOp) *Result {
 	for _, n := range answered {
 		res.ProbesAnswered += n
 	}
+	for _, n := range warmAnswered {
+		res.WarmProbesAnswered += n
+	}
 	res.Violations = chk.Violations()
 	res.ViolationsDropped = chk.Dropped()
 	res.Fingerprint = chk.Fingerprint()
 	res.Events = chk.Events()
 	return res
+}
+
+// runSliced advances the simulation by window in fixed slices, invoking
+// between (with the fabric paused at a deterministic virtual instant) after
+// each slice. Sharded runs pause with every shard lined up on the slice
+// boundary, so anything `between` reads — lock tables across shards, probe
+// completions — observes the same state at any shard count.
+func runSliced(built *topo.Built, window time.Duration, between func()) {
+	const slice = 10 * time.Millisecond
+	end := built.Now() + window
+	for built.Now() < end {
+		d := slice
+		if rem := end - built.Now(); rem < d {
+			d = rem
+		}
+		built.RunFor(d)
+		between()
+	}
 }
 
 // startBackground launches the steady low-rate UDP flows that run during
@@ -250,6 +343,22 @@ func startBackground(plan *rand.Rand, ix *netIndex, phase time.Duration) (offere
 		})
 	}
 	return offered, sinks
+}
+
+// disjointPairs greedily selects (in order, deterministically) a maximal
+// subset of pairs sharing no host.
+func disjointPairs(pairs [][2]int) [][2]int {
+	used := make(map[int]bool)
+	var out [][2]int
+	for _, pr := range pairs {
+		if used[pr[0]] || used[pr[1]] {
+			continue
+		}
+		used[pr[0]] = true
+		used[pr[1]] = true
+		out = append(out, pr)
+	}
+	return out
 }
 
 // choosePairs draws n distinct host pairs for verification.

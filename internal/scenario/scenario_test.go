@@ -7,12 +7,12 @@ import (
 )
 
 // sweepTopos × sweepFaults × sweepSeeds is the tier-1 sweep: 4 topology
-// families × 4 fault-schedule families × 4 seeds = 64 scenarios. The
+// families × 5 fault-schedule families × 4 seeds = 80 scenarios. The
 // mixed schedule and the fat tree are exercised separately (determinism
 // test, cmd/scenario) to keep tier-1 wall-clock in check.
 var (
 	sweepTopos  = []TopologyFamily{TopoErdosRenyi, TopoRingOfRings, TopoRandomRegular, TopoGrid}
-	sweepFaults = []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure}
+	sweepFaults = []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure, FaultsPartition}
 	sweepSeeds  = []int64{1, 2, 3, 4}
 )
 
@@ -50,8 +50,45 @@ func TestScenarioSweep(t *testing.T) {
 			}
 		}
 	}
-	if ran < 64 {
-		t.Fatalf("sweep ran %d scenarios, want >= 64", ran)
+	if ran < 80 {
+		t.Fatalf("sweep ran %d scenarios, want >= 80", ran)
+	}
+}
+
+// TestScenarioShardedMatchesSingle is PR 2's machinery meeting PR 3's
+// engine: the same scenario run on 1 shard and on a partitioned parallel
+// engine must produce the identical trace fingerprint, event count,
+// violation list and probe accounting. One scenario per topology family,
+// mixed faults where the fabric is meshy enough to take them.
+func TestScenarioShardedMatchesSingle(t *testing.T) {
+	cases := []Config{
+		{Seed: 5, Topology: TopoErdosRenyi, Faults: FaultsMixed},
+		{Seed: 6, Topology: TopoGrid, Faults: FaultsPartition},
+		{Seed: 7, Topology: TopoRingOfRings, Faults: FaultsLinkFlaps},
+		{Seed: 8, Topology: TopoFatTree, Faults: FaultsBridgeRestarts},
+	}
+	for _, base := range cases {
+		base := base
+		t.Run(base.Name(), func(t *testing.T) {
+			single := Run(base)
+			for _, k := range []int{2, 4} {
+				cfg := base
+				cfg.Shards = k
+				sharded := Run(cfg)
+				if sharded.Fingerprint != single.Fingerprint || sharded.Events != single.Events {
+					t.Fatalf("shards=%d trace diverged: fp=%#x events=%d, want fp=%#x events=%d",
+						k, sharded.Fingerprint, sharded.Events, single.Fingerprint, single.Events)
+				}
+				if fmt.Sprint(sharded.Violations) != fmt.Sprint(single.Violations) {
+					t.Fatalf("shards=%d violations diverged:\n%v\nvs\n%v", k, sharded.Violations, single.Violations)
+				}
+				if sharded.ProbesAnswered != single.ProbesAnswered ||
+					sharded.WarmProbesAnswered != single.WarmProbesAnswered ||
+					sharded.BackgroundDelivered != single.BackgroundDelivered {
+					t.Fatalf("shards=%d accounting diverged: %+v vs %+v", k, sharded, single)
+				}
+			}
+		})
 	}
 }
 

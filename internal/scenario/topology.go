@@ -39,9 +39,29 @@ func TopologyFamilies() []TopologyFamily {
 // buildTopology draws the family's shape parameters from plan and builds
 // the instance with the scenario seed (which also seeds the simulation
 // engine, so wiring, delays and race outcomes are all functions of the
-// seed alone).
-func buildTopology(f TopologyFamily, seed int64, plan *rand.Rand) *topo.Built {
+// seed alone). shards > 1 partitions the instance onto the parallel
+// engine; big selects the larger tier — both leave the plan stream of the
+// corresponding non-big draw untouched only for shards (a Big run is a
+// different scenario, a sharded run of the same scenario is the same one).
+func buildTopology(f TopologyFamily, seed int64, plan *rand.Rand, shards int, big bool) *topo.Built {
 	opts := topo.DefaultOptions(topo.ARPPath, seed)
+	opts.Shards = shards
+	if big {
+		switch f {
+		case TopoErdosRenyi:
+			n := 40 + plan.Intn(17)
+			p := 0.04 + 0.06*plan.Float64()
+			return topo.ErdosRenyi(opts, n, p)
+		case TopoRingOfRings:
+			return topo.RingOfRings(opts, 4+plan.Intn(2), 6+plan.Intn(3))
+		case TopoRandomRegular:
+			return topo.RandomRegular(opts, 40+2*plan.Intn(9), 3)
+		case TopoGrid:
+			return topo.Grid(opts, 6, 7+plan.Intn(3))
+		case TopoFatTree:
+			return topo.FatTree(opts, 6)
+		}
+	}
 	switch f {
 	case TopoErdosRenyi:
 		n := 8 + plan.Intn(6)
@@ -97,3 +117,60 @@ func newNetIndex(built *topo.Built) *netIndex {
 func (ix *netIndex) link(i int) *netsim.Link  { return ix.built.Links[ix.linkNames[i]] }
 func (ix *netIndex) host(i int) *host.Host    { return ix.built.Hosts[ix.hostNames[i]] }
 func (ix *netIndex) bridge(i int) topo.Bridge { return ix.built.Bridges[i] }
+
+// partitionCut draws a seeded bisection of the bridge graph: BFS from a
+// plan-chosen bridge claims half the bridges, and the cut is every trunk
+// link with exactly one end inside the claimed set. The result is a list
+// of linkNames indices — plain link ops, so partition schedules replay
+// and shrink like any others.
+func (ix *netIndex) partitionCut(plan *rand.Rand) []int {
+	nb := len(ix.built.Bridges)
+	if nb < 2 {
+		return nil
+	}
+	idx := make(map[string]int, nb)
+	for i, b := range ix.built.Bridges {
+		idx[b.Name()] = i
+	}
+	adj := make([][]int, nb)
+	ends := func(li int) (int, int) {
+		l := ix.link(li)
+		return idx[l.A().Node().Name()], idx[l.B().Node().Name()]
+	}
+	for _, li := range ix.trunks {
+		a, b := ends(li)
+		if a != b {
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+	}
+	target := nb / 2
+	in := make([]bool, nb)
+	in[plan.Intn(nb)] = true
+	queue := []int{}
+	for i, ok := range in {
+		if ok {
+			queue = append(queue, i)
+		}
+	}
+	count := 1
+	for len(queue) > 0 && count < target {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if !in[next] && count < target {
+				in[next] = true
+				count++
+				queue = append(queue, next)
+			}
+		}
+	}
+	var cut []int
+	for _, li := range ix.trunks {
+		a, b := ends(li)
+		if in[a] != in[b] {
+			cut = append(cut, li)
+		}
+	}
+	return cut
+}

@@ -3,10 +3,24 @@
 //
 // The kernel models virtual time as a time.Duration measured from the start
 // of the run. Events are callbacks scheduled at absolute virtual times and
-// are executed in (time, scheduling-order) order, which makes every run with
-// the same seed and the same inputs bit-for-bit reproducible. The paper's
-// NetFPGA testbed resolves races between flooded frame copies in hardware;
-// here the same races are resolved by the deterministic event order.
+// are executed in (time, owner, owner-sequence) order — see Proc — which
+// makes every run with the same seed and the same inputs bit-for-bit
+// reproducible. The paper's NetFPGA testbed resolves races between flooded
+// frame copies in hardware; here the same races are resolved by the
+// deterministic event order.
+//
+// The ordering key deserves a word, because it is what makes the sharded
+// parallel engine (DESIGN.md §8) possible. Every event is stamped by the
+// Proc that scheduled it: a scheduling identity owned by exactly one
+// simulated entity (a node, one direction of a link, or the root driver).
+// Ties at equal virtual times break by (owner id, per-owner sequence), and
+// both components are functions of that one entity's own deterministic
+// history — never of how events from unrelated entities interleave. Two
+// events that tie across owners touch disjoint state, so their relative
+// order is fixed arbitrarily (by owner id) but consistently. The result is
+// an execution order that does not depend on how the fabric is partitioned
+// into shards, which is the determinism bedrock the parallel coordinator
+// in internal/netsim builds on.
 package sim
 
 import (
@@ -64,7 +78,8 @@ type Runner interface {
 
 type event struct {
 	at       time.Duration
-	seq      uint64 // tie-breaker: FIFO among events with equal timestamps
+	owner    uint64 // scheduling identity (Proc id; 0 = the root driver)
+	oseq     uint64 // per-owner sequence: FIFO among one owner's equal-time events
 	fn       func()
 	runner   Runner // alternative to fn for pooled, closure-free events
 	rarg     int32  // argument passed to runner.RunEvent
@@ -82,7 +97,10 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
-	return h[i].seq < h[j].seq
+	if h[i].owner != h[j].owner {
+		return h[i].owner < h[j].owner
+	}
+	return h[i].oseq < h[j].oseq
 }
 
 func (h eventHeap) Swap(i, j int) {
@@ -107,30 +125,138 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// Proc is a deterministic scheduling identity bound to one Engine: the
+// handle a simulated entity (a node, one direction of a link, the root
+// driver) schedules its events through. Events stamped by a Proc carry the
+// key (time, proc id, per-proc sequence); because the sequence advances
+// only with that one entity's own scheduling actions, the key — and
+// therefore the global execution order — is independent of how entities
+// are distributed across shards. Procs are created by the network layer
+// with globally unique ids in construction order, and rebound to a shard's
+// engine when the fabric is partitioned.
+//
+// A Proc is not safe for concurrent use; it is driven by the single
+// goroutine executing its engine's events (or by the coordinator while all
+// shards are paused).
+type Proc struct {
+	eng *Engine
+	id  uint64
+	seq uint64
+}
+
+// NewProc creates a scheduling identity with the given globally unique id
+// on engine e. Id 0 is reserved for the engine's own root identity.
+func NewProc(e *Engine, id uint64) *Proc {
+	if id == 0 {
+		panic("sim: Proc id 0 is reserved for the engine root")
+	}
+	return &Proc{eng: e, id: id}
+}
+
+// Rebind moves the identity to another engine (fabric partitioning). The
+// per-owner sequence is preserved: the entity's history is what keys its
+// events, not the engine that happens to execute them.
+func (p *Proc) Rebind(e *Engine) { p.eng = e }
+
+// Engine returns the engine the identity is currently bound to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// ID returns the owner id stamped into this identity's events.
+func (p *Proc) ID() uint64 { return p.id }
+
+// NextSeq consumes and returns the next per-owner sequence number. Normal
+// scheduling does this implicitly; the cross-shard transport uses it to
+// stamp an arrival's key on the sending side before shipping the event to
+// the destination shard.
+func (p *Proc) NextSeq() uint64 {
+	s := p.seq
+	p.seq++
+	return s
+}
+
+// Now returns the bound engine's current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+// At schedules fn at absolute virtual time t under this identity.
+func (p *Proc) At(t time.Duration, fn func()) *Timer {
+	return p.eng.at(t, p.id, p.NextSeq(), fn)
+}
+
+// After schedules fn d after the bound engine's current time.
+func (p *Proc) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return p.At(p.eng.now+d, fn)
+}
+
+// Schedule is the pooled, non-cancellable variant of At (see
+// Engine.Schedule).
+func (p *Proc) Schedule(t time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	p.eng.newPooled(t, p.id, p.NextSeq()).fn = fn
+}
+
+// ScheduleRunner enqueues r.RunEvent(arg) at absolute time t under this
+// identity (see Engine.ScheduleRunner).
+func (p *Proc) ScheduleRunner(t time.Duration, r Runner, arg int32) {
+	if r == nil {
+		panic("sim: nil event runner")
+	}
+	ev := p.eng.newPooled(t, p.id, p.NextSeq())
+	ev.runner = r
+	ev.rarg = arg
+}
+
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; all protocol code runs inside event callbacks on the
 // loop's goroutine, which is how the real dataplane pipeline of a bridge is
-// serialized per port anyway.
+// serialized per port anyway. In a sharded fabric there is one Engine per
+// shard, each still single-threaded, synchronized by the netsim
+// coordinator.
 type Engine struct {
 	now       time.Duration
-	seq       uint64
+	root      Proc
 	queue     eventHeap
 	free      []*event // recycled pooled events (Schedule/ScheduleRunner)
 	rng       *rand.Rand
 	seed      int64
 	processed uint64
 	limit     uint64
+	id        int // shard index (0 when unsharded)
+
+	// Key of the event currently executing — the causal stamp the tap
+	// buffering layer records so per-shard tap streams can be merged into
+	// the one deterministic total order.
+	curAt            time.Duration
+	curOwner, curSeq uint64
 }
 
 // New returns an Engine whose random source is seeded with seed. Two engines
 // built with the same seed and fed the same schedule produce identical runs.
 func New(seed int64) *Engine {
-	return &Engine{
+	e := &Engine{
 		rng:   rand.New(rand.NewSource(seed)),
 		seed:  seed,
 		limit: DefaultEventLimit,
 	}
+	e.root = Proc{eng: e}
+	return e
 }
+
+// Root returns the engine's root scheduling identity (owner id 0): the
+// identity of driver code outside any simulated entity. Root events sort
+// before every entity's events at the same timestamp, which is what lets
+// fault injection and experiment phases act as barriers in sharded runs.
+func (e *Engine) Root() *Proc { return &e.root }
+
+// ID returns the engine's shard index (0 unless assigned by SetID).
+func (e *Engine) ID() int { return e.id }
+
+// SetID assigns the engine's shard index.
+func (e *Engine) SetID(id int) { e.id = id }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
@@ -156,26 +282,35 @@ func (e *Engine) SetEventLimit(n uint64) {
 	e.limit = n
 }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// is a programming error and panics; scheduling at the current time is
-// allowed and runs after all previously scheduled events for that time.
+// EventLimit returns the runaway-loop backstop (the sharded coordinator
+// enforces the control engine's limit across all shards of one run).
+func (e *Engine) EventLimit() uint64 { return e.limit }
+
+// At schedules fn to run at absolute virtual time t under the root
+// identity. Scheduling in the past is a programming error and panics;
+// scheduling at the current time is allowed and runs after all previously
+// scheduled root events for that time.
 func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	return e.root.At(t, fn)
+}
+
+// at is the common keyed scheduling path behind Proc.At and Engine.At.
+func (e *Engine) at(t time.Duration, owner, oseq uint64, fn func()) *Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	e.seq++
+	ev := &event{at: t, owner: owner, oseq: oseq, fn: fn}
 	heap.Push(&e.queue, ev)
 	return &Timer{ev: ev}
 }
 
 // newPooled takes an event object from the free list (or allocates one)
-// and enqueues it. Pooled events have no Timer handle and cannot be
-// canceled, which is what makes recycling them safe.
-func (e *Engine) newPooled(t time.Duration) *event {
+// and enqueues it under the given key. Pooled events have no Timer handle
+// and cannot be canceled, which is what makes recycling them safe.
+func (e *Engine) newPooled(t time.Duration, owner, oseq uint64) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
@@ -189,9 +324,9 @@ func (e *Engine) newPooled(t time.Duration) *event {
 		ev = &event{}
 	}
 	ev.at = t
-	ev.seq = e.seq
+	ev.owner = owner
+	ev.oseq = oseq
 	ev.pooled = true
-	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -199,35 +334,40 @@ func (e *Engine) newPooled(t time.Duration) *event {
 // Schedule runs fn at absolute virtual time t like At, but returns no
 // Timer handle: the event cannot be canceled, and in exchange the engine
 // recycles the event object, so steady-state scheduling does not allocate
-// beyond the closure itself.
+// beyond the closure itself. The event carries the root identity.
 func (e *Engine) Schedule(t time.Duration, fn func()) {
-	if fn == nil {
-		panic("sim: nil event callback")
-	}
-	e.newPooled(t).fn = fn
+	e.root.Schedule(t, fn)
 }
 
-// ScheduleRunner enqueues r.RunEvent(arg) at absolute virtual time t.
-// Like Schedule it returns no handle and recycles the event; because the
-// callback is an interface rather than a closure, a caller that reuses
-// its Runner objects schedules with zero allocations — the netsim hot
-// path depends on this.
+// ScheduleRunner enqueues r.RunEvent(arg) at absolute virtual time t under
+// the root identity. Like Schedule it returns no handle and recycles the
+// event; because the callback is an interface rather than a closure, a
+// caller that reuses its Runner objects schedules with zero allocations —
+// the netsim hot path depends on this (via Proc.ScheduleRunner).
 func (e *Engine) ScheduleRunner(t time.Duration, r Runner, arg int32) {
+	e.root.ScheduleRunner(t, r, arg)
+}
+
+// ScheduleKeyed enqueues r.RunEvent(arg) at absolute time t with an
+// explicit, caller-computed key. This is the cross-shard injection
+// primitive: the sending shard stamps an arrival with its link identity's
+// (owner, seq) before shipping it, and the coordinator inserts it here
+// between windows — the key, not the insertion moment, decides where the
+// event sorts, so the destination shard's execution order is independent
+// of exchange timing.
+func (e *Engine) ScheduleKeyed(t time.Duration, owner, oseq uint64, r Runner, arg int32) {
 	if r == nil {
 		panic("sim: nil event runner")
 	}
-	ev := e.newPooled(t)
+	ev := e.newPooled(t, owner, oseq)
 	ev.runner = r
 	ev.rarg = arg
 }
 
-// After schedules fn to run d after the current virtual time. Negative d
-// panics.
+// After schedules fn to run d after the current virtual time under the
+// root identity. Negative d panics.
 func (e *Engine) After(d time.Duration, fn func()) *Timer {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
-	}
-	return e.At(e.now+d, fn)
+	return e.root.After(d, fn)
 }
 
 // Step executes the next pending event, if any, and reports whether one ran.
@@ -242,6 +382,7 @@ func (e *Engine) Step() bool {
 			panic("sim: event queue went backwards") // unreachable by construction
 		}
 		e.now = ev.at
+		e.curAt, e.curOwner, e.curSeq = ev.at, ev.owner, ev.oseq
 		ev.done = true
 		e.processed++
 		if ev.runner != nil {
@@ -317,3 +458,53 @@ func (e *Engine) peek() (time.Duration, bool) {
 
 // NextEventAt returns the virtual time of the next pending live event.
 func (e *Engine) NextEventAt() (time.Duration, bool) { return e.peek() }
+
+// NextKey returns the full ordering key of the next pending live event.
+// The coordinator uses it to pre-stamp shard engines before executing a
+// barrier event, so taps the barrier emits carry the barrier's key.
+func (e *Engine) NextKey() (at time.Duration, owner, oseq uint64, ok bool) {
+	if _, live := e.peek(); !live {
+		return 0, 0, 0, false
+	}
+	ev := e.queue[0]
+	return ev.at, ev.owner, ev.oseq, true
+}
+
+// CurKey returns the ordering key of the event currently (or most
+// recently) executing. The netsim tap layer records it with every buffered
+// tap event so per-shard streams merge into the deterministic total order.
+func (e *Engine) CurKey() (at time.Duration, owner, oseq uint64) {
+	return e.curAt, e.curOwner, e.curSeq
+}
+
+// RunWindow executes every event strictly before bound and reports how
+// many ran. It is the per-shard half of one conservative synchronization
+// window: the coordinator guarantees no other shard can inject an event
+// before bound, so everything below it is safe to run without looking up.
+// Unlike RunUntil it does not advance the clock to the bound — the next
+// window recomputes its horizon from the real queue heads.
+func (e *Engine) RunWindow(bound time.Duration) int {
+	n := 0
+	for {
+		next, ok := e.peek()
+		if !ok || next >= bound {
+			return n
+		}
+		e.Step()
+		n++
+	}
+}
+
+// SetNow advances the clock to exactly t without running anything. It
+// panics when t is in the past or when an event older than t is still
+// pending — the coordinator uses it to line all shards up on a barrier
+// timestamp after their queues have been drained below it.
+func (e *Engine) SetNow(t time.Duration) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: SetNow(%v) before now %v", t, e.now))
+	}
+	if next, ok := e.peek(); ok && next < t {
+		panic(fmt.Sprintf("sim: SetNow(%v) with event pending at %v", t, next))
+	}
+	e.now = t
+}

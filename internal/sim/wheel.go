@@ -51,7 +51,7 @@ type slotRef struct {
 // The wheel only ticks while timers are armed, so it never keeps an
 // otherwise-drained Engine.Run alive.
 type Wheel struct {
-	eng     *Engine
+	p       *Proc
 	tick    time.Duration
 	fine    [wheelFineSlots][]slotRef
 	coarse  [wheelCoarseSlots][]slotRef
@@ -65,12 +65,20 @@ type Wheel struct {
 	// very slot being drained, so cascading iterates a detached copy.
 }
 
-// NewWheel creates a wheel with the given tick granularity on e.
+// NewWheel creates a wheel with the given tick granularity on e, with tick
+// events carried by the engine's root identity.
 func NewWheel(e *Engine, tick time.Duration) *Wheel {
+	return NewWheelOn(e.Root(), tick)
+}
+
+// NewWheelOn creates a wheel whose tick events are scheduled under the
+// given identity — a bridge's repair wheel ticks as that bridge, keeping
+// the event order partition-independent.
+func NewWheelOn(p *Proc, tick time.Duration) *Wheel {
 	if tick <= 0 {
 		panic("sim: wheel tick must be positive")
 	}
-	return &Wheel{eng: e, tick: tick, free: -1, curTick: int64(e.Now() / tick)}
+	return &Wheel{p: p, tick: tick, free: -1, curTick: int64(p.Now() / tick)}
 }
 
 // Tick returns the wheel's granularity.
@@ -95,11 +103,11 @@ func (w *Wheel) After(d time.Duration, fn func()) WheelTimer {
 	// the jump are dead (their arena generations were bumped) and get
 	// skipped when their slots eventually drain.
 	if w.active == 0 && !w.ticking {
-		if nt := int64(w.eng.Now() / w.tick); nt > w.curTick {
+		if nt := int64(w.p.Now() / w.tick); nt > w.curTick {
 			w.curTick = nt
 		}
 	}
-	deadline := w.eng.Now() + d
+	deadline := w.p.Now() + d
 	// ceil(deadline/tick), but at least one tick ahead of the cursor so
 	// the callback never fires synchronously or in the past.
 	fire := int64((deadline + w.tick - 1) / w.tick)
@@ -189,7 +197,7 @@ func (w *Wheel) ensureTicking() {
 		return
 	}
 	w.ticking = true
-	w.eng.ScheduleRunner(time.Duration(w.curTick+1)*w.tick, w, 0)
+	w.p.ScheduleRunner(time.Duration(w.curTick+1)*w.tick, w, 0)
 }
 
 // RunEvent implements Runner: one wheel tick. It advances the cursor,

@@ -278,7 +278,7 @@ func (b *Bridge) helloTick() {
 	if b.IsRoot() {
 		b.txAllDesignated()
 	}
-	b.helloTimer = b.Net().Engine.After(b.timers.Hello, b.helloTick)
+	b.helloTimer = b.After(b.timers.Hello, b.helloTick)
 }
 
 // Stop quiesces the bridge: periodic timers are cancelled and incoming
@@ -454,7 +454,7 @@ func (b *Bridge) armInfoExpiry(sp *port, msgAge, maxAge time.Duration) {
 	if life <= 0 {
 		life = b.timers.MsgAgeIncrement
 	}
-	sp.infoExpiry = b.Net().Engine.After(life, func() {
+	sp.infoExpiry = b.After(life, func() {
 		// The designated bridge behind this port went silent for max-age:
 		// discard its information and re-run the election. Any port that
 		// reaches forwarding as a result triggers the topology-change
@@ -548,11 +548,11 @@ func (b *Bridge) enterState(sp *port, st PortState) {
 	}
 	switch st {
 	case StateListening:
-		sp.transition = b.Net().Engine.After(b.timers.ForwardDelay, func() {
+		sp.transition = b.After(b.timers.ForwardDelay, func() {
 			b.enterState(sp, StateLearning)
 		})
 	case StateLearning:
-		sp.transition = b.Net().Engine.After(b.timers.ForwardDelay, func() {
+		sp.transition = b.After(b.timers.ForwardDelay, func() {
 			b.enterState(sp, StateForwarding)
 		})
 	case StateForwarding:
@@ -579,7 +579,7 @@ func (b *Bridge) topologyChange() {
 	var send func()
 	send = func() {
 		b.txTCN()
-		b.tcnTimer = b.Net().Engine.After(b.timers.Hello, send)
+		b.tcnTimer = b.After(b.timers.Hello, send)
 	}
 	send()
 }

@@ -45,6 +45,12 @@ type Options struct {
 	// WarmUp is how long to run the fabric before the experiment starts
 	// (STP needs its listening/learning delays; ARP-Path needs HELLOs).
 	WarmUp time.Duration
+	// Shards splits the simulation across that many parallel engine
+	// shards (one worker each): the bridge graph is partitioned by
+	// PartitionAssign and the run is synchronized by netsim's conservative
+	// coordinator. 0 or 1 keeps the classic single-engine run. Results are
+	// bit-identical for every value — see DESIGN.md §8.
+	Shards int
 }
 
 // DefaultOptions returns a gigabit ARP-Path build.
@@ -163,8 +169,23 @@ func (b *Builder) ConnectDelay(x, y netsim.Node, delay time.Duration) *netsim.Li
 	return b.net.Connect(x, y, b.net.Opts.Link.WithDelay(delay))
 }
 
-// Build starts every bridge and runs the warm-up period.
+// Build partitions the fabric when sharding is requested, then starts
+// every bridge and runs the warm-up period. Partitioning must precede
+// Start: the first HELLO is already simulation traffic.
 func (b *Builder) Build() *Net {
+	if k := b.net.Opts.Shards; k > 1 {
+		assign := PartitionAssign(b.net, k)
+		// The partitioner clamps k (never more shards than bridges, and
+		// sparse graphs may seed fewer); size the engine pool to what was
+		// actually assigned so no empty shard ever joins a window.
+		eff := 1
+		for _, s := range assign {
+			if s+1 > eff {
+				eff = s + 1
+			}
+		}
+		b.net.Network.Partition(eff, func(nd netsim.Node) int { return assign[nd.Name()] })
+	}
 	for _, br := range b.net.Bridges {
 		br.Start()
 	}
