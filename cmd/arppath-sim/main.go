@@ -1,28 +1,28 @@
 // Command arppath-sim is the general-purpose simulator CLI: pick a
 // topology, a bridging protocol and a workload, and it prints what
 // happened. The -trace flag streams a tcpdump-style view of every frame.
+// It is a thin shell over pkg/fabric: flags compile into a fabric.Spec,
+// or -spec loads one and explicitly set flags override it.
 //
 // Usage:
 //
-//	arppath-sim [-topo figure1|figure2|line|ring|grid|fattree|random]
+//	arppath-sim [-spec FILE]
+//	            [-topo figure1|figure2|line|ring|grid|fattree|random]
 //	            [-bridge arppath|stp|learning] [-workload ping|stream|allpairs]
 //	            [-n N] [-seed N] [-trace] [-proxy]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
-	"repro/internal/host"
-	"repro/internal/host/app"
-	"repro/internal/metrics"
-	"repro/internal/topo"
-	"repro/internal/trace"
+	"repro/pkg/fabric"
 )
 
 func main() {
+	specPath := flag.String("spec", "", "run the spec file (explicitly set flags override it)")
 	topoName := flag.String("topo", "figure2", "topology: figure1, figure2, line, ring, grid, fattree, random")
 	bridgeProto := flag.String("bridge", "arppath", "bridging protocol: arppath, stp, learning")
 	workload := flag.String("workload", "ping", "workload: ping, stream, allpairs")
@@ -37,154 +37,56 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := topo.DefaultOptions(topo.Protocol(*bridgeProto), *seed)
-	opts.ARPPathConfig.Proxy = *proxy
+	spec := fabric.Spec{}
+	if *specPath != "" {
+		var err error
+		spec, err = fabric.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arppath-sim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	use := fabric.FlagOverrides(flag.CommandLine, *specPath != "")
+	if use("topo") {
+		spec.Topology.Family = *topoName
+	}
+	if use("n") {
+		spec.Topology.N = *n
+	}
+	if use("bridge") {
+		spec.Protocol.Name = *bridgeProto
+	}
+	if use("workload") {
+		spec.Workload.Kind = *workload
+	}
+	if use("seed") {
+		spec.Seed = *seed
+	}
+	// Proxy is an arppath knob; merge it into the config extension so a
+	// spec's other settings (lock timeouts, ...) survive the override.
+	if use("proxy") && (spec.Protocol.Name == "" || spec.Protocol.Name == "arppath") {
+		if err := spec.Protocol.SetOption("proxy", *proxy); err != nil {
+			fmt.Fprintf(os.Stderr, "arppath-sim: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
-	var built *topo.Built
-	switch *topoName {
-	case "figure1":
-		built = topo.Figure1(opts)
-	case "figure2":
-		built = topo.Figure2(opts, topo.ProfileSlowDiagonal)
-	case "line":
-		built = topo.Line(opts, *n)
-	case "ring":
-		built = topo.Ring(opts, *n)
-	case "grid":
-		built = topo.Grid(opts, *n, *n)
-	case "fattree":
-		built = topo.FatTree(opts, *n)
-	case "random":
-		built = topo.Random(opts, *n, *n)
+	switch spec.Workload.Kind {
+	case "ping", "stream", "allpairs":
 	default:
-		fmt.Fprintf(os.Stderr, "arppath-sim: unknown topology %q\n", *topoName)
+		fmt.Fprintf(os.Stderr, "arppath-sim: unknown workload %q\n", spec.Workload.Kind)
 		os.Exit(2)
 	}
+
+	runner := fabric.Runner{Spec: spec}
 	if *traceFlag {
-		trace.Attach(built.Network, trace.WithWriter(os.Stderr), trace.WithFilter(trace.DeliveriesOnly))
+		runner.TraceTo = os.Stderr
 	}
-
-	// Pick two hosts for the point-to-point workloads: the first and last
-	// in the topology's natural naming.
-	first, last := pickEndpoints(built)
-	fmt.Printf("topology=%s bridges=%d hosts=%d links=%d protocol=%s seed=%d\n\n",
-		*topoName, len(built.Bridges), len(built.Hosts), len(built.Links), *bridgeProto, *seed)
-
-	switch *workload {
-	case "ping":
-		runPing(built, first, last)
-	case "stream":
-		runStream(built, first, last)
-	case "allpairs":
-		runAllPairs(built)
-	default:
-		fmt.Fprintf(os.Stderr, "arppath-sim: unknown workload %q\n", *workload)
+	if _, err := runner.Run(); err != nil {
+		if errors.Is(err, fabric.ErrIncomplete) {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "arppath-sim: %v\n", err)
 		os.Exit(2)
 	}
-}
-
-// pickEndpoints returns a deterministic pair of distinct hosts.
-func pickEndpoints(b *topo.Built) (*host.Host, *host.Host) {
-	for _, pair := range [][2]string{{"A", "B"}, {"S", "D"}, {"H1", "H2"}} {
-		if h1, ok := b.Hosts[pair[0]]; ok {
-			if h2, ok := b.Hosts[pair[1]]; ok {
-				return h1, h2
-			}
-		}
-	}
-	// Fall back to the two highest-numbered H hosts.
-	var h1, h2 *host.Host
-	for i := len(b.Hosts); i >= 1; i-- {
-		if h, ok := b.Hosts[fmt.Sprintf("H%d", i)]; ok {
-			if h2 == nil {
-				h2 = h
-			} else {
-				h1 = h
-				break
-			}
-		}
-	}
-	if h1 == nil || h2 == nil {
-		fmt.Fprintln(os.Stderr, "arppath-sim: topology has no usable host pair")
-		os.Exit(1)
-	}
-	return h1, h2
-}
-
-func runPing(built *topo.Built, a, b *host.Host) {
-	var rep *app.PingReport
-	built.Engine.At(built.Now(), func() {
-		app.RunPingSeries(a, b.IP(), 20, 100*time.Millisecond, func(r *app.PingReport) { rep = r })
-	})
-	built.RunFor(time.Minute)
-	if rep == nil {
-		fmt.Println("ping series did not finish")
-		os.Exit(1)
-	}
-	fmt.Printf("%s -> %s: sent=%d lost=%d\n", a.Name(), b.Name(), rep.Sent, rep.Lost)
-	fmt.Printf("rtt: %s\n\n", rep.RTTs.String())
-	fmt.Println(rep.Series.ASCII(72, 8))
-}
-
-func runStream(built *topo.Built, a, b *host.Host) {
-	cfg := app.DefaultStreamConfig()
-	var rep *app.StreamReport
-	built.Engine.At(built.Now(), func() {
-		app.StartStream(a, b, cfg, func(r *app.StreamReport) { rep = r })
-	})
-	built.RunFor(5 * time.Minute)
-	if rep == nil {
-		fmt.Println("stream did not finish inside the budget")
-		os.Exit(1)
-	}
-	fmt.Printf("%s -> %s: %d bytes, complete=%v, stalls=%d, total stall=%v, time=%v\n\n",
-		a.Name(), b.Name(), rep.Received, rep.Complete, len(rep.Stalls),
-		rep.TotalStall.Round(time.Millisecond),
-		(rep.Finished - rep.Connected).Round(time.Millisecond))
-	fmt.Println(rep.Goodput.ASCII(72, 8))
-}
-
-func runAllPairs(built *topo.Built) {
-	table := metrics.NewTable("all-pairs steady-state RTT", "pair", "first", "steady", "lost")
-	names := make([]string, 0, len(built.Hosts))
-	for i := 1; i <= len(built.Hosts); i++ {
-		name := fmt.Sprintf("H%d", i)
-		if _, ok := built.Hosts[name]; ok {
-			names = append(names, name)
-		}
-	}
-	if len(names) < 2 {
-		fmt.Println("allpairs needs H1..Hn hosts (use ring/grid/fattree/random)")
-		os.Exit(1)
-	}
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			a, b := built.Host(names[i]), built.Host(names[j])
-			var results []host.PingResult
-			built.Engine.At(built.Now(), func() {
-				a.PingSeries(b.IP(), 5, 56, 10*time.Millisecond, 2*time.Second, func(rs []host.PingResult) {
-					results = rs
-				})
-			})
-			built.RunFor(10 * time.Second)
-			var first, steady time.Duration
-			lost := 0
-			var d metrics.Distribution
-			for k, r := range results {
-				if r.Err != nil {
-					lost++
-					continue
-				}
-				if k == 0 {
-					first = r.RTT
-				} else {
-					d.Add(r.RTT)
-				}
-			}
-			steady = d.Mean()
-			table.AddRow(names[i]+"-"+names[j], first.Round(time.Microsecond),
-				steady.Round(time.Microsecond), lost)
-		}
-	}
-	fmt.Println(table)
 }

@@ -3,10 +3,12 @@
 // ARP-Path and once by IEEE 802.1D STP, over several link-delay profiles.
 // It prints the per-ping latency series (the demo UI's graph, as ASCII),
 // the steady-state comparison table, and the headline latency ratios.
+// It is a thin shell over pkg/fabric: flags compile into a fabric.Spec,
+// or -spec loads one and explicitly set flags override it.
 //
 // Usage:
 //
-//	arpvstp [-seed N] [-pings N] [-interval D] [-csv] [-graphs]
+//	arpvstp [-spec FILE] [-seed N] [-pings N] [-interval D] [-csv] [-graphs]
 package main
 
 import (
@@ -15,10 +17,11 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/pkg/fabric"
 )
 
 func main() {
+	specPath := flag.String("spec", "", "run the spec file (explicitly set flags override it)")
 	seed := flag.Int64("seed", 1, "simulation seed (same seed, same run)")
 	pings := flag.Int("pings", 20, "pings per scenario")
 	interval := flag.Duration("interval", 100*time.Millisecond, "ping spacing")
@@ -31,24 +34,29 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.DefaultFigure2Config()
-	cfg.Seed = *seed
-	cfg.Pings = *pings
-	cfg.Interval = *interval
-
-	rows := experiments.RunFigure2(cfg)
-	table := experiments.Figure2Table(rows)
-	speedups := experiments.Figure2Speedups(rows)
-	if *csv {
-		fmt.Print(table.CSV())
-		fmt.Print(speedups.CSV())
-		return
-	}
-	fmt.Println(table)
-	fmt.Println(speedups)
-	if *graphs {
-		for _, r := range rows {
-			fmt.Println(r.Series.ASCII(72, 8))
+	spec := fabric.Spec{Workload: fabric.WorkloadSpec{Kind: "figure2-demo"}}
+	if *specPath != "" {
+		var err error
+		spec, err = fabric.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arpvstp: %v\n", err)
+			os.Exit(2)
 		}
+	}
+	use := fabric.FlagOverrides(flag.CommandLine, *specPath != "")
+	if use("seed") {
+		spec.Seed = *seed
+	}
+	if use("pings") {
+		spec.Workload.Pings = *pings
+	}
+	if use("interval") {
+		spec.Workload.Interval = fabric.Duration(*interval)
+	}
+
+	runner := fabric.Runner{Spec: spec, CSV: *csv, Graphs: *graphs}
+	if _, err := runner.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "arpvstp: %v\n", err)
+		os.Exit(1)
 	}
 }

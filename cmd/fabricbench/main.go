@@ -2,11 +2,14 @@
 // paper's §2.2 claims (DESIGN.md T1–T4): the loop-freedom/no-blocking
 // properties table, load distribution on a fat tree, ARP-proxy broadcast
 // suppression, the repair ablation, and the scaling experiment for the
-// sharded parallel engine (DESIGN.md §8).
+// sharded parallel engine (DESIGN.md §8). It is a thin shell over
+// pkg/fabric: flags compile into a fabric.Spec, or -spec loads one and
+// explicitly set flags override it.
 //
 // Usage:
 //
-//	fabricbench -exp properties|load|proxy|repair|lockwindow|tablesize|forward|scale|all
+//	fabricbench [-spec FILE]
+//	            [-exp properties|load|proxy|repair|lockwindow|tablesize|forward|scale|all]
 //	            [-seed N] [-shards K] [-csv] [-bench-out FILE]
 //
 // -shards runs every experiment's simulation on K parallel engine shards;
@@ -17,30 +20,15 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"time"
 
-	"repro/internal/experiments"
-	"repro/internal/metrics"
-	"repro/internal/topo"
+	"repro/pkg/fabric"
 )
 
-// lockWindows is the T5 sweep: below, near and above the test ring's
-// flood traversal time.
-func lockWindows() []time.Duration {
-	return []time.Duration{
-		time.Millisecond,
-		5 * time.Millisecond,
-		20 * time.Millisecond,
-		200 * time.Millisecond,
-	}
-}
-
 func main() {
+	specPath := flag.String("spec", "", "run the spec file (explicitly set flags override it)")
 	exp := flag.String("exp", "all", "experiment: properties, load, proxy, repair, lockwindow, tablesize, forward, scale or all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -54,100 +42,50 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *shards < 1 {
-		*shards = 1
-	}
-	experiments.Shards = *shards
 
-	var tables []*metrics.Table
-	switch *exp {
-	case "properties":
-		tables = append(tables, experiments.T1Table(experiments.RunT1Properties(*seed, 6)))
-	case "load":
-		ap := experiments.RunT2Load(*seed, topo.ARPPath)
-		st := experiments.RunT2Load(*seed, topo.STP)
-		tables = append(tables, experiments.T2Table([]*experiments.T2Result{ap, st}))
-	case "proxy":
-		tables = append(tables, experiments.T3Table(experiments.RunT3Proxy(*seed, []int{4, 8, 16, 32})))
-	case "repair":
-		tables = append(tables, experiments.T4Table(experiments.RunT4Repair(*seed)))
-	case "lockwindow":
-		tables = append(tables, experiments.T5Table(experiments.RunT5LockWindow(*seed, lockWindows())))
-	case "tablesize":
-		tables = append(tables, experiments.T6Table(experiments.RunT6TableSize(*seed, []int{8, 16, 32})))
-	case "forward":
-		tables = append(tables, experiments.ForwardTable(experiments.RunForwardBench(*seed, *frames)))
-	case "scale":
-		tables = append(tables, runScale(*seed, *bridges, *shards, *benchOut))
-	case "all":
-		tables = append(tables, experiments.T1Table(experiments.RunT1Properties(*seed, 6)))
-		ap := experiments.RunT2Load(*seed, topo.ARPPath)
-		st := experiments.RunT2Load(*seed, topo.STP)
-		tables = append(tables, experiments.T2Table([]*experiments.T2Result{ap, st}))
-		tables = append(tables, experiments.T3Table(experiments.RunT3Proxy(*seed, []int{4, 8, 16, 32})))
-		tables = append(tables, experiments.T4Table(experiments.RunT4Repair(*seed)))
-		tables = append(tables, experiments.T5Table(experiments.RunT5LockWindow(*seed, lockWindows())))
-		tables = append(tables, experiments.T6Table(experiments.RunT6TableSize(*seed, []int{8, 16, 32})))
+	spec := fabric.Spec{Workload: fabric.WorkloadSpec{Kind: "all"}}
+	if *specPath != "" {
+		var err error
+		spec, err = fabric.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabricbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	use := fabric.FlagOverrides(flag.CommandLine, *specPath != "")
+	if use("exp") {
+		spec.Workload.Kind = *exp
+	}
+	if use("seed") {
+		spec.Seed = *seed
+	}
+	if use("shards") {
+		spec.Shards = *shards
+	}
+	if use("frames") {
+		spec.Workload.Frames = *frames
+	}
+	if use("bridges") {
+		spec.Workload.Bridges = *bridges
+	}
+
+	switch spec.Workload.Kind {
+	case "properties", "load", "proxy", "repair", "lockwindow", "tablesize", "forward", "scale", "all":
 	default:
-		fmt.Fprintf(os.Stderr, "fabricbench: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "fabricbench: unknown experiment %q\n", spec.Workload.Kind)
 		os.Exit(2)
 	}
-	for _, t := range tables {
-		if *csv {
-			fmt.Print(t.CSV())
-		} else {
-			fmt.Println(t)
-		}
-	}
-}
 
-// benchRecord is one scale run's machine-dependent half, serialized for
-// the CI bench artifact.
-type benchRecord struct {
-	Bridges      int     `json:"bridges"`
-	Shards       int     `json:"shards"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	LookaheadNS  int64   `json:"lookahead_ns"`
-	Events       uint64  `json:"events"`
-	Delivered    int     `json:"delivered"`
-	WallNS       int64   `json:"wall_ns"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	FramesPerSec float64 `json:"frames_per_sec"`
-}
-
-// runScale sweeps shard counts 1..maxShards (doubling) on one fabric and
-// renders the deterministic table; wall-clock figures go to stderr and,
-// when benchOut is set, to a JSON artifact.
-func runScale(seed int64, bridges, maxShards int, benchOut string) *metrics.Table {
-	// Shard counts: doubling from 1, always ending exactly at maxShards.
-	var counts []int
-	for k := 1; k < maxShards; k *= 2 {
-		counts = append(counts, k)
+	runner := fabric.Runner{Spec: spec, CSV: *csv}
+	res, err := runner.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabricbench: %v\n", err)
+		os.Exit(1)
 	}
-	counts = append(counts, maxShards)
-	var results []*experiments.ScaleResult
-	var records []benchRecord
-	for _, k := range counts {
-		cfg := experiments.DefaultScaleConfig(seed, k)
-		cfg.Bridges = bridges
-		r := experiments.RunScale(cfg)
-		results = append(results, r)
-		fmt.Fprintln(os.Stderr, experiments.ScaleBenchLine(r))
-		records = append(records, benchRecord{
-			Bridges: r.Bridges, Shards: k, GOMAXPROCS: runtime.GOMAXPROCS(0),
-			LookaheadNS: int64(r.Lookahead), Events: r.Events, Delivered: r.Delivered,
-			WallNS: int64(r.Wall), EventsPerSec: r.EventsPerSec, FramesPerSec: r.FramesPerSec,
-		})
-	}
-	if benchOut != "" {
-		data, err := json.MarshalIndent(records, "", "  ")
-		if err == nil {
-			err = os.WriteFile(benchOut, append(data, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fabricbench: writing %s: %v\n", benchOut, err)
+	if *benchOut != "" && res.BenchJSON != nil {
+		if err := os.WriteFile(*benchOut, res.BenchJSON, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fabricbench: writing %s: %v\n", *benchOut, err)
 			os.Exit(1)
 		}
 	}
-	return experiments.ScaleTable(results)
 }

@@ -2,25 +2,26 @@
 // a video over HTTP (TCP-lite) to host B across the 4-NetFPGA fabric
 // while links on the active path are cut one after another. It reports
 // per-failure repair times and the goodput timeline, optionally running
-// the same scenario under 802.1D STP for contrast.
+// the same scenario under 802.1D STP for contrast. It is a thin shell
+// over pkg/fabric: flags compile into a fabric.Spec, or -spec loads one
+// and explicitly set flags override it.
 //
 // Usage:
 //
-//	pathrepair [-seed N] [-size BYTES] [-failures N] [-stp] [-fast-stp] [-csv]
+//	pathrepair [-spec FILE] [-seed N] [-size BYTES] [-failures N] [-stp]
+//	           [-fast-stp] [-csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
-	"repro/internal/experiments"
-	"repro/internal/stp"
-	"repro/internal/topo"
+	"repro/pkg/fabric"
 )
 
 func main() {
+	specPath := flag.String("spec", "", "run the spec file (explicitly set flags override it)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	size := flag.Int("size", 32<<20, "video size in bytes")
 	failures := flag.Int("failures", 2, "number of successive link failures")
@@ -34,30 +35,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.DefaultFigure3Config()
-	cfg.Seed = *seed
-	cfg.StreamSize = *size
-	cfg.FailureTimes = nil
-	for i := 0; i < *failures; i++ {
-		cfg.FailureTimes = append(cfg.FailureTimes, time.Duration(50+100*i)*time.Millisecond)
+	spec := fabric.Spec{Workload: fabric.WorkloadSpec{Kind: "path-repair"}}
+	if *specPath != "" {
+		var err error
+		spec, err = fabric.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pathrepair: %v\n", err)
+			os.Exit(2)
+		}
 	}
-	if *fastSTP {
-		cfg.STPTimers = stp.FastTimers()
+	use := fabric.FlagOverrides(flag.CommandLine, *specPath != "")
+	if use("seed") {
+		spec.Seed = *seed
+	}
+	if use("size") {
+		spec.Workload.StreamSize = *size
+	}
+	if use("failures") {
+		spec.Workload.Failures = *failures
+	}
+	if use("stp") {
+		spec.Workload.WithSTP = withSTP
+	}
+	if use("fast-stp") {
+		spec.Workload.FastSTP = *fastSTP
 	}
 
-	results := []*experiments.Figure3Result{experiments.RunFigure3(cfg, topo.ARPPath)}
-	if *withSTP {
-		results = append(results, experiments.RunFigure3(cfg, topo.STP))
-	}
-	table := experiments.Figure3Table(results)
-	if *csv {
-		fmt.Print(table.CSV())
-		return
-	}
-	fmt.Println(table)
-	for _, r := range results {
-		if r.Report != nil && r.Report.Goodput != nil {
-			fmt.Println(r.Report.Goodput.ASCII(72, 8))
-		}
+	runner := fabric.Runner{Spec: spec, CSV: *csv}
+	if _, err := runner.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pathrepair: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -2,19 +2,23 @@
 // topologies × seeded fault schedules × protocol invariant checks, with
 // shrink-on-failure. Where the figure/table commands replay the paper's
 // fixed experiments, this one hunts for the inputs that would falsify the
-// paper's claims.
+// paper's claims. It is a thin shell over pkg/fabric: flags compile into
+// a fabric.Spec (workload kind "sweep"), or -spec loads one and
+// explicitly set flags override it.
 //
 // Usage:
 //
-//	scenario [-seeds N] [-seed0 S] [-topo fam|all] [-faults fam|all]
-//	         [-j N] [-big] [-shards K] [-shrink] [-v]
+//	scenario [-spec FILE] [-seeds N] [-seed0 S] [-topo fam|all]
+//	         [-faults fam|all] [-j N] [-big] [-proxy] [-shards K]
+//	         [-shrink] [-v]
 //
 // Independent scenarios of a sweep run concurrently on -j workers; each
 // scenario's seed, trace and fingerprint are identical at any -j (frame
 // accounting is per-network, nothing is shared between runs). -big selects
-// the larger topology tier; -shards runs each simulation itself on the
-// sharded parallel engine, which by construction does not change any
-// result either.
+// the larger topology tier; -proxy runs every bridge with the in-switch
+// ARP proxy (arming the proxy-consistency invariant); -shards runs each
+// simulation itself on the sharded parallel engine, which by construction
+// does not change any result either.
 //
 // A failing scenario prints its minimal fault schedule and the exact
 // triple to reproduce it; the exit status is nonzero.
@@ -26,18 +30,20 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 
 	"repro/internal/scenario"
+	"repro/pkg/fabric"
 )
 
 func main() {
+	specPath := flag.String("spec", "", "run the spec file (explicitly set flags override it)")
 	seeds := flag.Int("seeds", 16, "seeds per (topology, faults) pairing")
 	seed0 := flag.Int64("seed0", 1, "first seed")
 	topoFlag := flag.String("topo", "all", "topology family (or 'all'): "+familyList(scenario.TopologyFamilies()))
 	faultFlag := flag.String("faults", "all", "fault family (or 'all'): "+familyList(scenario.FaultFamilies()))
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "scenarios to run concurrently")
 	big := flag.Bool("big", false, "larger topology tier (dozens of bridges per instance)")
+	proxy := flag.Bool("proxy", false, "enable the in-switch ARP proxy on every bridge")
 	shards := flag.Int("shards", 1, "run each simulation on K parallel engine shards")
 	shrink := flag.Bool("shrink", true, "shrink failing fault schedules to a minimal subset")
 	verbose := flag.Bool("v", false, "print every scenario, not just failures")
@@ -46,67 +52,57 @@ func main() {
 		*jobs = 1
 	}
 
-	topos := scenario.TopologyFamilies()
-	if *topoFlag != "all" {
-		topos = []scenario.TopologyFamily{scenario.TopologyFamily(*topoFlag)}
+	spec := fabric.Spec{Workload: fabric.WorkloadSpec{Kind: "sweep"}}
+	if *specPath != "" {
+		var err error
+		spec, err = fabric.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(2)
+		}
 	}
-	faults := scenario.FaultFamilies()
-	if *faultFlag != "all" {
-		faults = []scenario.FaultFamily{scenario.FaultFamily(*faultFlag)}
+	if spec.Scenario == nil {
+		spec.Scenario = &fabric.ScenarioSpec{}
 	}
-
-	var cfgs []scenario.Config
-	for _, tf := range topos {
-		for _, ff := range faults {
-			for s := 0; s < *seeds; s++ {
-				cfgs = append(cfgs, scenario.Config{
-					Seed: *seed0 + int64(s), Topology: tf, Faults: ff,
-					Big: *big, Shards: *shards,
-				})
-			}
+	use := fabric.FlagOverrides(flag.CommandLine, *specPath != "")
+	if use("seeds") {
+		spec.Scenario.Seeds = *seeds
+	}
+	if use("seed0") {
+		spec.Seed = *seed0
+	}
+	if use("topo") {
+		spec.Scenario.Topologies = []string{*topoFlag}
+	}
+	if use("faults") {
+		spec.Scenario.Faults = []string{*faultFlag}
+	}
+	if use("big") {
+		spec.Scenario.Big = *big
+	}
+	if use("shards") {
+		spec.Shards = *shards
+	}
+	if use("shrink") {
+		spec.Scenario.Shrink = shrink
+	}
+	// Merge, don't replace: a spec's other protocol settings survive, and
+	// -proxy=false can disable a spec-enabled proxy.
+	if use("proxy") {
+		spec.Protocol.Name = "arppath"
+		if err := spec.Protocol.SetOption("proxy", *proxy); err != nil {
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+			os.Exit(2)
 		}
 	}
 
-	// Worker pool: scenarios are independent simulations, so the sweep
-	// parallelizes trivially; results are reported in sweep order.
-	results := make([]*scenario.Result, len(cfgs))
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < *jobs; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i] = scenario.Run(cfgs[i])
-			}
-		}()
+	runner := fabric.Runner{Spec: spec, Jobs: *jobs, Verbose: *verbose}
+	res, err := runner.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
+		os.Exit(2)
 	}
-	for i := range cfgs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-
-	failed := 0
-	for i, r := range results {
-		if !r.Failed() {
-			if *verbose {
-				fmt.Printf("PASS %-40s bridges=%d links=%d events=%d probes=%d/%d warm=%d/%d bg=%d/%d fp=%#x\n",
-					cfgs[i].Name(), r.Bridges, r.Links, r.Events,
-					r.ProbesAnswered, r.ProbesSent,
-					r.WarmProbesAnswered, r.WarmProbesSent,
-					r.BackgroundDelivered, r.BackgroundOffered, r.Fingerprint)
-			}
-			continue
-		}
-		failed++
-		report(r)
-		if *shrink {
-			doShrink(cfgs[i], r)
-		}
-	}
-	fmt.Printf("\n%d scenarios, %d failed (j=%d, big=%v, shards=%d)\n", len(cfgs), failed, *jobs, *big, *shards)
-	if failed > 0 {
+	if res.Failures > 0 {
 		os.Exit(1)
 	}
 }
@@ -117,31 +113,4 @@ func familyList[T ~string](fams []T) string {
 		names[i] = string(f)
 	}
 	return strings.Join(names, "|")
-}
-
-func report(r *scenario.Result) {
-	fmt.Printf("FAIL %s (bridges=%d links=%d events=%d)\n", r.Config.Name(), r.Bridges, r.Links, r.Events)
-	for _, v := range r.Violations {
-		fmt.Printf("  violation: %v\n", v)
-	}
-	if r.ViolationsDropped > 0 {
-		fmt.Printf("  ... and %d further violations\n", r.ViolationsDropped)
-	}
-	for _, op := range r.OpsApplied {
-		fmt.Printf("  schedule: %s\n", op)
-	}
-}
-
-func doShrink(cfg scenario.Config, r *scenario.Result) {
-	min, res, ok := scenario.Shrink(cfg, r.Ops)
-	if !ok {
-		fmt.Printf("  shrink: failure does not reproduce from the fault schedule alone\n")
-		return
-	}
-	fmt.Printf("  shrink: %d of %d ops suffice:\n", len(min), len(r.Ops))
-	for _, op := range res.OpsApplied {
-		fmt.Printf("    %s\n", op)
-	}
-	fmt.Printf("  reproduce: go run ./cmd/scenario -topo %s -faults %s -seed0 %d -seeds 1\n",
-		cfg.Topology, cfg.Faults, cfg.Seed)
 }

@@ -54,6 +54,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// WithDefaults fills every unset (zero) field with its default, field by
+// field: a caller who tunes only LockTimeout keeps that value and inherits
+// the rest. Proxy and DisableRepair are booleans whose zero value is the
+// default, so they always pass through unchanged.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	if c.LockTimeout == 0 {
+		c.LockTimeout = d.LockTimeout
+	}
+	if c.LearnedTimeout == 0 {
+		c.LearnedTimeout = d.LearnedTimeout
+	}
+	if c.RepairTimeout == 0 {
+		c.RepairTimeout = d.RepairTimeout
+	}
+	if c.RepairBuffer == 0 {
+		c.RepairBuffer = d.RepairBuffer
+	}
+	if c.ProxyTimeout == 0 {
+		c.ProxyTimeout = d.ProxyTimeout
+	}
+	return c
+}
+
 // Stats counts every protocol event an ARP-Path bridge takes part in.
 type Stats struct {
 	// Discovery.

@@ -52,6 +52,35 @@ func (c *proxyCache) lookup(ip layers.Addr4, now time.Duration) (layers.MAC, boo
 	return e.mac, true
 }
 
+// ProxySnapshot returns the proxy cache's live IP→MAC bindings at now,
+// or nil when the proxy is disabled. The scenario engine's
+// proxy-consistency invariant checks every binding against the fabric's
+// true ownership after a run quiesces: a stale or poisoned binding would
+// silently convert floods into unicasts toward the wrong station.
+func (b *Bridge) ProxySnapshot(now time.Duration) map[layers.Addr4]layers.MAC {
+	if b.proxy == nil {
+		return nil
+	}
+	out := make(map[layers.Addr4]layers.MAC, len(b.proxy.ip2mac))
+	for ip, e := range b.proxy.ip2mac {
+		if e.expires > now {
+			out[ip] = e.mac
+		}
+	}
+	return out
+}
+
+// PoisonProxy deliberately installs a binding in the proxy cache,
+// bypassing snooping. It exists for the scenario engine's deliberate-bug
+// regression (a poisoned cache must be caught by the proxy-consistency
+// invariant) and panics when the proxy is disabled.
+func (b *Bridge) PoisonProxy(ip layers.Addr4, mac layers.MAC) {
+	if b.proxy == nil {
+		panic("core: PoisonProxy on a bridge without the proxy enabled")
+	}
+	b.proxy.learn(ip, mac, b.Now())
+}
+
 // proxyHandleBroadcast intercepts a broadcast ARP Request arriving on an
 // edge port. When the target's binding is cached and a live learned path
 // entry for it exists, the request is rewritten into a unicast toward the

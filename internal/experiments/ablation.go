@@ -41,7 +41,7 @@ func RunT5LockWindow(seed int64, windows []time.Duration) []T5Row {
 	var rows []T5Row
 	for _, w := range windows {
 		opts := expOptions(topo.ARPPath, seed)
-		opts.ARPPathConfig.LockTimeout = w
+		opts.ARPPath().LockTimeout = w
 		opts.Link = opts.Link.WithDelay(linkDelay)
 		built := topo.Ring(opts, ringSize)
 		row := T5Row{LockTimeout: w, FloodTime: floodTime}

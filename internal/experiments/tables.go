@@ -262,7 +262,7 @@ func RunT3Proxy(seed int64, sizes []int) []T3Row {
 
 func runT3Cell(seed int64, n int, proxy bool) T3Row {
 	opts := expOptions(topo.ARPPath, seed)
-	opts.ARPPathConfig.Proxy = proxy
+	opts.ARPPath().Proxy = proxy
 	built := topo.Ring(opts, n)
 	defer finishNet(built)
 	row := T3Row{Hosts: n, Proxy: proxy}
@@ -337,19 +337,16 @@ func RunT4Repair(seed int64) []T4Row {
 		mod   func(*topo.Options)
 	}{
 		{"arp-path (repair on)", topo.ARPPath, nil},
-		{"arp-path (repair off)", topo.ARPPath, func(o *topo.Options) { o.ARPPathConfig.DisableRepair = true }},
+		{"arp-path (repair off)", topo.ARPPath, func(o *topo.Options) { o.ARPPath().DisableRepair = true }},
 		{"stp (default timers)", topo.STP, nil},
-		{"stp (fast timers)", topo.STP, func(o *topo.Options) { o.STPTimers = stp.FastTimers() }},
+		{"stp (fast timers)", topo.STP, func(o *topo.Options) { *o.STP() = stp.FastTimers() }},
 	}
 	var rows []T4Row
 	for _, v := range variants {
 		opts := expOptions(v.proto, seed)
 		if v.mod != nil {
 			v.mod(&opts)
-			opts.WarmUp = 0 // recompute for modified timers
-			if v.proto == topo.STP {
-				opts.WarmUp = 2*opts.STPTimers.ForwardDelay + 5*opts.STPTimers.Hello
-			}
+			opts.WarmUp = 0 // recomputed by the builder from the modified config
 		}
 		rows = append(rows, runT4Cell(opts, v.name))
 	}

@@ -1,9 +1,30 @@
 package learning
 
 import (
+	"time"
+
 	"repro/internal/bridge"
 	"repro/internal/netsim"
 )
+
+// Config tunes a learning switch. It exists mostly so the protocol
+// registry can carry learning-switch settings the same way it carries
+// ARP-Path and STP ones.
+type Config struct {
+	// Aging is the filtering-database aging time.
+	Aging time.Duration
+}
+
+// DefaultConfig returns the standard aging time.
+func DefaultConfig() Config { return Config{Aging: DefaultAging} }
+
+// WithDefaults fills unset (zero) fields field-wise.
+func (c Config) WithDefaults() Config {
+	if c.Aging == 0 {
+		c.Aging = DefaultAging
+	}
+	return c
+}
 
 // Stats counts forwarding decisions of a learning switch.
 type Stats struct {
@@ -25,9 +46,15 @@ type Switch struct {
 
 // New creates a learning switch named name with the default aging time.
 func New(net *netsim.Network, name string, numID int) *Switch {
+	return NewWithConfig(net, name, numID, DefaultConfig())
+}
+
+// NewWithConfig creates a learning switch with an explicit configuration.
+func NewWithConfig(net *netsim.Network, name string, numID int, cfg Config) *Switch {
+	cfg = cfg.WithDefaults()
 	s := &Switch{}
 	s.Chassis = bridge.NewChassis(net, name, numID, s)
-	s.fib = NewTable(DefaultAging)
+	s.fib = NewTable(cfg.Aging)
 	return s
 }
 

@@ -42,6 +42,12 @@ const (
 	// InvFrameDrain: when the simulation drains, every pooled frame has
 	// been released (the netsim ownership contract holds under faults).
 	InvFrameDrain Invariant = "frame-drain"
+	// InvProxyConsistency: every live proxy-cache binding on every bridge
+	// maps an IP to the MAC of the host that really owns it (§2.2 — a
+	// stale or poisoned binding would convert discovery floods into
+	// unicasts toward the wrong station, a silent blackhole no flood-bound
+	// or table walk would ever see).
+	InvProxyConsistency Invariant = "proxy-consistency"
 )
 
 // Violation is one observed invariant breach.
@@ -229,6 +235,45 @@ func (c *Checker) hostByMAC() map[uint64]string {
 		owners[h.MAC().Uint64()] = name
 	}
 	return owners
+}
+
+// CheckProxyCaches verifies the proxy-consistency invariant on a quiesced
+// fabric: for every bridge with the in-switch ARP proxy enabled, every
+// unexpired cached binding must map an IP to the MAC its true owner
+// announces. IPs no host owns (there are none in these topologies, but a
+// variant protocol could mint them) are also violations — the cache can
+// only ever have learned from a real station's ARP traffic.
+func (c *Checker) CheckProxyCaches() {
+	now := c.built.Now()
+	ownerMAC := make(map[layers.Addr4]layers.MAC, len(c.built.Hosts))
+	hostName := make(map[layers.Addr4]string, len(c.built.Hosts))
+	for name, h := range c.built.Hosts {
+		ownerMAC[h.IP()] = h.MAC()
+		hostName[h.IP()] = name
+	}
+	for _, br := range c.built.Bridges {
+		cb, ok := br.(*core.Bridge)
+		if !ok {
+			continue
+		}
+		snap := cb.ProxySnapshot(now)
+		ips := make([]layers.Addr4, 0, len(snap))
+		for ip := range snap {
+			ips = append(ips, ip)
+		}
+		sort.Slice(ips, func(i, j int) bool { return ips[i].String() < ips[j].String() })
+		for _, ip := range ips {
+			mac := snap[ip]
+			want, owned := ownerMAC[ip]
+			if !owned {
+				c.violate(InvProxyConsistency, 0, "bridge %s caches %v -> %v but no host owns that IP", br.Name(), ip, mac)
+				continue
+			}
+			if mac != want {
+				c.violate(InvProxyConsistency, 0, "bridge %s caches %v -> %v, owner %s has %v", br.Name(), ip, mac, hostName[ip], want)
+			}
+		}
+	}
 }
 
 // CheckTables verifies the locking tables form per-destination forests:

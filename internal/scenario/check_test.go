@@ -125,6 +125,45 @@ func TestBrokenLockTableCaughtByConsistency(t *testing.T) {
 	}
 }
 
+// TestPoisonedProxyCaughtByConsistency warms a proxy-enabled ring (the
+// caches snoop real bindings), checks the proxy invariant stays quiet,
+// then deliberately poisons one bridge's cache with the wrong MAC: the
+// proxy-consistency checker must flag it. This is the deliberate-bug
+// regression for the proxy verification blind spot.
+func TestPoisonedProxyCaughtByConsistency(t *testing.T) {
+	opts := topo.DefaultOptions(topo.ARPPath, 1)
+	opts.ARPPath().Proxy = true
+	built := topo.Ring(opts, 4)
+	chk := NewChecker(built)
+
+	// Warm: H1 and H3 exchange traffic so edge bridges snoop both.
+	done := false
+	built.Engine.At(built.Now(), func() {
+		built.Host("H1").Ping(built.Host("H3").IP(), 56, time.Second, func(r host.PingResult) { done = r.Err == nil })
+	})
+	built.RunFor(2 * time.Second)
+	if !done {
+		t.Fatal("warmup ping failed")
+	}
+	chk.CheckProxyCaches()
+	if len(chk.Violations()) != 0 {
+		t.Fatalf("clean proxy caches flagged: %v", chk.Violations())
+	}
+
+	// Poison: S1 now believes H3's IP belongs to H2's MAC.
+	built.ARPPathBridge("S1").PoisonProxy(built.Host("H3").IP(), built.Host("H2").MAC())
+	chk.CheckProxyCaches()
+	found := false
+	for _, v := range chk.Violations() {
+		if v.Invariant == InvProxyConsistency {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("poisoned proxy cache not flagged, got %v", chk.Violations())
+	}
+}
+
 // TestCheckerFrameDrain verifies the drain check is quiet on a drained
 // network and loud when a frame reference is deliberately leaked.
 func TestCheckerFrameDrain(t *testing.T) {

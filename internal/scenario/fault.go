@@ -33,11 +33,20 @@ const (
 	FaultsPartition FaultFamily = "partition-heal"
 	// FaultsMixed combines one of each of the single-fault families.
 	FaultsMixed FaultFamily = "mixed"
+	// FaultsHostMobility re-homes stations to a pre-cabled spare wall
+	// jack on another edge bridge and back, announcing each move with a
+	// gratuitous ARP (host.AnnounceLocation) the way a real OS does on
+	// link-up. The fabric must re-lock the station's position from the
+	// announcement flood alone — no bridge configuration, no
+	// reconvergence (§2.1.1's first-port rule under churn). Topology
+	// families without spare jacks (grid, fat-tree) yield empty
+	// schedules: the instance still runs and must still verify.
+	FaultsHostMobility FaultFamily = "host-mobility"
 )
 
 // FaultFamilies lists every schedule family, sweep order.
 func FaultFamilies() []FaultFamily {
-	return []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure, FaultsPartition, FaultsMixed}
+	return []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure, FaultsPartition, FaultsMixed, FaultsHostMobility}
 }
 
 // FaultKind discriminates the ops a schedule is made of.
@@ -51,6 +60,8 @@ const (
 	OpSetLoss
 	OpClearLoss
 	OpBurst
+	OpHostMove   // station re-homes to its spare jack and announces
+	OpHostReturn // station re-homes back to its original jack and announces
 )
 
 // FaultOp is one replayable fault action. Ops are pure data — indices into
@@ -67,6 +78,8 @@ type FaultOp struct {
 	Rate float64 // loss probability (OpSetLoss)
 
 	Bridge int // Bridges index (OpBridgeRestart)
+
+	Host int // hostNames index (OpHostMove/OpHostReturn)
 
 	Src, Dst int           // host indices (OpBurst)
 	Port     uint16        // UDP port the burst runs on (unique per op)
@@ -90,6 +103,10 @@ func (op FaultOp) String() string {
 		return fmt.Sprintf("t=%v link %d side %d loss clear", op.At, op.Link, op.Side)
 	case OpBurst:
 		return fmt.Sprintf("t=%v burst host %d -> host %d (%d x %dB @ %v)", op.At, op.Src, op.Dst, op.Count, op.Payload, op.Interval)
+	case OpHostMove:
+		return fmt.Sprintf("t=%v host %d moves to spare jack", op.At, op.Host)
+	case OpHostReturn:
+		return fmt.Sprintf("t=%v host %d returns to home jack", op.At, op.Host)
 	default:
 		return fmt.Sprintf("t=%v op(?)", op.At)
 	}
@@ -110,6 +127,10 @@ func (ix *netIndex) describe(op FaultOp) string {
 	case OpBurst:
 		if op.Src < len(ix.hostNames) && op.Dst < len(ix.hostNames) {
 			s += " (" + ix.hostNames[op.Src] + " -> " + ix.hostNames[op.Dst] + ")"
+		}
+	case OpHostMove, OpHostReturn:
+		if op.Host >= 0 && op.Host < len(ix.hostNames) {
+			s += " (" + ix.hostNames[op.Host] + ")"
 		}
 	}
 	return s
@@ -176,6 +197,20 @@ func generateOps(family FaultFamily, plan *rand.Rand, ix *netIndex, phase time.D
 				FaultOp{At: start + dur, Kind: OpLinkUp, Link: li})
 		}
 	}
+	move := func() {
+		if len(ix.mobile) == 0 {
+			return
+		}
+		h := ix.mobile[plan.Intn(len(ix.mobile))]
+		// Bound move+return (plus the 5 ms link-up announcement) inside
+		// the fault phase so generated schedules always restore cabling
+		// before heal.
+		start := at(0.4)
+		dur := 60*time.Millisecond + time.Duration(plan.Intn(int(120*time.Millisecond)))
+		ops = append(ops,
+			FaultOp{At: start, Kind: OpHostMove, Host: h},
+			FaultOp{At: start + dur, Kind: OpHostReturn, Host: h})
+	}
 	switch family {
 	case FaultsLinkFlaps:
 		for i, n := 0, 2+plan.Intn(3); i < n; i++ {
@@ -195,6 +230,10 @@ func generateOps(family FaultFamily, plan *rand.Rand, ix *netIndex, phase time.D
 		}
 	case FaultsPartition:
 		part()
+	case FaultsHostMobility:
+		for i, n := 0, 1+plan.Intn(2); i < n; i++ {
+			move()
+		}
 	case FaultsMixed:
 		flap()
 		restart()
@@ -241,24 +280,61 @@ func applyOps(ix *netIndex, ops []FaultOp, base time.Duration) (offered int, sin
 					PayloadSize: op.Payload, Interval: op.Interval, Count: op.Count,
 				}, nil)
 			})
+		case OpHostMove:
+			eng.At(base+op.At, func() { ix.rehome(op.Host, true) })
+		case OpHostReturn:
+			eng.At(base+op.At, func() { ix.rehome(op.Host, false) })
 		}
 	}
 	return offered, sinks
+}
+
+// rehome swaps a station between its home and spare jacks and schedules
+// the gratuitous ARP a real OS sends shortly after link-up. Without that
+// announcement the fabric would keep the old position and (correctly,
+// §2.1.1) discard the station's frames — see core's mobility tests.
+func (ix *netIndex) rehome(host int, toSpare bool) {
+	home, spare := ix.link(ix.homeJack[host]), ix.link(ix.spareJack[host])
+	from, to := home, spare
+	if !toSpare {
+		from, to = spare, home
+	}
+	from.SetUp(false)
+	to.SetUp(true)
+	h := ix.host(host)
+	ix.built.Engine.At(ix.built.Now()+5*time.Millisecond, func() {
+		// The link may have flapped again (replayed/shrunk schedules);
+		// announce only while the new jack is still the live one.
+		if to.Up() {
+			h.AnnounceLocation()
+		}
+	})
 }
 
 // restartable is the fault injector's view of a bridge that can lose all
 // state (core.Bridge implements it).
 type restartable interface{ Restart() }
 
-// heal returns every link to service: all links up, all loss cleared.
-// Scheduled at the end of the fault phase so invariants are checked
-// against a network that has had its faults repaired — delivery is only
-// promised for offered traffic after quiescence, not during the faults.
+// heal returns every link to service: all links up, all loss cleared —
+// except spare jacks, whose healthy state is down (a station's home jack
+// is the live one). A station stranded on its spare by a shrunk or
+// replayed schedule is re-homed and re-announced, exactly what replugging
+// the original cable does.
 func heal(ix *netIndex) {
-	for _, name := range ix.linkNames {
+	for i, name := range ix.linkNames {
 		l := ix.built.Links[name]
 		l.SetLoss(l.A(), 0)
 		l.SetLoss(l.B(), 0)
+		if ix.isSpare[i] {
+			if l.Up() {
+				if h, ok := ix.spareOwner[i]; ok {
+					ix.rehome(h, false)
+				} else {
+					l.SetUp(false)
+				}
+			}
+			continue
+		}
 		if !l.Up() {
 			l.SetUp(true)
 		}

@@ -40,6 +40,12 @@ type Config struct {
 	// families, drawn several times bigger now that sweeps run in
 	// parallel. Big and non-Big runs of one seed are different scenarios.
 	Big bool
+	// Proxy builds every bridge with the in-switch ARP proxy (§2.2,
+	// EtherProxy) enabled, and arms the proxy-consistency invariant:
+	// after quiescence no bridge may cache a binding that contradicts the
+	// fabric's true IP→MAC ownership. A proxy run of a seed is a
+	// different scenario from the plain run.
+	Proxy bool
 
 	// FaultPhase is how long faults and background traffic run.
 	FaultPhase time.Duration
@@ -79,6 +85,9 @@ func (c Config) Name() string {
 	name := fmt.Sprintf("%s/%s/seed=%d", c.Topology, c.Faults, c.Seed)
 	if c.Big {
 		name += "/big"
+	}
+	if c.Proxy {
+		name += "/proxy"
 	}
 	return name
 }
@@ -131,7 +140,7 @@ func Replay(cfg Config, ops []FaultOp) *Result { return run(cfg, ops) }
 func run(cfg Config, replayOps []FaultOp) *Result {
 	cfg = cfg.withDefaults()
 	plan := rand.New(rand.NewSource(cfg.Seed))
-	built := buildTopology(cfg.Topology, cfg.Seed, plan, cfg.Shards, cfg.Big)
+	built := buildTopology(cfg, plan)
 	ix := newNetIndex(built)
 	chk := NewChecker(built)
 
@@ -266,6 +275,7 @@ func run(cfg Config, replayOps []FaultOp) *Result {
 		res.Drained = true
 		chk.CheckFrameDrain()
 		chk.CheckTables()
+		chk.CheckProxyCaches()
 		for i, pr := range pairs {
 			pairName := ix.hostNames[pr[0]] + "<->" + ix.hostNames[pr[1]]
 			chk.CheckDelivery(pairName, cfg.VerifyPings, answered[i])

@@ -7,16 +7,16 @@ import (
 )
 
 // sweepTopos × sweepFaults × sweepSeeds is the tier-1 sweep: 4 topology
-// families × 5 fault-schedule families × 4 seeds = 80 scenarios. The
+// families × 6 fault-schedule families × 4 seeds = 96 scenarios. The
 // mixed schedule and the fat tree are exercised separately (determinism
 // test, cmd/scenario) to keep tier-1 wall-clock in check.
 var (
 	sweepTopos  = []TopologyFamily{TopoErdosRenyi, TopoRingOfRings, TopoRandomRegular, TopoGrid}
-	sweepFaults = []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure, FaultsPartition}
+	sweepFaults = []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure, FaultsPartition, FaultsHostMobility}
 	sweepSeeds  = []int64{1, 2, 3, 4}
 )
 
-// TestScenarioSweep runs the full 64-scenario grid and requires every
+// TestScenarioSweep runs the full 96-scenario grid and requires every
 // invariant to hold in every one. A failure seed reproduces exactly with
 //
 //	go run ./cmd/scenario -topo <family> -faults <family> -seed0 <n> -seeds 1
@@ -50,8 +50,61 @@ func TestScenarioSweep(t *testing.T) {
 			}
 		}
 	}
-	if ran < 80 {
-		t.Fatalf("sweep ran %d scenarios, want >= 80", ran)
+	if ran < 96 {
+		t.Fatalf("sweep ran %d scenarios, want >= 96", ran)
+	}
+}
+
+// TestScenarioSweepProxy runs a proxy-enabled slice of the sweep: the
+// same invariants must hold when every bridge runs the in-switch ARP
+// proxy, plus the proxy-consistency check (no blind spot for proxy mode).
+// Mobility is included deliberately — snooped bindings must stay correct
+// across station moves.
+func TestScenarioSweepProxy(t *testing.T) {
+	for _, tf := range sweepTopos {
+		for _, ff := range []FaultFamily{FaultsLinkFlaps, FaultsHostMobility} {
+			for _, seed := range []int64{1, 2} {
+				cfg := Config{Seed: seed, Topology: tf, Faults: ff, Proxy: true}
+				t.Run(cfg.Name(), func(t *testing.T) {
+					r := Run(cfg)
+					if r.Failed() {
+						for _, v := range r.Violations {
+							t.Errorf("%v", v)
+						}
+						for _, op := range r.OpsApplied {
+							t.Logf("schedule: %s", op)
+						}
+					}
+					if !r.Drained {
+						t.Errorf("scenario did not drain")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHostMobilitySchedulesMove pins that the mobility family really
+// moves stations on the host-per-bridge families (spare jacks exist and
+// the generated schedule uses them) and that such scenarios verify: the
+// fabric re-locks every moved station from its gratuitous ARP alone.
+func TestHostMobilitySchedulesMove(t *testing.T) {
+	moves := 0
+	for _, tf := range []TopologyFamily{TopoErdosRenyi, TopoRingOfRings, TopoRandomRegular} {
+		for _, seed := range sweepSeeds {
+			r := Run(Config{Seed: seed, Topology: tf, Faults: FaultsHostMobility})
+			if r.Failed() {
+				t.Fatalf("%s/host-mobility/seed=%d failed: %v", tf, seed, r.Violations)
+			}
+			for _, op := range r.Ops {
+				if op.Kind == OpHostMove {
+					moves++
+				}
+			}
+		}
+	}
+	if moves == 0 {
+		t.Fatal("no OpHostMove generated across the mobility sweep — spare jacks missing?")
 	}
 }
 
@@ -66,6 +119,8 @@ func TestScenarioShardedMatchesSingle(t *testing.T) {
 		{Seed: 6, Topology: TopoGrid, Faults: FaultsPartition},
 		{Seed: 7, Topology: TopoRingOfRings, Faults: FaultsLinkFlaps},
 		{Seed: 8, Topology: TopoFatTree, Faults: FaultsBridgeRestarts},
+		{Seed: 9, Topology: TopoRandomRegular, Faults: FaultsHostMobility},
+		{Seed: 10, Topology: TopoErdosRenyi, Faults: FaultsLinkFlaps, Proxy: true},
 	}
 	for _, base := range cases {
 		base := base

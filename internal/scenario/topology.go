@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"repro/internal/host"
 	"repro/internal/netsim"
@@ -39,13 +40,21 @@ func TopologyFamilies() []TopologyFamily {
 // buildTopology draws the family's shape parameters from plan and builds
 // the instance with the scenario seed (which also seeds the simulation
 // engine, so wiring, delays and race outcomes are all functions of the
-// seed alone). shards > 1 partitions the instance onto the parallel
-// engine; big selects the larger tier — both leave the plan stream of the
-// corresponding non-big draw untouched only for shards (a Big run is a
-// different scenario, a sharded run of the same scenario is the same one).
-func buildTopology(f TopologyFamily, seed int64, plan *rand.Rand, shards int, big bool) *topo.Built {
+// seed alone). cfg.Shards > 1 partitions the instance onto the parallel
+// engine; cfg.Big selects the larger tier — both leave the plan stream of
+// the corresponding non-big draw untouched only for shards (a Big run is
+// a different scenario, a sharded run of the same scenario is the same
+// one). cfg.Proxy builds every bridge with the in-switch ARP proxy; the
+// host-mobility family pre-cables spare jacks (neither changes any other
+// scenario's build, so existing fingerprints are untouched).
+func buildTopology(cfg Config, plan *rand.Rand) *topo.Built {
+	f, seed, big := cfg.Topology, cfg.Seed, cfg.Big
 	opts := topo.DefaultOptions(topo.ARPPath, seed)
-	opts.Shards = shards
+	opts.Shards = cfg.Shards
+	opts.SpareJacks = cfg.Faults == FaultsHostMobility
+	if cfg.Proxy {
+		opts.ARPPath().Proxy = true
+	}
 	if big {
 		switch f {
 		case TopoErdosRenyi:
@@ -89,10 +98,25 @@ type netIndex struct {
 	linkNames []string
 	hostNames []string
 	trunks    []int // indices into linkNames of bridge–bridge links
+
+	// Host-mobility bookkeeping (SpareJacks builds). A "spare:H<i>-..."
+	// link is host i's other wall jack; isSpare marks those links so trunk
+	// selection and heal treat them specially, and mobile lists the hosts
+	// a move op may pick.
+	isSpare    []bool      // parallel to linkNames
+	spareOwner map[int]int // linkNames index -> hostNames index
+	homeJack   map[int]int // hostNames index -> linkNames index
+	spareJack  map[int]int // hostNames index -> linkNames index
+	mobile     []int       // hostNames indices with a spare jack, sorted
 }
 
 func newNetIndex(built *topo.Built) *netIndex {
-	ix := &netIndex{built: built}
+	ix := &netIndex{
+		built:      built,
+		spareOwner: make(map[int]int),
+		homeJack:   make(map[int]int),
+		spareJack:  make(map[int]int),
+	}
 	for name := range built.Links {
 		ix.linkNames = append(ix.linkNames, name)
 	}
@@ -101,16 +125,48 @@ func newNetIndex(built *topo.Built) *netIndex {
 		ix.hostNames = append(ix.hostNames, name)
 	}
 	sort.Strings(ix.hostNames)
+	hostIdx := make(map[string]int, len(ix.hostNames))
+	for i, name := range ix.hostNames {
+		hostIdx[name] = i
+	}
 	bridges := make(map[string]bool, len(built.Bridges))
 	for _, b := range built.Bridges {
 		bridges[b.Name()] = true
 	}
+	ix.isSpare = make([]bool, len(ix.linkNames))
 	for i, name := range ix.linkNames {
 		l := built.Links[name]
 		if bridges[l.A().Node().Name()] && bridges[l.B().Node().Name()] {
 			ix.trunks = append(ix.trunks, i)
+			continue
+		}
+		// Access links: tie each one to its host's index. Spare jacks are
+		// named by the builder; home jacks are whichever access link the
+		// host's name prefixes.
+		hostEnd := l.A().Node().Name()
+		if !bridges[hostEnd] {
+			// ok: A side is the host
+		} else {
+			hostEnd = l.B().Node().Name()
+		}
+		h, isHost := hostIdx[hostEnd]
+		if !isHost {
+			continue
+		}
+		if strings.HasPrefix(name, "spare:") {
+			ix.isSpare[i] = true
+			ix.spareOwner[i] = h
+			ix.spareJack[h] = i
+		} else {
+			ix.homeJack[h] = i
 		}
 	}
+	for h := range ix.spareJack {
+		if _, ok := ix.homeJack[h]; ok {
+			ix.mobile = append(ix.mobile, h)
+		}
+	}
+	sort.Ints(ix.mobile)
 	return ix
 }
 

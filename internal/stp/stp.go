@@ -44,6 +44,29 @@ func DefaultTimers() Timers {
 	}
 }
 
+// WithDefaults fills every unset (zero) timer with its standard default,
+// field by field: tuning only MaxAge no longer silently discards the
+// adjustment because Hello was left zero.
+func (t Timers) WithDefaults() Timers {
+	d := DefaultTimers()
+	if t.Hello == 0 {
+		t.Hello = d.Hello
+	}
+	if t.MaxAge == 0 {
+		t.MaxAge = d.MaxAge
+	}
+	if t.ForwardDelay == 0 {
+		t.ForwardDelay = d.ForwardDelay
+	}
+	if t.MsgAgeIncrement == 0 {
+		t.MsgAgeIncrement = d.MsgAgeIncrement
+	}
+	if t.Aging == 0 {
+		t.Aging = d.Aging
+	}
+	return t
+}
+
 // FastTimers returns a 10x-accelerated profile for the repair-ablation
 // experiment (T4): the fastest STP can legally be tuned, still orders of
 // magnitude slower than ARP-Path repair.

@@ -22,13 +22,24 @@ func familyDelay(b *Builder) time.Duration {
 }
 
 // attachHosts gives every bridge one host (H<i> on bridge i) over a fast
-// uniform access link and returns the host map.
+// uniform access link and returns the host map. With Options.SpareJacks
+// each host is additionally pre-cabled to the next bridge over an
+// initially-down link named "spare:H<i>-<bridge>" — the other wall jack a
+// host-mobility schedule moves the station to (the cabling exists from
+// the start so a sharded build partitions it like any other link; only
+// SetUp toggles at fault time).
 func attachHosts(b *Builder, brs []Bridge, links map[string]*netsim.Link) map[string]*host.Host {
 	hosts := make(map[string]*host.Host, len(brs))
 	for i, br := range brs {
 		h := host.New(b.Net(), fmt.Sprintf("H%d", i+1), i+1)
 		hosts[h.Name()] = h
 		links[fmt.Sprintf("H%d-%s", i+1, br.Name())] = b.ConnectDelay(h, br, time.Microsecond)
+		if b.net.Opts.SpareJacks {
+			alt := brs[(i+1)%len(brs)]
+			spare := b.ConnectDelay(h, alt, time.Microsecond)
+			spare.SetUp(false)
+			links[fmt.Sprintf("spare:H%d-%s", i+1, alt.Name())] = spare
+		}
 	}
 	return hosts
 }

@@ -3,6 +3,11 @@
 // grid, fat-tree, seeded random graphs) for the extended experiments. A
 // Builder assembles hosts, bridges of a selectable protocol, and links,
 // then starts every bridge.
+//
+// Protocols are pluggable: the builder holds no protocol knowledge beyond
+// the registry (RegisterProtocol). ARP-Path, STP and the plain learning
+// switch register themselves in this package's init; variants register
+// from their own packages (or through pkg/fabric, the public surface).
 package topo
 
 import (
@@ -11,15 +16,15 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/learning"
 	"repro/internal/netsim"
 	"repro/internal/stp"
 )
 
-// Protocol selects the bridging protocol a topology is built with.
+// Protocol selects the bridging protocol a topology is built with. The
+// set of valid values is the protocol registry (Protocols lists it).
 type Protocol string
 
-// Supported protocols.
+// In-tree protocols, registered in init().
 const (
 	// ARPPath is the paper's contribution (internal/core).
 	ARPPath Protocol = "arppath"
@@ -31,19 +36,23 @@ const (
 
 // Options configures a build.
 type Options struct {
-	// Protocol selects the bridge implementation.
+	// Protocol selects the bridge implementation by registry name.
 	Protocol Protocol
+	// ProtocolConfig is the per-protocol configuration: a pointer to the
+	// protocol's config type (*core.Config for arppath, *stp.Timers for
+	// stp, *learning.Config for learning, or whatever a registered variant
+	// declares). nil selects the registered defaults; unset (zero) fields
+	// of a partially filled config are defaulted field-wise by the builder
+	// — setting only LockTimeout no longer discards the rest.
+	ProtocolConfig any
 	// Seed feeds the simulation engine.
 	Seed int64
 	// Link is the default link configuration; topology constructors
-	// override Delay per link where the scenario calls for it.
+	// override Delay per link where the scenario calls for it. Zero fields
+	// default field-wise.
 	Link netsim.LinkConfig
-	// ARPPathConfig tunes ARP-Path bridges (DefaultConfig if zero).
-	ARPPathConfig core.Config
-	// STPTimers tunes STP bridges (DefaultTimers if zero).
-	STPTimers stp.Timers
 	// WarmUp is how long to run the fabric before the experiment starts
-	// (STP needs its listening/learning delays; ARP-Path needs HELLOs).
+	// (0 = the protocol's registered convergence budget).
 	WarmUp time.Duration
 	// Shards splits the simulation across that many parallel engine
 	// shards (one worker each): the bridge graph is partitioned by
@@ -51,27 +60,56 @@ type Options struct {
 	// coordinator. 0 or 1 keeps the classic single-engine run. Results are
 	// bit-identical for every value — see DESIGN.md §8.
 	Shards int
+	// SpareJacks pre-cables every host of the host-per-bridge families
+	// (ErdosRenyi, RingOfRings, RandomRegular) with a second, initially
+	// down access link to the next bridge — the "other wall jack" the
+	// scenario engine's host-mobility schedules move stations to.
+	SpareJacks bool
 }
 
-// DefaultOptions returns a gigabit ARP-Path build.
+// DefaultOptions returns a gigabit build of the given protocol with its
+// registered default configuration.
 func DefaultOptions(p Protocol, seed int64) Options {
+	def, ok := LookupProtocol(p)
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown protocol %q (registered: %v)", p, Protocols()))
+	}
+	cfg := def.NewConfig()
+	def.ApplyDefaults(cfg)
 	return Options{
-		Protocol:      p,
-		Seed:          seed,
-		Link:          netsim.DefaultLinkConfig(),
-		ARPPathConfig: core.DefaultConfig(),
-		STPTimers:     stp.DefaultTimers(),
-		WarmUp:        defaultWarmUp(p, stp.DefaultTimers()),
+		Protocol:       p,
+		ProtocolConfig: cfg,
+		Seed:           seed,
+		Link:           netsim.DefaultLinkConfig(),
+		WarmUp:         def.WarmUp(cfg),
 	}
 }
 
-// defaultWarmUp returns the convergence budget for a protocol.
-func defaultWarmUp(p Protocol, t stp.Timers) time.Duration {
-	if p == STP {
-		// Listening + learning on every port, plus hello propagation.
-		return 2*t.ForwardDelay + 5*t.Hello
+// ARPPath returns the build's ARP-Path config for tuning, allocating the
+// defaults on first use. It panics when the build is not an arppath one —
+// per-protocol knobs only make sense for their own protocol.
+func (o *Options) ARPPath() *core.Config {
+	if o.Protocol != ARPPath {
+		panic(fmt.Sprintf("topo: Options.ARPPath on a %q build", o.Protocol))
 	}
-	return 10 * time.Millisecond
+	if o.ProtocolConfig == nil {
+		c := core.DefaultConfig()
+		o.ProtocolConfig = &c
+	}
+	return o.ProtocolConfig.(*core.Config)
+}
+
+// STP returns the build's STP timers for tuning, allocating the defaults
+// on first use. It panics when the build is not an stp one.
+func (o *Options) STP() *stp.Timers {
+	if o.Protocol != STP {
+		panic(fmt.Sprintf("topo: Options.STP on a %q build", o.Protocol))
+	}
+	if o.ProtocolConfig == nil {
+		t := stp.DefaultTimers()
+		o.ProtocolConfig = &t
+	}
+	return o.ProtocolConfig.(*stp.Timers)
 }
 
 // Bridge is the protocol-independent view of a built bridge.
@@ -106,31 +144,53 @@ func (n *Net) ARPPathBridge(name string) *core.Bridge { return n.Bridge(name).(*
 // STPBridge returns the named bridge as an STP bridge.
 func (n *Net) STPBridge(name string) *stp.Bridge { return n.Bridge(name).(*stp.Bridge) }
 
+// OnBuilt, when non-nil, is invoked by Build for every network right
+// after partitioning and before any bridge starts — early enough to
+// attach taps that must observe the complete trace (warm-up HELLOs
+// included). The fabric Runner uses it to collect trace fingerprints
+// across harnesses whose runners build their own fabrics. It is driver
+// state: set it only from single-threaded driver code, never while
+// builds may be running concurrently.
+var OnBuilt func(*Net)
+
 // Builder incrementally assembles a network.
 type Builder struct {
 	net    *Net
+	def    Definition
 	nextID int
 }
 
-// NewBuilder starts a build with the given options (zero-value fields are
-// replaced by defaults).
+// NewBuilder starts a build with the given options. Zero-value fields
+// default field-wise: a partially filled protocol config or link config
+// keeps what the caller set and inherits the rest (the whole-struct
+// clobber of earlier revisions is gone).
 func NewBuilder(opts Options) *Builder {
 	if opts.Protocol == "" {
 		opts.Protocol = ARPPath
 	}
+	def, ok := LookupProtocol(opts.Protocol)
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown protocol %q (registered: %v)", opts.Protocol, Protocols()))
+	}
+	if opts.ProtocolConfig == nil {
+		opts.ProtocolConfig = def.NewConfig()
+	}
+	def.ApplyDefaults(opts.ProtocolConfig)
+	d := netsim.DefaultLinkConfig()
 	if opts.Link.Rate == 0 {
-		opts.Link = netsim.DefaultLinkConfig()
+		opts.Link.Rate = d.Rate
 	}
-	if opts.ARPPathConfig.LockTimeout == 0 {
-		opts.ARPPathConfig = core.DefaultConfig()
+	if opts.Link.Delay == 0 {
+		opts.Link.Delay = d.Delay
 	}
-	if opts.STPTimers.Hello == 0 {
-		opts.STPTimers = stp.DefaultTimers()
+	if opts.Link.Queue == 0 {
+		opts.Link.Queue = d.Queue
 	}
 	if opts.WarmUp == 0 {
-		opts.WarmUp = defaultWarmUp(opts.Protocol, opts.STPTimers)
+		opts.WarmUp = def.WarmUp(opts.ProtocolConfig)
 	}
 	return &Builder{
+		def: def,
 		net: &Net{
 			Network: netsim.NewNetwork(opts.Seed),
 			Opts:    opts,
@@ -139,20 +199,11 @@ func NewBuilder(opts Options) *Builder {
 	}
 }
 
-// AddBridge creates a bridge of the configured protocol.
+// AddBridge creates a bridge of the configured protocol through the
+// registry.
 func (b *Builder) AddBridge(name string) Bridge {
 	b.nextID++
-	var br Bridge
-	switch b.net.Opts.Protocol {
-	case ARPPath:
-		br = core.New(b.net.Network, name, b.nextID, b.net.Opts.ARPPathConfig)
-	case STP:
-		br = stp.New(b.net.Network, name, b.nextID, 0x8000, b.net.Opts.STPTimers)
-	case Learning:
-		br = learning.New(b.net.Network, name, b.nextID)
-	default:
-		panic(fmt.Sprintf("topo: unknown protocol %q", b.net.Opts.Protocol))
-	}
+	br := b.def.New(b.net.Network, name, b.nextID, b.net.Opts.ProtocolConfig)
 	b.net.Network.AddNode(br)
 	b.net.Bridges = append(b.net.Bridges, br)
 	b.net.byName[name] = br
@@ -185,6 +236,9 @@ func (b *Builder) Build() *Net {
 			}
 		}
 		b.net.Network.Partition(eff, func(nd netsim.Node) int { return assign[nd.Name()] })
+	}
+	if OnBuilt != nil {
+		OnBuilt(b.net)
 	}
 	for _, br := range b.net.Bridges {
 		br.Start()

@@ -1,0 +1,101 @@
+// Package fabric is the public SDK of the reproduction: a declarative,
+// JSON-serializable Spec that fully determines a run (topology, protocol
+// and per-protocol config, links, seed, warm-up, shards, fault schedule,
+// workload and verification knobs), a protocol registry that makes
+// bridging protocols pluggable, and a Runner that owns the build →
+// warm-up → workload → collect lifecycle every harness shares.
+//
+// The five cmds (fabricbench, scenario, arppath-sim, arpvstp, pathrepair)
+// are thin shells over this package: each compiles its flags into a Spec
+// (or loads one with -spec file.json) and hands it to a Runner. A Spec
+// plus a seed is a complete, reproducible experiment: same Spec, same
+// trace fingerprint, at any shard count.
+//
+// A minimal run:
+//
+//	spec := fabric.Spec{
+//		Topology: fabric.TopologySpec{Family: "figure2"},
+//		Workload: fabric.WorkloadSpec{Kind: "ping"},
+//	}
+//	res, err := fabric.Run(spec)
+//
+// Protocols register like database/sql drivers. The three in-tree ones
+// (arppath, stp, learning) are registered by init(); a variant registers
+// itself and is immediately buildable from any Spec naming it:
+//
+//	fabric.RegisterProtocol("flow-path", fabric.Constructor{...})
+package fabric
+
+import (
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// Re-exported types: the SDK surface an out-of-tree protocol or harness
+// needs, without reaching into internal packages.
+type (
+	// Network is the simulated Ethernet fabric.
+	Network = netsim.Network
+	// LinkConfig describes a link's rate, delay and queue.
+	LinkConfig = netsim.LinkConfig
+	// Bridge is the protocol-independent view of a built bridge.
+	Bridge = topo.Bridge
+	// Built is a built topology: the network plus its named hosts/links.
+	Built = topo.Built
+	// Options is the compiled, imperative form of a Spec's build half.
+	Options = topo.Options
+	// Host is a simulated end station.
+	Host = host.Host
+	// Duration marshals as a human-readable string ("200ms") in specs.
+	Duration = topo.Duration
+)
+
+// Constructor describes a bridging protocol to the SDK. All hooks operate
+// on an opaque config value: a pointer to the protocol's own config type,
+// produced by NewConfig and carried through the Spec as a typed JSON
+// extension — the builder never learns the concrete type, which is what
+// lets out-of-tree variants register without touching it.
+type Constructor struct {
+	// NewConfig returns a pointer to a zero config value.
+	NewConfig func() any
+	// Defaults fills unset (zero) fields of cfg field-wise, in place.
+	Defaults func(cfg any)
+	// WarmUp returns the convergence budget for a fabric built with cfg.
+	WarmUp func(cfg any) time.Duration
+	// Build constructs one bridge on net.
+	Build func(net *Network, name string, numID int, cfg any) Bridge
+	// DecodeConfig parses the Spec's JSON extension (strict: unknown
+	// fields rejected) into a config pointer. Optional; without it a
+	// non-empty extension is an error.
+	DecodeConfig func(raw []byte) (any, error)
+	// EncodeConfig renders cfg back to canonical JSON. Optional.
+	EncodeConfig func(cfg any) ([]byte, error)
+}
+
+// RegisterProtocol makes a protocol buildable from every Spec and every
+// harness under the given name. It panics on duplicates or incomplete
+// constructors (call it from init()).
+func RegisterProtocol(name string, c Constructor) {
+	topo.RegisterProtocol(topo.Definition{
+		Name:          topo.Protocol(name),
+		NewConfig:     c.NewConfig,
+		ApplyDefaults: c.Defaults,
+		WarmUp:        c.WarmUp,
+		New:           c.Build,
+		DecodeConfig:  c.DecodeConfig,
+		EncodeConfig:  c.EncodeConfig,
+	})
+}
+
+// Protocols lists every registered protocol name, sorted.
+func Protocols() []string {
+	ps := topo.Protocols()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = string(p)
+	}
+	return out
+}

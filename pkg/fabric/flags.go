@@ -1,0 +1,16 @@
+package fabric
+
+import "flag"
+
+// FlagOverrides returns the predicate the cmds share for compiling flags
+// into a Spec: with no spec file loaded every flag applies (its default
+// value is the cmd's default Spec), while on top of a loaded spec only
+// flags the user explicitly set override it.
+func FlagOverrides(fs *flag.FlagSet, specLoaded bool) func(name string) bool {
+	if !specLoaded {
+		return func(string) bool { return true }
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return func(name string) bool { return set[name] }
+}

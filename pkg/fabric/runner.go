@@ -1,0 +1,172 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// ErrIncomplete reports a workload that ran but did not finish inside its
+// budget (a stuck stream, an unanswered ping train). The Runner has
+// already written the human-readable diagnosis to Out; callers translate
+// it into a nonzero exit.
+var ErrIncomplete = errors.New("fabric: workload did not complete")
+
+// Runner owns the lifecycle every harness shares: compile the Spec,
+// build the fabric(s), run the warm-up, drive the workload, collect the
+// outputs (tables, trace fingerprints, bench artifacts). The zero value
+// plus a Spec is usable; the exported fields tune presentation only —
+// nothing in them may change a simulation result.
+type Runner struct {
+	Spec Spec
+
+	// Out is the report stream (default os.Stdout): tables, sweep
+	// verdicts, fingerprints. Err is the side channel (default
+	// os.Stderr): wall-clock bench lines.
+	Out io.Writer
+	Err io.Writer
+	// CSV renders tables as CSV instead of aligned text.
+	CSV bool
+	// Graphs renders the per-scenario ASCII latency graphs of the
+	// figure2-demo workload.
+	Graphs bool
+	// TraceTo, when set, streams a tcpdump-style view of every delivery
+	// of the topology-driven workloads (arppath-sim -trace).
+	TraceTo io.Writer
+	// Jobs is the sweep's worker-pool size (default GOMAXPROCS). A
+	// sweep's every per-scenario result is identical at any value.
+	Jobs int
+	// Verbose prints sweep PASS lines, not just failures.
+	Verbose bool
+}
+
+// Result is the machine-readable half of a run.
+type Result struct {
+	// Spec is the fully defaulted spec that ran.
+	Spec Spec
+	// Tables are the figures/tables the workload produced, in emission
+	// order (they were also rendered to Out).
+	Tables []*metrics.Table
+	// Failures counts failing scenarios of a sweep.
+	Failures int
+	// Fingerprint digests the trace of every fabric the run built, in
+	// build order, when Spec.Verify.Fingerprint is set. Same Spec ⇒ same
+	// fingerprint, at any shard count. Fabrics and TraceEvents report
+	// what was folded in.
+	Fingerprint uint64
+	Fabrics     int
+	TraceEvents uint64
+	// BenchJSON is the scale workload's machine-dependent wall-clock
+	// artifact (fabricbench -bench-out).
+	BenchJSON []byte
+}
+
+// Run executes a Spec with default presentation.
+func Run(spec Spec) (*Result, error) {
+	r := Runner{Spec: spec}
+	return r.Run()
+}
+
+// Run compiles the Spec and executes its workload.
+//
+// Concurrency: one Runner at a time per process. The run wires two pieces
+// of driver state — the experiments shard count and the topology OnBuilt
+// hook — that are package-level by design (the experiment runners build
+// their own fabrics); concurrent Runs would race on them. Sweep workloads
+// parallelize internally (Jobs) without touching either.
+func (r *Runner) Run() (*Result, error) {
+	spec, err := r.Spec.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	out, errw := r.Out, r.Err
+	if out == nil {
+		out = os.Stdout
+	}
+	if errw == nil {
+		errw = os.Stderr
+	}
+	jobs := r.Jobs
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	res := &Result{Spec: spec}
+
+	prevShards := experiments.Shards
+	experiments.Shards = spec.Shards
+	defer func() { experiments.Shards = prevShards }()
+
+	// Trace fingerprints: every fabric built anywhere in the run — the
+	// topology-driven workloads' own, and the ones the experiment runners
+	// build internally — gets a tap the moment it exists (before Start,
+	// so warm-up traffic is covered too). The sweep computes per-scenario
+	// fingerprints itself; Run folds those instead.
+	var fps []*netsim.TapFingerprint
+	if spec.Verify.Fingerprint && spec.Workload.Kind != "sweep" {
+		prev := topo.OnBuilt
+		topo.OnBuilt = func(n *topo.Net) {
+			fp := netsim.NewTapFingerprint()
+			n.Tap(fp.Observe)
+			fps = append(fps, fp)
+		}
+		defer func() { topo.OnBuilt = prev }()
+	}
+
+	switch spec.Workload.Kind {
+	case "ping", "stream", "allpairs":
+		err = r.runSim(spec, out, res)
+	case "figure2-demo":
+		err = r.runFigure2Demo(spec, out, res)
+	case "path-repair":
+		err = r.runPathRepair(spec, out, res)
+	case "properties", "load", "proxy", "repair", "lockwindow", "tablesize", "forward", "scale", "all":
+		err = r.runBench(spec, out, errw, res)
+	case "sweep":
+		err = r.runSweep(spec, out, jobs, res)
+	case "":
+		return nil, fmt.Errorf("fabric: spec has no workload kind")
+	default:
+		return nil, fmt.Errorf("fabric: unknown workload kind %q", spec.Workload.Kind)
+	}
+	if err != nil {
+		return res, err
+	}
+
+	for _, fp := range fps {
+		res.Fingerprint = foldFingerprint(res.Fingerprint, fp.Sum())
+		res.TraceEvents += fp.Events()
+	}
+	if len(fps) > 0 {
+		res.Fabrics = len(fps)
+	}
+	if spec.Verify.Fingerprint {
+		fmt.Fprintf(out, "trace fingerprint: %#016x (fabrics=%d events=%d)\n",
+			res.Fingerprint, res.Fabrics, res.TraceEvents)
+	}
+	return res, nil
+}
+
+// foldFingerprint mixes per-fabric digests order-sensitively (FNV-style),
+// so "same fabrics in the same order" is what the combined value pins.
+func foldFingerprint(acc, fp uint64) uint64 {
+	acc ^= fp
+	acc *= 1099511628211
+	return acc
+}
+
+// emit renders a table to Out the way every harness always has.
+func (r *Runner) emit(out io.Writer, res *Result, t *metrics.Table) {
+	res.Tables = append(res.Tables, t)
+	if r.CSV {
+		fmt.Fprint(out, t.CSV())
+	} else {
+		fmt.Fprintln(out, t)
+	}
+}

@@ -1,0 +1,134 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/learning"
+)
+
+// runToBuffer runs a spec capturing Out.
+func runToBuffer(t *testing.T, r Runner) (*Result, string) {
+	t.Helper()
+	var out bytes.Buffer
+	r.Out = &out
+	r.Err = &out
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	return res, out.String()
+}
+
+// TestRunnerFingerprintShardInvariant is the SDK's determinism gate: the
+// same Spec produces the same trace fingerprint on the single engine and
+// on the sharded parallel engine, across distinct workload shapes.
+func TestRunnerFingerprintShardInvariant(t *testing.T) {
+	spec := Spec{
+		Seed:     11,
+		Topology: TopologySpec{Family: "ring", N: 6},
+		Workload: WorkloadSpec{Kind: "ping", Pings: 4, Interval: Duration(5 * time.Millisecond)},
+		Verify:   VerifySpec{Fingerprint: true},
+	}
+	res1, _ := runToBuffer(t, Runner{Spec: spec})
+	if res1.Fingerprint == 0 || res1.Fabrics == 0 {
+		t.Fatalf("no fingerprint collected: %+v", res1)
+	}
+	again, _ := runToBuffer(t, Runner{Spec: spec})
+	if again.Fingerprint != res1.Fingerprint || again.TraceEvents != res1.TraceEvents {
+		t.Fatalf("rerun diverged: %#x/%d vs %#x/%d",
+			again.Fingerprint, again.TraceEvents, res1.Fingerprint, res1.TraceEvents)
+	}
+	spec.Shards = 3
+	sharded, _ := runToBuffer(t, Runner{Spec: spec})
+	if sharded.Fingerprint != res1.Fingerprint || sharded.TraceEvents != res1.TraceEvents {
+		t.Fatalf("shards=3 diverged: %#x/%d vs %#x/%d",
+			sharded.Fingerprint, sharded.TraceEvents, res1.Fingerprint, res1.TraceEvents)
+	}
+}
+
+// TestRunnerSweep drives the scenario harness through the Spec path: a
+// small sweep with the proxy extension enabled must pass every invariant
+// and fold a deterministic fingerprint.
+func TestRunnerSweep(t *testing.T) {
+	spec := Spec{
+		Workload: WorkloadSpec{Kind: "sweep"},
+		Protocol: ProtocolSpec{Name: "arppath", Config: json.RawMessage(`{"proxy":true}`)},
+		Scenario: &ScenarioSpec{
+			Topologies: []string{"erdos-renyi"},
+			Faults:     []string{"link-flaps", "host-mobility"},
+			Seeds:      2,
+		},
+		Verify: VerifySpec{Fingerprint: true},
+	}
+	res, out := runToBuffer(t, Runner{Spec: spec, Jobs: 2, Verbose: true})
+	if res.Failures != 0 {
+		t.Fatalf("sweep failed:\n%s", out)
+	}
+	if !strings.Contains(out, "4 scenarios, 0 failed") {
+		t.Fatalf("unexpected sweep summary:\n%s", out)
+	}
+	if res.Fingerprint == 0 || res.Fabrics != 4 {
+		t.Fatalf("sweep fingerprint not folded: %+v", res)
+	}
+	again, _ := runToBuffer(t, Runner{Spec: spec, Jobs: 1})
+	if again.Fingerprint != res.Fingerprint {
+		t.Fatalf("sweep fingerprint depends on jobs: %#x vs %#x", again.Fingerprint, res.Fingerprint)
+	}
+}
+
+// TestOutOfTreeProtocolPluggable is the registry's reason to exist: a
+// protocol this package has never heard of registers at runtime and is
+// immediately buildable from a Spec by name, config extension included.
+func TestOutOfTreeProtocolPluggable(t *testing.T) {
+	type variantConfig struct {
+		Aging Duration `json:"aging,omitempty"`
+	}
+	RegisterProtocol("test-variant", Constructor{
+		NewConfig: func() any { return new(variantConfig) },
+		Defaults: func(cfg any) {
+			c := cfg.(*variantConfig)
+			if c.Aging == 0 {
+				c.Aging = Duration(time.Minute)
+			}
+		},
+		WarmUp: func(any) time.Duration { return 10 * time.Millisecond },
+		Build: func(net *Network, name string, numID int, cfg any) Bridge {
+			c := cfg.(*variantConfig)
+			return learning.NewWithConfig(net, name, numID, learning.Config{Aging: c.Aging.D()})
+		},
+		DecodeConfig: func(raw []byte) (any, error) {
+			c := new(variantConfig)
+			if len(raw) > 0 {
+				if err := json.Unmarshal(raw, c); err != nil {
+					return nil, err
+				}
+			}
+			return c, nil
+		},
+		EncodeConfig: func(cfg any) ([]byte, error) { return json.Marshal(cfg) },
+	})
+
+	found := false
+	for _, p := range Protocols() {
+		if p == "test-variant" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered protocol not listed")
+	}
+
+	spec := Spec{
+		Topology: TopologySpec{Family: "line", N: 2},
+		Protocol: ProtocolSpec{Name: "test-variant", Config: json.RawMessage(`{"aging":"30s"}`)},
+		Workload: WorkloadSpec{Kind: "ping", Pings: 2, Interval: Duration(time.Millisecond)},
+	}
+	_, out := runToBuffer(t, Runner{Spec: spec})
+	if !strings.Contains(out, "protocol=test-variant") || !strings.Contains(out, "lost=0") {
+		t.Fatalf("variant did not carry traffic:\n%s", out)
+	}
+}

@@ -1,0 +1,476 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/topo"
+)
+
+// SpecVersion is the current Spec schema version. Decoding rejects specs
+// from a newer schema; older (or absent) versions upgrade implicitly as
+// long as the fields still decode.
+const SpecVersion = 1
+
+// Spec declaratively and fully determines a run: what fabric to build,
+// which protocol bridges it, what workload to drive and what to verify.
+// Every field has an explicit default (WithDefaults); decoding is strict
+// (unknown fields are rejected, so a typo fails loudly instead of
+// silently running the default experiment).
+type Spec struct {
+	// Version is the schema version (SpecVersion when omitted).
+	Version int `json:"version,omitempty"`
+	// Seed fully determines wiring, delays and race outcomes. 0 means
+	// the default seed 1 — a JSON spec cannot distinguish absent from
+	// zero, so seed 0 itself is not addressable.
+	Seed int64 `json:"seed,omitempty"`
+	// Topology selects the fabric for the topology-driven workloads
+	// (ping, stream, allpairs). The experiment workloads build their own
+	// fabrics, as the paper's figures prescribe.
+	Topology TopologySpec `json:"topology,omitzero"`
+	// Protocol selects the bridging protocol by registry name, with an
+	// optional per-protocol config extension.
+	Protocol ProtocolSpec `json:"protocol,omitzero"`
+	// Link is the default link configuration.
+	Link LinkSpec `json:"link,omitzero"`
+	// WarmUp is how long the fabric runs before the workload (0 = the
+	// protocol's registered convergence budget; WithDefaults fills it).
+	WarmUp Duration `json:"warm_up,omitempty"`
+	// Shards runs the simulation on that many parallel engine shards.
+	// Every figure, table and fingerprint is bit-identical at any value.
+	Shards int `json:"shards,omitempty"`
+	// Workload selects what runs on the fabric.
+	Workload WorkloadSpec `json:"workload,omitzero"`
+	// Scenario parameterizes the adversarial sweep (kind "sweep"): the
+	// fault-schedule families, seeds per pairing and phase timing.
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
+	// Verify holds the verification knobs: probe counts for the sweep's
+	// eventual-delivery invariant, and the trace fingerprint switch.
+	Verify VerifySpec `json:"verify,omitzero"`
+}
+
+// TopologySpec names a topology family and its size parameters. Unused
+// parameters are ignored by the family; grid reads Rows/Cols falling back
+// to N×N, random falls back to N extra edges.
+type TopologySpec struct {
+	// Family: figure1, figure2, line, ring, grid, fattree, random,
+	// erdos-renyi, ring-of-rings, random-regular (RegisterTopology adds
+	// more).
+	Family string `json:"family,omitempty"`
+	// N is the generic size: bridges (line, ring, random, erdos-renyi,
+	// random-regular), fat-tree k, grid side.
+	N int `json:"n,omitempty"`
+	// Rows/Cols size a grid explicitly.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Rings/RingSize size a ring-of-rings.
+	Rings    int `json:"rings,omitempty"`
+	RingSize int `json:"ring_size,omitempty"`
+	// Degree is the random-regular trunk degree.
+	Degree int `json:"degree,omitempty"`
+	// ExtraEdges is the random family's loop budget (N when omitted).
+	ExtraEdges int `json:"extra_edges,omitempty"`
+	// P is the Erdős–Rényi edge probability.
+	P float64 `json:"p,omitempty"`
+	// Profile is the figure2 link-delay profile: uniform, slow-diagonal
+	// or asymmetric.
+	Profile string `json:"profile,omitempty"`
+}
+
+// ProtocolSpec selects a registered protocol and carries its config as a
+// typed JSON extension, decoded by the protocol's own registered codec.
+type ProtocolSpec struct {
+	Name string `json:"name,omitempty"`
+	// Config is the per-protocol extension, e.g. for arppath:
+	// {"lock_timeout":"200ms","proxy":true}. Unknown fields are rejected.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// LinkSpec is the default link configuration.
+type LinkSpec struct {
+	// RateBps is the line rate in bits per second.
+	RateBps int64 `json:"rate_bps,omitempty"`
+	// Delay is the one-way propagation delay.
+	Delay Duration `json:"delay,omitempty"`
+	// QueueBytes is the per-direction output queue capacity.
+	QueueBytes int `json:"queue_bytes,omitempty"`
+}
+
+// WorkloadSpec selects what runs on the fabric. Kinds:
+//
+//   - "ping", "stream", "allpairs" — the simulator workloads on the
+//     Spec's topology (arppath-sim)
+//   - "figure2-demo" — the ARP-Path vs STP latency demo (arpvstp)
+//   - "path-repair" — streaming under successive failures (pathrepair)
+//   - "properties", "load", "proxy", "repair", "lockwindow",
+//     "tablesize", "forward", "scale", "all" — the evaluation tables
+//     (fabricbench)
+//   - "sweep" — the adversarial scenario sweep (scenario)
+type WorkloadSpec struct {
+	Kind string `json:"kind,omitempty"`
+	// Pings/Interval drive ping-train workloads (ping, figure2-demo).
+	Pings    int      `json:"pings,omitempty"`
+	Interval Duration `json:"interval,omitempty"`
+	// StreamSize is the transfer size for stream and path-repair.
+	StreamSize int `json:"stream_size,omitempty"`
+	// Failures is how many successive link failures path-repair injects.
+	Failures int `json:"failures,omitempty"`
+	// WithSTP adds the STP baseline run to path-repair (default true).
+	WithSTP *bool `json:"with_stp,omitempty"`
+	// FastSTP gives the baseline the fastest legal STP timers.
+	FastSTP bool `json:"fast_stp,omitempty"`
+	// Frames is the pump volume of the forward benchmark.
+	Frames int `json:"frames,omitempty"`
+	// Bridges sizes the scale experiment's fabric.
+	Bridges int `json:"bridges,omitempty"`
+}
+
+// ScenarioSpec parameterizes the adversarial sweep. The protocol under
+// test comes from Spec.Protocol (arppath, optionally with the proxy
+// enabled in its config extension — any other config tuning is rejected,
+// the sweep builds its fabrics with the defaults); the probe counts from
+// Spec.Verify. Spec.Link and Spec.WarmUp do not apply: each scenario
+// draws its own links and warm-up from its seed.
+type ScenarioSpec struct {
+	// Topologies and Faults list family names, or ["all"] (the default;
+	// WithDefaults expands it).
+	Topologies []string `json:"topologies,omitempty"`
+	Faults     []string `json:"faults,omitempty"`
+	// Seeds is how many consecutive seeds run per (topology, faults)
+	// pairing, starting at Spec.Seed.
+	Seeds int `json:"seeds,omitempty"`
+	// Big selects the larger topology tier.
+	Big bool `json:"big,omitempty"`
+	// Shrink minimizes failing fault schedules (default true).
+	Shrink *bool `json:"shrink,omitempty"`
+	// FaultPhase/Quiesce override the scenario phase timing.
+	FaultPhase Duration `json:"fault_phase,omitempty"`
+	Quiesce    Duration `json:"quiesce,omitempty"`
+}
+
+// VerifySpec holds the verification knobs.
+type VerifySpec struct {
+	// Fingerprint folds every tap event of every fabric the run builds
+	// into a digest and emits it after the workload: same Spec ⇒ same
+	// fingerprint, at any shard count and on any machine.
+	Fingerprint bool `json:"fingerprint,omitempty"`
+	// Pairs/Pings size the sweep's post-quiescence delivery probes.
+	Pairs int `json:"pairs,omitempty"`
+	Pings int `json:"pings,omitempty"`
+}
+
+// DecodeSpec parses a Spec strictly: unknown fields anywhere in the
+// document (including per-protocol config extensions, which are checked
+// by WithDefaults) are errors.
+func DecodeSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("spec: %w", err)
+	}
+	if dec.More() {
+		return Spec{}, fmt.Errorf("spec: trailing data after JSON document")
+	}
+	if s.Version > SpecVersion {
+		return Spec{}, fmt.Errorf("spec: version %d is newer than this build's %d", s.Version, SpecVersion)
+	}
+	return s, nil
+}
+
+// LoadSpec reads and strictly decodes a spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	s, err := DecodeSpec(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Encode renders the Spec as canonical indented JSON with a trailing
+// newline. decode → WithDefaults → Encode → decode → WithDefaults is a
+// fixed point (the codec round-trip test pins it).
+func (s Spec) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WithDefaults returns the Spec with every unset field filled explicitly,
+// validating as it goes: the protocol must be registered (its config
+// extension is decoded strictly, defaulted field-wise and re-encoded
+// canonically), the scenario families must exist, and the version must be
+// current. The result fully spells out the run a bare Spec implies.
+func (s Spec) WithDefaults() (Spec, error) {
+	if s.Version == 0 {
+		s.Version = SpecVersion
+	}
+	if s.Version != SpecVersion {
+		return Spec{}, fmt.Errorf("spec: unsupported version %d", s.Version)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Shards < 1 {
+		s.Shards = 1
+	}
+
+	// Protocol: resolve, decode the extension, default field-wise,
+	// re-encode canonically.
+	if s.Protocol.Name == "" {
+		s.Protocol.Name = string(topo.ARPPath)
+	}
+	def, ok := topo.LookupProtocol(topo.Protocol(s.Protocol.Name))
+	if !ok {
+		return Spec{}, fmt.Errorf("spec: unknown protocol %q (registered: %v)", s.Protocol.Name, Protocols())
+	}
+	cfg, err := decodeProtocolConfig(def, s.Protocol.Config)
+	if err != nil {
+		return Spec{}, fmt.Errorf("spec: protocol %q config: %w", s.Protocol.Name, err)
+	}
+	def.ApplyDefaults(cfg)
+	if def.EncodeConfig != nil {
+		raw, err := def.EncodeConfig(cfg)
+		if err != nil {
+			return Spec{}, fmt.Errorf("spec: protocol %q config: %w", s.Protocol.Name, err)
+		}
+		s.Protocol.Config = raw
+	}
+
+	// Link, warm-up.
+	d := netsim.DefaultLinkConfig()
+	if s.Link.RateBps == 0 {
+		s.Link.RateBps = d.Rate
+	}
+	if s.Link.Delay == 0 {
+		s.Link.Delay = Duration(d.Delay)
+	}
+	if s.Link.QueueBytes == 0 {
+		s.Link.QueueBytes = d.Queue
+	}
+	if s.WarmUp == 0 {
+		s.WarmUp = Duration(def.WarmUp(cfg))
+	}
+
+	// Topology defaults, only where a family is in play.
+	if s.Topology.Family == "" && topologyKinds[s.Workload.Kind] {
+		s.Topology.Family = "figure2"
+	}
+	if s.Topology.Family != "" {
+		s.Topology = s.Topology.withDefaults()
+	}
+
+	s.Workload = s.Workload.withDefaults()
+
+	if s.Workload.Kind == "sweep" {
+		sc := ScenarioSpec{}
+		if s.Scenario != nil {
+			sc = *s.Scenario
+		}
+		sc, err := sc.withDefaults()
+		if err != nil {
+			return Spec{}, err
+		}
+		s.Scenario = &sc
+		if s.Verify.Pairs == 0 {
+			s.Verify.Pairs = 4
+		}
+		if s.Verify.Pings == 0 {
+			s.Verify.Pings = 3
+		}
+	}
+	return s, nil
+}
+
+func decodeProtocolConfig(def topo.Definition, raw json.RawMessage) (any, error) {
+	if def.DecodeConfig != nil {
+		return def.DecodeConfig(raw)
+	}
+	if len(raw) > 0 && !bytes.Equal(bytes.TrimSpace(raw), []byte("{}")) {
+		return nil, fmt.Errorf("protocol registers no config codec but the spec carries an extension")
+	}
+	return def.NewConfig(), nil
+}
+
+// SetOption merges one key into the protocol's JSON config extension,
+// preserving whatever else the extension already carries. Cmds use it to
+// fold a flag (-proxy) into a possibly spec-loaded config without
+// clobbering the rest.
+func (p *ProtocolSpec) SetOption(key string, value any) error {
+	m := map[string]any{}
+	if len(p.Config) > 0 {
+		if err := json.Unmarshal(p.Config, &m); err != nil {
+			return fmt.Errorf("protocol config: %w", err)
+		}
+	}
+	m[key] = value
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	p.Config = raw
+	return nil
+}
+
+// topologyKinds are the workload kinds that build the Spec's topology.
+var topologyKinds = map[string]bool{"ping": true, "stream": true, "allpairs": true}
+
+func (t TopologySpec) withDefaults() TopologySpec {
+	switch t.Family {
+	case "figure2":
+		if t.Profile == "" {
+			t.Profile = string(topo.ProfileSlowDiagonal)
+		}
+	case "line", "ring", "fattree", "random", "erdos-renyi", "random-regular":
+		if t.N == 0 {
+			t.N = 4
+		}
+	case "grid":
+		if t.N == 0 && t.Rows == 0 {
+			t.N = 4
+		}
+	case "ring-of-rings":
+		if t.Rings == 0 {
+			t.Rings = 3
+		}
+		if t.RingSize == 0 {
+			t.RingSize = 4
+		}
+	}
+	switch t.Family {
+	case "random-regular":
+		if t.Degree == 0 {
+			t.Degree = 3
+		}
+	case "erdos-renyi":
+		if t.P == 0 {
+			t.P = 0.2
+		}
+	}
+	return t
+}
+
+func (w WorkloadSpec) withDefaults() WorkloadSpec {
+	switch w.Kind {
+	case "ping", "figure2-demo":
+		if w.Pings == 0 {
+			w.Pings = 20
+		}
+		if w.Interval == 0 {
+			w.Interval = Duration(100 * time.Millisecond)
+		}
+	case "stream":
+		if w.StreamSize == 0 {
+			w.StreamSize = defaultStreamSize()
+		}
+	case "path-repair":
+		if w.StreamSize == 0 {
+			w.StreamSize = 32 << 20
+		}
+		if w.Failures == 0 {
+			w.Failures = 2
+		}
+		if w.WithSTP == nil {
+			t := true
+			w.WithSTP = &t
+		}
+	case "forward":
+		if w.Frames == 0 {
+			w.Frames = 50_000
+		}
+	case "scale":
+		if w.Bridges == 0 {
+			w.Bridges = 256
+		}
+	}
+	return w
+}
+
+func (sc ScenarioSpec) withDefaults() (ScenarioSpec, error) {
+	all := func(names []string) bool {
+		return len(names) == 0 || (len(names) == 1 && names[0] == "all")
+	}
+	if all(sc.Topologies) {
+		sc.Topologies = nil
+		for _, f := range scenario.TopologyFamilies() {
+			sc.Topologies = append(sc.Topologies, string(f))
+		}
+	} else {
+		known := make(map[string]bool)
+		for _, f := range scenario.TopologyFamilies() {
+			known[string(f)] = true
+		}
+		for _, f := range sc.Topologies {
+			if !known[f] {
+				return sc, fmt.Errorf("spec: unknown topology family %q", f)
+			}
+		}
+	}
+	if all(sc.Faults) {
+		sc.Faults = nil
+		for _, f := range scenario.FaultFamilies() {
+			sc.Faults = append(sc.Faults, string(f))
+		}
+	} else {
+		known := make(map[string]bool)
+		for _, f := range scenario.FaultFamilies() {
+			known[string(f)] = true
+		}
+		for _, f := range sc.Faults {
+			if !known[f] {
+				return sc, fmt.Errorf("spec: unknown fault family %q", f)
+			}
+		}
+	}
+	if sc.Seeds == 0 {
+		sc.Seeds = 16
+	}
+	if sc.Shrink == nil {
+		t := true
+		sc.Shrink = &t
+	}
+	if sc.FaultPhase == 0 {
+		sc.FaultPhase = Duration(400 * time.Millisecond)
+	}
+	if sc.Quiesce == 0 {
+		sc.Quiesce = Duration(700 * time.Millisecond)
+	}
+	return sc, nil
+}
+
+// Options compiles the Spec's build half into the imperative form the
+// topology builder consumes. The Spec must already be defaulted.
+func (s Spec) Options() (topo.Options, error) {
+	def, ok := topo.LookupProtocol(topo.Protocol(s.Protocol.Name))
+	if !ok {
+		return topo.Options{}, fmt.Errorf("spec: unknown protocol %q (registered: %v)", s.Protocol.Name, Protocols())
+	}
+	cfg, err := decodeProtocolConfig(def, s.Protocol.Config)
+	if err != nil {
+		return topo.Options{}, fmt.Errorf("spec: protocol %q config: %w", s.Protocol.Name, err)
+	}
+	def.ApplyDefaults(cfg)
+	return topo.Options{
+		Protocol:       topo.Protocol(s.Protocol.Name),
+		ProtocolConfig: cfg,
+		Seed:           s.Seed,
+		Link: netsim.LinkConfig{
+			Rate:  s.Link.RateBps,
+			Delay: s.Link.Delay.D(),
+			Queue: s.Link.QueueBytes,
+		},
+		WarmUp: s.WarmUp.D(),
+		Shards: s.Shards,
+	}, nil
+}

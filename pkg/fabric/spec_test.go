@@ -1,0 +1,197 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// specSamples are the shapes the five cmds compile their flags into, plus
+// a fully spelled-out custom one.
+func specSamples() []Spec {
+	return []Spec{
+		{Workload: WorkloadSpec{Kind: "all"}},
+		{Workload: WorkloadSpec{Kind: "sweep"}},
+		{Workload: WorkloadSpec{Kind: "ping"}, Topology: TopologySpec{Family: "figure2"}},
+		{Workload: WorkloadSpec{Kind: "figure2-demo"}},
+		{Workload: WorkloadSpec{Kind: "path-repair"}},
+		{
+			Seed:     7,
+			Shards:   4,
+			Topology: TopologySpec{Family: "ring", N: 8},
+			Protocol: ProtocolSpec{Name: "arppath", Config: json.RawMessage(`{"lock_timeout":"50ms","proxy":true}`)},
+			Link:     LinkSpec{RateBps: 100_000_000, Delay: Duration(20 * time.Microsecond), QueueBytes: 64 << 10},
+			Workload: WorkloadSpec{Kind: "allpairs"},
+			Verify:   VerifySpec{Fingerprint: true},
+		},
+		{
+			Workload: WorkloadSpec{Kind: "sweep"},
+			Scenario: &ScenarioSpec{Topologies: []string{"grid"}, Faults: []string{"host-mobility"}, Seeds: 2},
+			Protocol: ProtocolSpec{Name: "arppath", Config: json.RawMessage(`{"proxy":true}`)},
+		},
+	}
+}
+
+// TestSpecRoundTripFixedPoint pins the codec contract: decode → defaults
+// → encode → decode → defaults → encode reproduces the same bytes.
+func TestSpecRoundTripFixedPoint(t *testing.T) {
+	for _, s := range specSamples() {
+		d1, err := s.WithDefaults()
+		if err != nil {
+			t.Fatalf("%+v: defaults: %v", s, err)
+		}
+		e1, err := d1.Encode()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		s2, err := DecodeSpec(e1)
+		if err != nil {
+			t.Fatalf("re-decode: %v\n%s", err, e1)
+		}
+		d2, err := s2.WithDefaults()
+		if err != nil {
+			t.Fatalf("re-defaults: %v", err)
+		}
+		e2, err := d2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("round trip is not a fixed point:\n--- first\n%s\n--- second\n%s", e1, e2)
+		}
+	}
+}
+
+// TestSpecStrictDecoding pins rejection of unknown fields at every level:
+// top, nested, and inside a protocol config extension.
+func TestSpecStrictDecoding(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"top-level", `{"workloadd": {"kind": "ping"}}`},
+		{"nested", `{"workload": {"knd": "ping"}}`},
+		{"topology", `{"topology": {"famly": "ring"}}`},
+		{"trailing", `{"seed": 1} {"seed": 2}`},
+		{"future-version", `{"version": 99}`},
+	}
+	for _, c := range cases {
+		if _, err := DecodeSpec([]byte(c.doc)); err == nil {
+			t.Errorf("%s: decoded without error: %s", c.name, c.doc)
+		}
+	}
+
+	// Unknown fields inside a protocol extension surface in WithDefaults,
+	// where the registry's codec runs.
+	s, err := DecodeSpec([]byte(`{"protocol": {"name": "arppath", "config": {"proxy": true, "bogus": 1}}}`))
+	if err != nil {
+		t.Fatalf("outer decode failed: %v", err)
+	}
+	if _, err := s.WithDefaults(); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown protocol-config field not rejected: %v", err)
+	}
+}
+
+// TestSpecUnknownNamesRejected covers protocol, topology-family and fault
+// family validation.
+func TestSpecUnknownNamesRejected(t *testing.T) {
+	if _, err := (Spec{Protocol: ProtocolSpec{Name: "flow-path"}}).WithDefaults(); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	bad := Spec{Workload: WorkloadSpec{Kind: "sweep"}, Scenario: &ScenarioSpec{Topologies: []string{"torus"}}}
+	if _, err := bad.WithDefaults(); err == nil {
+		t.Error("unknown sweep topology family accepted")
+	}
+	bad = Spec{Workload: WorkloadSpec{Kind: "sweep"}, Scenario: &ScenarioSpec{Faults: []string{"meteor-strike"}}}
+	if _, err := bad.WithDefaults(); err == nil {
+		t.Error("unknown fault family accepted")
+	}
+}
+
+// TestSpecOptionsMatchesDefaultOptions pins that the Spec path compiles
+// to exactly the Options the imperative path has always produced — the
+// hinge of the cmds' byte-identical guarantee.
+func TestSpecOptionsMatchesDefaultOptions(t *testing.T) {
+	for _, p := range []string{"arppath", "stp", "learning"} {
+		s, err := (Spec{Seed: 3, Protocol: ProtocolSpec{Name: p}}).WithDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Options()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := topo.DefaultOptions(topo.Protocol(p), 3)
+		if got.Protocol != want.Protocol || got.Seed != want.Seed ||
+			got.Link != want.Link || got.WarmUp != want.WarmUp {
+			t.Fatalf("%s: spec options %+v, imperative %+v", p, got, want)
+		}
+		// Config values (behind the pointers) must agree too.
+		switch p {
+		case "arppath":
+			if *got.ProtocolConfig.(*core.Config) != *want.ProtocolConfig.(*core.Config) {
+				t.Fatalf("%s: config mismatch", p)
+			}
+		}
+	}
+
+	// The extension plumbs through: a proxy-enabled spec builds
+	// proxy-enabled options, with the rest defaulted field-wise.
+	s, err := (Spec{Protocol: ProtocolSpec{Name: "arppath", Config: json.RawMessage(`{"proxy":true}`)}}).WithDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := s.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := opts.ProtocolConfig.(*core.Config)
+	if !cfg.Proxy || cfg.LockTimeout != core.DefaultConfig().LockTimeout {
+		t.Fatalf("extension not plumbed/defaulted: %+v", cfg)
+	}
+}
+
+// FuzzDecodeSpec fuzzes the strict decoder and the defaulting fixed
+// point: any input that decodes and defaults must re-encode stably.
+func FuzzDecodeSpec(f *testing.F) {
+	for _, s := range specSamples() {
+		if d, err := s.WithDefaults(); err == nil {
+			if e, err := d.Encode(); err == nil {
+				f.Add(e)
+			}
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"workload":{"kind":"sweep"},"scenario":{"faults":["all"]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		d1, err := s.WithDefaults()
+		if err != nil {
+			return
+		}
+		e1, err := d1.Encode()
+		if err != nil {
+			t.Fatalf("defaulted spec failed to encode: %v", err)
+		}
+		s2, err := DecodeSpec(e1)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to re-decode: %v\n%s", err, e1)
+		}
+		d2, err := s2.WithDefaults()
+		if err != nil {
+			t.Fatalf("canonical encoding failed to re-default: %v\n%s", err, e1)
+		}
+		e2, err := d2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("not a fixed point:\n--- first\n%s\n--- second\n%s", e1, e2)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/topo"
+)
+
+// lockWindows is the T5 sweep: below, near and above the test ring's
+// flood traversal time.
+func lockWindows() []time.Duration {
+	return []time.Duration{
+		time.Millisecond,
+		5 * time.Millisecond,
+		20 * time.Millisecond,
+		200 * time.Millisecond,
+	}
+}
+
+// runBench is the fabricbench harness: the extended experiments derived
+// from the paper's §2.2 claims (DESIGN.md T1–T6), the forwarding
+// benchmark and the sharded-engine scaling experiment.
+func (r *Runner) runBench(spec Spec, out, errw io.Writer, res *Result) error {
+	seed := spec.Seed
+	switch spec.Workload.Kind {
+	case "properties":
+		r.emit(out, res, experiments.T1Table(experiments.RunT1Properties(seed, 6)))
+	case "load":
+		ap := experiments.RunT2Load(seed, topo.ARPPath)
+		st := experiments.RunT2Load(seed, topo.STP)
+		r.emit(out, res, experiments.T2Table([]*experiments.T2Result{ap, st}))
+	case "proxy":
+		r.emit(out, res, experiments.T3Table(experiments.RunT3Proxy(seed, []int{4, 8, 16, 32})))
+	case "repair":
+		r.emit(out, res, experiments.T4Table(experiments.RunT4Repair(seed)))
+	case "lockwindow":
+		r.emit(out, res, experiments.T5Table(experiments.RunT5LockWindow(seed, lockWindows())))
+	case "tablesize":
+		r.emit(out, res, experiments.T6Table(experiments.RunT6TableSize(seed, []int{8, 16, 32})))
+	case "forward":
+		r.emit(out, res, experiments.ForwardTable(experiments.RunForwardBench(seed, spec.Workload.Frames)))
+	case "scale":
+		t, bench, err := runScale(seed, spec.Workload.Bridges, spec.Shards, errw)
+		if err != nil {
+			return err
+		}
+		res.BenchJSON = bench
+		r.emit(out, res, t)
+	case "all":
+		r.emit(out, res, experiments.T1Table(experiments.RunT1Properties(seed, 6)))
+		ap := experiments.RunT2Load(seed, topo.ARPPath)
+		st := experiments.RunT2Load(seed, topo.STP)
+		r.emit(out, res, experiments.T2Table([]*experiments.T2Result{ap, st}))
+		r.emit(out, res, experiments.T3Table(experiments.RunT3Proxy(seed, []int{4, 8, 16, 32})))
+		r.emit(out, res, experiments.T4Table(experiments.RunT4Repair(seed)))
+		r.emit(out, res, experiments.T5Table(experiments.RunT5LockWindow(seed, lockWindows())))
+		r.emit(out, res, experiments.T6Table(experiments.RunT6TableSize(seed, []int{8, 16, 32})))
+	}
+	return nil
+}
+
+// benchRecord is one scale run's machine-dependent half, serialized for
+// the CI bench artifact.
+type benchRecord struct {
+	Bridges      int     `json:"bridges"`
+	Shards       int     `json:"shards"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	LookaheadNS  int64   `json:"lookahead_ns"`
+	Events       uint64  `json:"events"`
+	Delivered    int     `json:"delivered"`
+	WallNS       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+}
+
+// runScale sweeps shard counts 1..maxShards (doubling) on one fabric and
+// renders the deterministic table; wall-clock figures go to errw and come
+// back as the JSON bench artifact.
+func runScale(seed int64, bridges, maxShards int, errw io.Writer) (*metrics.Table, []byte, error) {
+	// Shard counts: doubling from 1, always ending exactly at maxShards.
+	var counts []int
+	for k := 1; k < maxShards; k *= 2 {
+		counts = append(counts, k)
+	}
+	counts = append(counts, maxShards)
+	var results []*experiments.ScaleResult
+	var records []benchRecord
+	for _, k := range counts {
+		cfg := experiments.DefaultScaleConfig(seed, k)
+		cfg.Bridges = bridges
+		sr := experiments.RunScale(cfg)
+		results = append(results, sr)
+		fmt.Fprintln(errw, experiments.ScaleBenchLine(sr))
+		records = append(records, benchRecord{
+			Bridges: sr.Bridges, Shards: k, GOMAXPROCS: runtime.GOMAXPROCS(0),
+			LookaheadNS: int64(sr.Lookahead), Events: sr.Events, Delivered: sr.Delivered,
+			WallNS: int64(sr.Wall), EventsPerSec: sr.EventsPerSec, FramesPerSec: sr.FramesPerSec,
+		})
+	}
+	bench, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return nil, nil, err
+	}
+	return experiments.ScaleTable(results), append(bench, '\n'), nil
+}

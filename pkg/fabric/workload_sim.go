@@ -1,0 +1,156 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/host/app"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// runSim drives the simulator workloads (ping, stream, allpairs) on the
+// Spec's topology — the arppath-sim harness, spec-rooted.
+func (r *Runner) runSim(spec Spec, out io.Writer, res *Result) error {
+	opts, err := spec.Options()
+	if err != nil {
+		return err
+	}
+	built, err := BuildTopology(opts, spec.Topology)
+	if err != nil {
+		return err
+	}
+	if r.TraceTo != nil {
+		trace.Attach(built.Network, trace.WithWriter(r.TraceTo), trace.WithFilter(trace.DeliveriesOnly))
+	}
+
+	first, last, err := pickEndpoints(built, out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "topology=%s bridges=%d hosts=%d links=%d protocol=%s seed=%d\n\n",
+		spec.Topology.Family, len(built.Bridges), len(built.Hosts), len(built.Links),
+		spec.Protocol.Name, spec.Seed)
+
+	switch spec.Workload.Kind {
+	case "ping":
+		return runPing(built, first, last, spec.Workload, out)
+	case "stream":
+		return runStream(built, first, last, spec.Workload, out)
+	case "allpairs":
+		return runAllPairs(built, out, r, res)
+	}
+	return fmt.Errorf("fabric: unknown simulator workload %q", spec.Workload.Kind)
+}
+
+// pickEndpoints returns a deterministic pair of distinct hosts.
+func pickEndpoints(b *Built, out io.Writer) (*host.Host, *host.Host, error) {
+	for _, pair := range [][2]string{{"A", "B"}, {"S", "D"}, {"H1", "H2"}} {
+		if h1, ok := b.Hosts[pair[0]]; ok {
+			if h2, ok := b.Hosts[pair[1]]; ok {
+				return h1, h2, nil
+			}
+		}
+	}
+	// Fall back to the two highest-numbered H hosts.
+	var h1, h2 *host.Host
+	for i := len(b.Hosts); i >= 1; i-- {
+		if h, ok := b.Hosts[fmt.Sprintf("H%d", i)]; ok {
+			if h2 == nil {
+				h2 = h
+			} else {
+				h1 = h
+				break
+			}
+		}
+	}
+	if h1 == nil || h2 == nil {
+		fmt.Fprintln(out, "topology has no usable host pair")
+		return nil, nil, ErrIncomplete
+	}
+	return h1, h2, nil
+}
+
+func runPing(built *Built, a, b *host.Host, w WorkloadSpec, out io.Writer) error {
+	var rep *app.PingReport
+	built.Engine.At(built.Now(), func() {
+		app.RunPingSeries(a, b.IP(), w.Pings, w.Interval.D(), func(r *app.PingReport) { rep = r })
+	})
+	built.RunFor(time.Minute)
+	if rep == nil {
+		fmt.Fprintln(out, "ping series did not finish")
+		return ErrIncomplete
+	}
+	fmt.Fprintf(out, "%s -> %s: sent=%d lost=%d\n", a.Name(), b.Name(), rep.Sent, rep.Lost)
+	fmt.Fprintf(out, "rtt: %s\n\n", rep.RTTs.String())
+	fmt.Fprintln(out, rep.Series.ASCII(72, 8))
+	return nil
+}
+
+func runStream(built *Built, a, b *host.Host, w WorkloadSpec, out io.Writer) error {
+	cfg := app.DefaultStreamConfig()
+	cfg.Size = w.StreamSize
+	var rep *app.StreamReport
+	built.Engine.At(built.Now(), func() {
+		app.StartStream(a, b, cfg, func(r *app.StreamReport) { rep = r })
+	})
+	built.RunFor(5 * time.Minute)
+	if rep == nil {
+		fmt.Fprintln(out, "stream did not finish inside the budget")
+		return ErrIncomplete
+	}
+	fmt.Fprintf(out, "%s -> %s: %d bytes, complete=%v, stalls=%d, total stall=%v, time=%v\n\n",
+		a.Name(), b.Name(), rep.Received, rep.Complete, len(rep.Stalls),
+		rep.TotalStall.Round(time.Millisecond),
+		(rep.Finished - rep.Connected).Round(time.Millisecond))
+	fmt.Fprintln(out, rep.Goodput.ASCII(72, 8))
+	return nil
+}
+
+func runAllPairs(built *Built, out io.Writer, r *Runner, res *Result) error {
+	table := metrics.NewTable("all-pairs steady-state RTT", "pair", "first", "steady", "lost")
+	names := make([]string, 0, len(built.Hosts))
+	for i := 1; i <= len(built.Hosts); i++ {
+		name := fmt.Sprintf("H%d", i)
+		if _, ok := built.Hosts[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) < 2 {
+		fmt.Fprintln(out, "allpairs needs H1..Hn hosts (use ring/grid/fattree/random)")
+		return ErrIncomplete
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := built.Host(names[i]), built.Host(names[j])
+			var results []host.PingResult
+			built.Engine.At(built.Now(), func() {
+				a.PingSeries(b.IP(), 5, 56, 10*time.Millisecond, 2*time.Second, func(rs []host.PingResult) {
+					results = rs
+				})
+			})
+			built.RunFor(10 * time.Second)
+			var first, steady time.Duration
+			lost := 0
+			var d metrics.Distribution
+			for k, pr := range results {
+				if pr.Err != nil {
+					lost++
+					continue
+				}
+				if k == 0 {
+					first = pr.RTT
+				} else {
+					d.Add(pr.RTT)
+				}
+			}
+			steady = d.Mean()
+			table.AddRow(names[i]+"-"+names[j], first.Round(time.Microsecond),
+				steady.Round(time.Microsecond), lost)
+		}
+	}
+	r.emit(out, res, table)
+	return nil
+}

@@ -1,0 +1,148 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/topo"
+)
+
+// runSweep is the scenario harness: seeded random topologies × seeded
+// fault schedules × protocol invariant checks, with shrink-on-failure.
+// Independent scenarios run concurrently on Jobs workers; each scenario's
+// seed, trace and fingerprint are identical at any Jobs value.
+func (r *Runner) runSweep(spec Spec, out io.Writer, jobs int, res *Result) error {
+	if topo.Protocol(spec.Protocol.Name) != topo.ARPPath {
+		return fmt.Errorf("fabric: the sweep verifies ARP-Path invariants; protocol %q is not sweepable", spec.Protocol.Name)
+	}
+	// The one protocol knob the sweep honours is the proxy: a proxy-enabled
+	// Spec arms proxy mode (and the proxy-consistency invariant) fleet-wide.
+	// Any other tuning in the extension is rejected rather than silently
+	// dropped — each scenario builds its fabric with the defaults.
+	proxy := false
+	if def, ok := topo.LookupProtocol(topo.ARPPath); ok {
+		cfg, err := decodeProtocolConfig(def, spec.Protocol.Config)
+		if err != nil {
+			return err
+		}
+		if c, ok := cfg.(*core.Config); ok {
+			def.ApplyDefaults(cfg)
+			proxy = c.Proxy
+			ref := core.DefaultConfig()
+			ref.Proxy = c.Proxy
+			if *c != ref {
+				return fmt.Errorf("fabric: the sweep builds its fabrics with the default ARP-Path config; only the proxy knob is honoured (got %+v)", *c)
+			}
+		}
+	}
+
+	sc := spec.Scenario
+	var cfgs []scenario.Config
+	for _, tf := range sc.Topologies {
+		for _, ff := range sc.Faults {
+			for s := 0; s < sc.Seeds; s++ {
+				cfgs = append(cfgs, scenario.Config{
+					Seed:        spec.Seed + int64(s),
+					Topology:    scenario.TopologyFamily(tf),
+					Faults:      scenario.FaultFamily(ff),
+					Big:         sc.Big,
+					Proxy:       proxy,
+					Shards:      spec.Shards,
+					FaultPhase:  sc.FaultPhase.D(),
+					Quiesce:     sc.Quiesce.D(),
+					VerifyPairs: spec.Verify.Pairs,
+					VerifyPings: spec.Verify.Pings,
+				})
+			}
+		}
+	}
+
+	// Worker pool: scenarios are independent simulations, so the sweep
+	// parallelizes trivially; results are reported in sweep order.
+	results := make([]*scenario.Result, len(cfgs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = scenario.Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	failed := 0
+	for i, sr := range results {
+		if !sr.Failed() {
+			if r.Verbose {
+				fmt.Fprintf(out, "PASS %-40s bridges=%d links=%d events=%d probes=%d/%d warm=%d/%d bg=%d/%d fp=%#x\n",
+					cfgs[i].Name(), sr.Bridges, sr.Links, sr.Events,
+					sr.ProbesAnswered, sr.ProbesSent,
+					sr.WarmProbesAnswered, sr.WarmProbesSent,
+					sr.BackgroundDelivered, sr.BackgroundOffered, sr.Fingerprint)
+			}
+			continue
+		}
+		failed++
+		reportFailure(out, sr)
+		if *sc.Shrink {
+			doShrink(out, cfgs[i], sr)
+		}
+	}
+	fmt.Fprintf(out, "\n%d scenarios, %d failed (j=%d, big=%v, shards=%d)\n", len(cfgs), failed, jobs, sc.Big, spec.Shards)
+	res.Failures = failed
+
+	if spec.Verify.Fingerprint {
+		for _, sr := range results {
+			res.Fingerprint = foldFingerprint(res.Fingerprint, sr.Fingerprint)
+			res.TraceEvents += sr.Events
+		}
+		res.Fabrics = len(results)
+	}
+	return nil
+}
+
+func reportFailure(out io.Writer, r *scenario.Result) {
+	fmt.Fprintf(out, "FAIL %s (bridges=%d links=%d events=%d)\n", r.Config.Name(), r.Bridges, r.Links, r.Events)
+	for _, v := range r.Violations {
+		fmt.Fprintf(out, "  violation: %v\n", v)
+	}
+	if r.ViolationsDropped > 0 {
+		fmt.Fprintf(out, "  ... and %d further violations\n", r.ViolationsDropped)
+	}
+	for _, op := range r.OpsApplied {
+		fmt.Fprintf(out, "  schedule: %s\n", op)
+	}
+}
+
+func doShrink(out io.Writer, cfg scenario.Config, r *scenario.Result) {
+	min, res, ok := scenario.Shrink(cfg, r.Ops)
+	if !ok {
+		fmt.Fprintf(out, "  shrink: failure does not reproduce from the fault schedule alone\n")
+		return
+	}
+	fmt.Fprintf(out, "  shrink: %d of %d ops suffice:\n", len(min), len(r.Ops))
+	for _, op := range res.OpsApplied {
+		fmt.Fprintf(out, "    %s\n", op)
+	}
+	// The reproduce line must name the exact scenario: big and proxy runs
+	// of a seed are different scenarios (different builds).
+	extra := ""
+	if cfg.Big {
+		extra += " -big"
+	}
+	if cfg.Proxy {
+		extra += " -proxy"
+	}
+	fmt.Fprintf(out, "  reproduce: go run ./cmd/scenario -topo %s -faults %s -seed0 %d -seeds 1%s\n",
+		cfg.Topology, cfg.Faults, cfg.Seed, extra)
+}

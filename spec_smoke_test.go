@@ -1,0 +1,50 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// TestSpecSmoke is the spec-path determinism gate: every cmd runs against
+// its golden spec fixture (examples/specs/<cmd>.json) and must reproduce
+// its committed golden output byte for byte — trace fingerprint line
+// included. Same seed ⇒ same fingerprint, now across the Spec path too;
+// CI runs the same check as a dedicated job.
+//
+// Regenerate a golden after an intentional behavior change with e.g.
+//
+//	go run ./cmd/fabricbench -spec examples/specs/fabricbench.json \
+//	    > examples/specs/fabricbench.golden
+//
+// (scenario pins -j 2: its summary line reports the worker count).
+func TestSpecSmoke(t *testing.T) {
+	cases := []struct {
+		cmd  string
+		args []string
+	}{
+		{"fabricbench", nil},
+		{"scenario", []string{"-j", "2"}},
+		{"arppath-sim", nil},
+		{"arpvstp", nil},
+		{"pathrepair", nil},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.cmd, func(t *testing.T) {
+			golden, err := os.ReadFile("examples/specs/" + c.cmd + ".golden")
+			if err != nil {
+				t.Fatal(err)
+			}
+			args := append([]string{"run", "./cmd/" + c.cmd, "-spec", "examples/specs/" + c.cmd + ".json"}, c.args...)
+			out, err := exec.Command("go", args...).Output()
+			if err != nil {
+				t.Fatalf("go %v: %v", args, err)
+			}
+			if string(out) != string(golden) {
+				t.Fatalf("output diverged from examples/specs/%s.golden.\ngot:\n%s\nwant:\n%s",
+					c.cmd, out, golden)
+			}
+		})
+	}
+}
