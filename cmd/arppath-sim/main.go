@@ -8,7 +8,8 @@
 //
 //	arppath-sim [-spec FILE]
 //	            [-topo figure1|figure2|line|ring|grid|fattree|random]
-//	            [-bridge arppath|stp|learning] [-workload ping|stream|allpairs]
+//	            [-bridge arppath|stp|learning|flowpath|tcppath]
+//	            [-workload ping|stream|allpairs|matrix]
 //	            [-n N] [-seed N] [-trace] [-proxy]
 package main
 
@@ -24,8 +25,8 @@ import (
 func main() {
 	specPath := flag.String("spec", "", "run the spec file (explicitly set flags override it)")
 	topoName := flag.String("topo", "figure2", "topology: figure1, figure2, line, ring, grid, fattree, random")
-	bridgeProto := flag.String("bridge", "arppath", "bridging protocol: arppath, stp, learning")
-	workload := flag.String("workload", "ping", "workload: ping, stream, allpairs")
+	bridgeProto := flag.String("bridge", "arppath", "bridging protocol: arppath, stp, learning, flowpath, tcppath")
+	workload := flag.String("workload", "ping", "workload: ping, stream, allpairs, matrix")
 	n := flag.Int("n", 4, "topology size parameter (bridges, ring size, fat-tree k, ...)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	traceFlag := flag.Bool("trace", false, "stream every frame event to stderr")
@@ -72,7 +73,7 @@ func main() {
 	}
 
 	switch spec.Workload.Kind {
-	case "ping", "stream", "allpairs":
+	case "ping", "stream", "allpairs", "matrix":
 	default:
 		fmt.Fprintf(os.Stderr, "arppath-sim: unknown workload %q\n", spec.Workload.Kind)
 		os.Exit(2)

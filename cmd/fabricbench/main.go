@@ -9,7 +9,7 @@
 // Usage:
 //
 //	fabricbench [-spec FILE]
-//	            [-exp properties|load|proxy|repair|lockwindow|tablesize|forward|scale|all]
+//	            [-exp properties|load|proxy|repair|lockwindow|tablesize|forward|scale|allpath|all]
 //	            [-seed N] [-shards K] [-csv] [-bench-out FILE]
 //
 // -shards runs every experiment's simulation on K parallel engine shards;
@@ -29,13 +29,13 @@ import (
 
 func main() {
 	specPath := flag.String("spec", "", "run the spec file (explicitly set flags override it)")
-	exp := flag.String("exp", "all", "experiment: properties, load, proxy, repair, lockwindow, tablesize, forward, scale or all")
+	exp := flag.String("exp", "all", "experiment: properties, load, proxy, repair, lockwindow, tablesize, forward, scale, allpath or all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	frames := flag.Int("frames", 50_000, "data frames to pump in -exp forward")
 	shards := flag.Int("shards", 1, "run simulations on K parallel engine shards")
-	bridges := flag.Int("bridges", 256, "fabric size for -exp scale")
-	benchOut := flag.String("bench-out", "", "write -exp scale wall-clock figures as JSON to this file")
+	bridges := flag.Int("bridges", 0, "fabric size override for -exp scale / -exp allpath (0 = the experiment's default)")
+	benchOut := flag.String("bench-out", "", "write the -exp scale / -exp allpath JSON artifact to this file")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "fabricbench: unexpected arguments")
@@ -65,12 +65,12 @@ func main() {
 	if use("frames") {
 		spec.Workload.Frames = *frames
 	}
-	if use("bridges") {
+	if use("bridges") && *bridges > 0 {
 		spec.Workload.Bridges = *bridges
 	}
 
 	switch spec.Workload.Kind {
-	case "properties", "load", "proxy", "repair", "lockwindow", "tablesize", "forward", "scale", "all":
+	case "properties", "load", "proxy", "repair", "lockwindow", "tablesize", "forward", "scale", "allpath", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "fabricbench: unknown experiment %q\n", spec.Workload.Kind)
 		os.Exit(2)

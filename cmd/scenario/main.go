@@ -9,8 +9,8 @@
 // Usage:
 //
 //	scenario [-spec FILE] [-seeds N] [-seed0 S] [-topo fam|all]
-//	         [-faults fam|all] [-j N] [-big] [-proxy] [-shards K]
-//	         [-shrink] [-v]
+//	         [-faults fam|all] [-protocol arppath|flowpath|tcppath]
+//	         [-j N] [-big] [-proxy] [-shards K] [-shrink] [-v]
 //
 // Independent scenarios of a sweep run concurrently on -j workers; each
 // scenario's seed, trace and fingerprint are identical at any -j (frame
@@ -43,7 +43,8 @@ func main() {
 	faultFlag := flag.String("faults", "all", "fault family (or 'all'): "+familyList(scenario.FaultFamilies()))
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "scenarios to run concurrently")
 	big := flag.Bool("big", false, "larger topology tier (dozens of bridges per instance)")
-	proxy := flag.Bool("proxy", false, "enable the in-switch ARP proxy on every bridge")
+	protocol := flag.String("protocol", "arppath", "protocol under test: arppath, flowpath or tcppath")
+	proxy := flag.Bool("proxy", false, "enable the in-switch ARP proxy on every bridge (arppath)")
 	shards := flag.Int("shards", 1, "run each simulation on K parallel engine shards")
 	shrink := flag.Bool("shrink", true, "shrink failing fault schedules to a minimal subset")
 	verbose := flag.Bool("v", false, "print every scenario, not just failures")
@@ -86,10 +87,18 @@ func main() {
 	if use("shrink") {
 		spec.Scenario.Shrink = shrink
 	}
+	if use("protocol") {
+		spec.Protocol.Name = *protocol
+	}
 	// Merge, don't replace: a spec's other protocol settings survive, and
-	// -proxy=false can disable a spec-enabled proxy.
-	if use("proxy") {
-		spec.Protocol.Name = "arppath"
+	// -proxy=false can disable a spec-enabled proxy. The proxy is an
+	// ARP-Path knob: it is only folded in for arppath runs (or when set
+	// explicitly, in which case a variant's strict config decode rejects
+	// it with a real error instead of silently dropping it).
+	if use("proxy") && (*proxy || spec.Protocol.Name == "" || spec.Protocol.Name == "arppath") {
+		if spec.Protocol.Name == "" {
+			spec.Protocol.Name = "arppath"
+		}
 		if err := spec.Protocol.SetOption("proxy", *proxy); err != nil {
 			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
 			os.Exit(2)

@@ -172,6 +172,19 @@ func (c *Chassis) Neighbor(p *netsim.Port) (uint64, bool) {
 	return id, ok
 }
 
+// SameNeighbor reports whether two ports lead to the same neighbouring
+// bridge (the same port, or parallel trunks, which a port comparison
+// alone cannot see on multigraphs). Every protocol's hairpin rule goes
+// through this one definition.
+func (c *Chassis) SameNeighbor(p, q *netsim.Port) bool {
+	if p == q {
+		return true
+	}
+	pn, ok1 := c.Neighbor(p)
+	qn, ok2 := c.Neighbor(q)
+	return ok1 && ok2 && pn == qn
+}
+
 // HandleFrame implements netsim.Node: HELLOs are consumed here, everything
 // else goes to the protocol. The frame's pre-decoded view makes the HELLO
 // check a pair of field reads instead of a parse.

@@ -132,6 +132,19 @@ type Bridge struct {
 // New creates an ARP-Path bridge. HELLO neighbour discovery is enabled so
 // Path Repair can identify edge (host-facing) ports.
 func New(net *netsim.Network, name string, numID int, cfg Config) *Bridge {
+	return NewWithProtocol(net, name, numID, cfg, nil)
+}
+
+// NewWithProtocol creates an ARP-Path bridge whose chassis dispatches
+// frames to proto instead of the bridge itself. This is the extension
+// seam for All-Path variants that refine ARP-Path rather than replace it
+// (TCP-Path handles TCP segments itself and hands everything else to the
+// embedded ARP-Path dataplane): proto typically embeds the returned
+// *Bridge and delegates the frames it does not consume to its OnFrame.
+// proto may be nil (plain ARP-Path); it may also still be partially
+// constructed at call time — the chassis only invokes it once traffic
+// flows.
+func NewWithProtocol(net *netsim.Network, name string, numID int, cfg Config, proto bridge.Protocol) *Bridge {
 	if cfg.LockTimeout <= 0 || cfg.LearnedTimeout <= 0 {
 		panic("core: lock and learned timeouts must be positive")
 	}
@@ -143,7 +156,10 @@ func New(net *netsim.Network, name string, numID int, cfg Config) *Bridge {
 		table:   NewLockTable(cfg.LockTimeout, cfg.LearnedTimeout),
 		repairs: make(map[uint64]*repair),
 	}
-	b.Chassis = bridge.NewChassis(net, name, numID, b)
+	if proto == nil {
+		proto = b
+	}
+	b.Chassis = bridge.NewChassis(net, name, numID, proto)
 	b.HelloEnabled = true
 	if cfg.Proxy {
 		b.proxy = newProxyCache(cfg.ProxyTimeout)
@@ -154,6 +170,11 @@ func New(net *netsim.Network, name string, numID int, cfg Config) *Bridge {
 // Table exposes the locking table; experiments use it to reconstruct
 // locked paths (Figure 1) and to measure table sizes.
 func (b *Bridge) Table() *LockTable { return b.table }
+
+// ForwardingEntries reports the resident forwarding state — the
+// All-Path comparison's table-size axis (variants add their own pair or
+// connection tables on top).
+func (b *Bridge) ForwardingEntries() int { return b.table.Len() }
 
 // repairWheel returns the bridge's repair-timeout wheel, created on first
 // use: the wheel ticks under the bridge's scheduling identity, which is
@@ -399,7 +420,7 @@ func (b *Bridge) handleUnicast(in *netsim.Port, f *netsim.Frame, v *layers.Frame
 		// Table miss: the entry expired or a link/bridge failed (§2.1.4).
 		// Never flood unknown unicast — without a spanning tree that loops.
 		b.startRepair(f, v, now)
-	case e.Port == in || b.sameNeighbor(e.Port, in):
+	case e.Port == in || b.SameNeighbor(e.Port, in):
 		// Hairpin: the frame would go back where it came from — including
 		// over a parallel link to the same neighbouring bridge, which a
 		// port comparison alone cannot see on multigraphs.
@@ -416,17 +437,6 @@ func (b *Bridge) handleUnicast(in *netsim.Port, f *netsim.Frame, v *layers.Frame
 		b.stats.Forwarded++
 		e.Port.SendFrame(f)
 	}
-}
-
-// sameNeighbor reports whether two distinct trunk ports lead to the same
-// neighbouring bridge (parallel links).
-func (b *Bridge) sameNeighbor(p, q *netsim.Port) bool {
-	if p == q {
-		return true
-	}
-	pn, ok1 := b.Neighbor(p)
-	qn, ok2 := b.Neighbor(q)
-	return ok1 && ok2 && pn == qn
 }
 
 // EntryFor reports the port and state the bridge currently binds mac to.

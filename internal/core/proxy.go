@@ -17,6 +17,14 @@ import (
 type proxyCache struct {
 	timeout time.Duration
 	ip2mac  map[layers.Addr4]proxyEntry
+	// nextSweep is when learn next walks the whole map to drop expired
+	// bindings. Lookups already evict lazily, but a binding that is never
+	// looked up again (a host that went quiet, a station that moved away)
+	// used to stay resident forever; on a long-running fabric the map only
+	// ever grew. One full sweep per timeout period bounds the map to the
+	// bindings snooped inside the last two timeout windows at O(1)
+	// amortized cost per learn.
+	nextSweep time.Duration
 }
 
 type proxyEntry struct {
@@ -31,12 +39,28 @@ func newProxyCache(timeout time.Duration) *proxyCache {
 	return &proxyCache{timeout: timeout, ip2mac: make(map[layers.Addr4]proxyEntry)}
 }
 
-// learn records a sender binding.
+// learn records a sender binding, sweeping expired bindings out of the
+// map once per timeout period so quiet hosts' entries do not accumulate.
 func (c *proxyCache) learn(ip layers.Addr4, mac layers.MAC, now time.Duration) {
 	if ip.IsZero() || mac.IsZero() || mac.IsMulticast() {
 		return
 	}
+	if now >= c.nextSweep {
+		c.sweep(now)
+		c.nextSweep = now + c.timeout
+	}
 	c.ip2mac[ip] = proxyEntry{mac: mac, expires: now + c.timeout}
+}
+
+// sweep drops every expired binding. Deletion order does not matter (the
+// expired set is a pure function of now), so iterating the map directly is
+// deterministic in effect even though Go randomizes its order.
+func (c *proxyCache) sweep(now time.Duration) {
+	for ip, e := range c.ip2mac {
+		if e.expires <= now {
+			delete(c.ip2mac, ip)
+		}
+	}
 }
 
 // lookup returns a live binding.

@@ -1,0 +1,489 @@
+package flowpath
+
+import (
+	"time"
+
+	"repro/internal/bridge"
+	"repro/internal/core"
+	"repro/internal/layers"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// repairWheelTick mirrors core's repair-timer granularity.
+const repairWheelTick = time.Millisecond
+
+// Config tunes a Flow-Path bridge. The zero value is not valid; use
+// DefaultConfig (the builder defaults field-wise via WithDefaults).
+type Config struct {
+	// LockTimeout is the discovery race window, shared by the transient
+	// per-host locks and the pair entries' guards.
+	LockTimeout time.Duration
+	// PairTimeout is the lifetime of confirmed pair entries; traffic
+	// refreshes it.
+	PairTimeout time.Duration
+	// HostTimeout is the lifetime of the durable host entries an edge
+	// bridge keeps for its own attached stations (the study's edge host
+	// table); transit bridges hold hosts only for the race window.
+	HostTimeout time.Duration
+	// RepairTimeout bounds how long frames buffer per missing pair.
+	RepairTimeout time.Duration
+	// RepairBuffer caps buffered frames per missing pair.
+	RepairBuffer int
+}
+
+// DefaultConfig matches ARP-Path's timing so the variants compare like
+// for like.
+func DefaultConfig() Config {
+	return Config{
+		LockTimeout:   200 * time.Millisecond,
+		PairTimeout:   120 * time.Second,
+		HostTimeout:   120 * time.Second,
+		RepairTimeout: 500 * time.Millisecond,
+		RepairBuffer:  64,
+	}
+}
+
+// WithDefaults fills unset (zero) fields field-wise.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	if c.LockTimeout == 0 {
+		c.LockTimeout = d.LockTimeout
+	}
+	if c.PairTimeout == 0 {
+		c.PairTimeout = d.PairTimeout
+	}
+	if c.HostTimeout == 0 {
+		c.HostTimeout = d.HostTimeout
+	}
+	if c.RepairTimeout == 0 {
+		c.RepairTimeout = d.RepairTimeout
+	}
+	if c.RepairBuffer == 0 {
+		c.RepairBuffer = d.RepairBuffer
+	}
+	return c
+}
+
+// Stats counts Flow-Path protocol events.
+type Stats struct {
+	BroadcastLocked   uint64 // host race locks created by flood first copies
+	BroadcastRelayed  uint64
+	BroadcastRaceDrop uint64
+	PairsConfirmed    uint64 // pair entries learned from establishing replies
+	Forwarded         uint64 // unicasts forwarded along pair entries
+	EdgeDelivered     uint64 // unicasts delivered off the durable edge host table
+	HairpinDrop       uint64
+	SrcPortDrop       uint64
+	MissDrop          uint64 // unicasts with no pair, no edge entry, buffered or dropped
+	RepairsStarted    uint64
+	RepairReleased    uint64
+	RepairDropped     uint64
+	PathRequestsSent  uint64
+	PathRepliesSent   uint64
+	EntriesPurged     uint64
+}
+
+// pairRepair tracks one outstanding pair PathRequest.
+type pairRepair struct {
+	nonce    uint32
+	buffered []*netsim.Frame
+	timer    sim.WheelTimer
+}
+
+// Bridge is a Flow-Path bridge: discovery floods race per source host
+// exactly as in ARP-Path (flood loop-freedom needs the per-source
+// first-port rule regardless of how paths are keyed), but confirmed
+// forwarding state is per directed {src, dst} pair, written by the reply
+// as it retraces the winning path. Transit bridges therefore hold state
+// only for the pairs whose paths cross them, while each edge bridge keeps
+// durable entries for its own attached stations so it can keep answering
+// discovery on their behalf.
+type Bridge struct {
+	*bridge.Chassis
+	cfg     Config
+	hosts   *core.LockTable // per-host: durable at edges, race-window elsewhere
+	pairs   *PairTable      // per directed pair: the forwarding state proper
+	repairs map[PairKey]*pairRepair
+	wheel   *sim.Wheel
+	stats   Stats
+}
+
+// New creates a Flow-Path bridge.
+func New(net *netsim.Network, name string, numID int, cfg Config) *Bridge {
+	if cfg.LockTimeout <= 0 || cfg.PairTimeout <= 0 || cfg.HostTimeout <= 0 {
+		panic("flowpath: timeouts must be positive")
+	}
+	if cfg.RepairTimeout <= 0 || cfg.RepairBuffer <= 0 {
+		panic("flowpath: repair timeout and buffer must be positive")
+	}
+	b := &Bridge{
+		cfg:     cfg,
+		hosts:   core.NewLockTable(cfg.LockTimeout, cfg.HostTimeout),
+		pairs:   NewPairTable(cfg.LockTimeout, cfg.PairTimeout),
+		repairs: make(map[PairKey]*pairRepair),
+	}
+	b.Chassis = bridge.NewChassis(net, name, numID, b)
+	b.HelloEnabled = true
+	return b
+}
+
+// pairOf builds the directed pair key for frames src→dst.
+func pairOf(src, dst uint64) PairKey { return PairKey{Hi: src, Lo: dst} }
+
+// Stats returns a snapshot of the protocol counters.
+func (b *Bridge) Stats() Stats { return b.stats }
+
+// Config returns the bridge configuration.
+func (b *Bridge) Config() Config { return b.cfg }
+
+// Pairs exposes the pair table (experiments, checker).
+func (b *Bridge) Pairs() *PairTable { return b.pairs }
+
+// Hosts exposes the host table (experiments, checker).
+func (b *Bridge) Hosts() *core.LockTable { return b.hosts }
+
+// ForwardingEntries reports the bridge's resident forwarding state: pair
+// entries plus host entries — the table-size axis of the All-Path
+// comparison.
+func (b *Bridge) ForwardingEntries() int { return b.pairs.Len() + b.hosts.Len() }
+
+// FlowNextHop returns the port frames src→dst leave on, if a live pair
+// entry exists (the scenario checker's walk primitive).
+func (b *Bridge) FlowNextHop(src, dst layers.MAC, now time.Duration) (*netsim.Port, bool) {
+	e, ok := b.pairs.Get(pairOf(src.Uint64(), dst.Uint64()), now)
+	if !ok {
+		return nil, false
+	}
+	return e.Port, true
+}
+
+// PendingRepairs returns the number of outstanding pair repairs (tests).
+func (b *Bridge) PendingRepairs() int { return len(b.repairs) }
+
+// repairWheel lazily creates the repair-timeout wheel (the scheduling
+// identity only resolves once the builder registered the bridge).
+func (b *Bridge) repairWheel() *sim.Wheel {
+	if b.wheel == nil {
+		b.wheel = sim.NewWheelOn(b.Sched(), repairWheelTick)
+	}
+	return b.wheel
+}
+
+// OnStart implements bridge.Protocol.
+func (b *Bridge) OnStart() {}
+
+// OnPortStatus implements bridge.Protocol: a dead link invalidates every
+// path through it, pair and host entries alike.
+func (b *Bridge) OnPortStatus(p *netsim.Port, up bool) {
+	if !up {
+		b.stats.EntriesPurged += uint64(b.hosts.FlushPort(p)) + uint64(b.pairs.FlushPort(p))
+	}
+}
+
+// Restart models a power-cycle with total table loss, mirroring
+// core.Bridge.Restart: repairs abandoned (buffered frames released),
+// tables emptied, chassis forgotten, every link bounced.
+func (b *Bridge) Restart() {
+	for k, r := range b.repairs {
+		b.repairWheel().Stop(r.timer)
+		b.stats.RepairDropped += uint64(len(r.buffered))
+		for _, f := range r.buffered {
+			f.Release()
+		}
+		r.buffered = nil
+		delete(b.repairs, k)
+	}
+	b.hosts.Reset()
+	b.pairs.Reset()
+	b.Chassis.Restart()
+	for _, p := range b.Ports() {
+		if l := p.Link(); l.Up() {
+			l.SetUp(false)
+			l.SetUp(true)
+		}
+	}
+}
+
+// OnFrame implements bridge.Protocol.
+func (b *Bridge) OnFrame(in *netsim.Port, f *netsim.Frame) {
+	v := f.View()
+	if v.IsMulticast() {
+		b.handleBroadcast(in, f, v)
+		return
+	}
+	b.handleUnicast(in, f, v)
+}
+
+// pathEstablishingBroadcast mirrors core: ARP Requests and PathRequests
+// create or refresh discovery state.
+func pathEstablishingBroadcast(v *layers.FrameView) bool {
+	if v.HasARP {
+		return v.ARP.Operation == layers.ARPRequest
+	}
+	return v.HasCtl && v.Ctl.Type == layers.PathCtlRequest
+}
+
+// pathEstablishingUnicast mirrors core: ARP Replies and PathReplies
+// confirm a path.
+func pathEstablishingUnicast(v *layers.FrameView) bool {
+	if v.HasARP {
+		return v.ARP.Operation == layers.ARPReply
+	}
+	return v.HasCtl && v.Ctl.Type == layers.PathCtlReply
+}
+
+// handleBroadcast is ARP-Path's §2.1.1/§2.1.3 discovery race, reused
+// verbatim at the per-source level: flood loop-freedom and reply routing
+// both need the first-port rule on the flood's source whatever keys the
+// confirmed state. The one Flow-Path refinement: a broadcast arriving on
+// an edge port learns the attached station durably, so this bridge can
+// answer future PathRequests for it (the study's edge host table).
+func (b *Bridge) handleBroadcast(in *netsim.Port, f *netsim.Frame, v *layers.FrameView) {
+	now := b.Now()
+	src := v.SrcKey
+	establishing := pathEstablishingBroadcast(v)
+
+	// Own returning PathRequest flood: statelessly dead (core's rule).
+	if v.HasCtl && v.Ctl.Type == layers.PathCtlRequest && v.Ctl.BridgeID == uint64(b.NumID()) {
+		b.stats.BroadcastRaceDrop++
+		return
+	}
+
+	if e, ok := b.hosts.GetKey(src, now); ok {
+		switch {
+		case e.Port == in:
+			if establishing {
+				b.hosts.LockKey(src, in, now)
+			}
+		case e.Guarded(now):
+			b.stats.BroadcastRaceDrop++
+			return
+		case establishing:
+			b.hosts.LockKey(src, in, now)
+			b.stats.BroadcastLocked++
+		default:
+			b.stats.BroadcastRaceDrop++
+			return
+		}
+	} else {
+		b.hosts.LockKey(src, in, now)
+		b.stats.BroadcastLocked++
+	}
+	if b.IsEdge(in) {
+		// Our own attached station: keep it past the race window (the
+		// Learn preserves the freshly armed guard on the same port).
+		b.hosts.LearnKey(src, in, now)
+	}
+
+	// Answer a PathRequest for one of our attached stations.
+	if v.HasCtl {
+		if b.answerPathRequest(in, v, now) {
+			return
+		}
+	}
+
+	b.stats.BroadcastRelayed++
+	b.FloodExcept(in, f)
+}
+
+// handleUnicast forwards data on pair entries, confirms pairs from
+// establishing replies, and triggers pair repair on misses.
+func (b *Bridge) handleUnicast(in *netsim.Port, f *netsim.Frame, v *layers.FrameView) {
+	now := b.Now()
+	src, dst := v.SrcKey, v.DstKey
+	establishing := pathEstablishingUnicast(v)
+
+	// Flow-Path has no PathFail walk (repair always floods from the miss
+	// bridge); a stray one is consumed, not forwarded.
+	if v.EtherType == layers.EtherTypePathCtl && !establishing {
+		return
+	}
+
+	// Source side: maintain the transient reverse-route state the reply
+	// relies on, with the §2.1.1 filter intact.
+	if e, ok := b.hosts.GetKey(src, now); ok {
+		switch {
+		case e.Port == in:
+			if establishing && b.IsEdge(in) {
+				b.hosts.LearnKey(src, in, now)
+			} else {
+				b.hosts.RefreshKey(src, now)
+			}
+		case e.Guarded(now):
+			b.stats.SrcPortDrop++
+			return
+		case establishing:
+			// A reply from a new direction re-establishes (repair).
+			if b.IsEdge(in) {
+				b.hosts.LearnKey(src, in, now)
+			} else {
+				b.hosts.LockKey(src, in, now)
+			}
+		default:
+			// Data violating the source binding outside any race window:
+			// unlike core there is no per-host forwarding state to
+			// protect, so the stale binding is simply dropped — the pair
+			// machinery below (miss → repair) restores the conversation.
+			b.hosts.DeleteKey(src)
+		}
+	} else if b.IsEdge(in) {
+		b.hosts.LearnKey(src, in, now)
+	}
+
+	if establishing {
+		b.confirmPair(in, f, v, now)
+		return
+	}
+
+	// Data: the pair table is the only forwarding state.
+	pk := pairOf(src, dst)
+	if e, ok := b.pairs.Get(pk, now); ok {
+		if e.Port == in || b.SameNeighbor(e.Port, in) {
+			b.stats.HairpinDrop++
+			return
+		}
+		b.pairs.Refresh(pk, now)
+		b.stats.Forwarded++
+		e.Port.SendFrame(f)
+		return
+	}
+	// Edge shortcut: the destination hangs off this bridge — deliver and
+	// learn the pair (a one-hop path cannot loop).
+	if he, ok := b.hosts.GetKey(dst, now); ok && b.IsEdge(he.Port) && he.Port != in {
+		b.pairs.Learn(pk, he.Port, now)
+		b.stats.EdgeDelivered++
+		he.Port.SendFrame(f)
+		return
+	}
+	b.startRepair(f, v, now)
+}
+
+// confirmPair routes an establishing reply (frame src = the answering
+// station D, dst = the flow source S) toward S and writes the pair state
+// for both directions: frames S→D leave where the reply arrived, frames
+// D→S leave where it departs. This is the step that turns the discovery
+// race's transient locks into per-pair forwarding state along exactly the
+// winning path — and nowhere else.
+func (b *Bridge) confirmPair(in *netsim.Port, f *netsim.Frame, v *layers.FrameView, now time.Duration) {
+	src, dst := v.SrcKey, v.DstKey // src = D (answering), dst = S (requesting)
+	var out *netsim.Port
+	if e, ok := b.hosts.GetKey(dst, now); ok && e.Port != in && !b.SameNeighbor(e.Port, in) {
+		out = e.Port
+	} else if e, ok := b.pairs.Get(pairOf(src, dst), now); ok && e.Port != in && !b.SameNeighbor(e.Port, in) {
+		// No live host lock (late reply): fall back to the existing
+		// reverse-pair path if one survives.
+		out = e.Port
+	}
+	if out == nil {
+		// Nowhere to route the confirmation; the requester will retry.
+		b.stats.MissDrop++
+		return
+	}
+	b.pairs.Learn(pairOf(dst, src), in, now) // S→D exits via the reply's ingress
+	b.pairs.Learn(pairOf(src, dst), out, now)
+	b.stats.PairsConfirmed++
+	// Release anything buffered for S→D now that the path exists.
+	b.completeRepair(pairOf(dst, src), in, now)
+	b.stats.Forwarded++
+	out.SendFrame(f)
+}
+
+// startRepair buffers a missed frame and floods a PathRequest for the
+// pair. Unlike core there is no PathFail walk toward the source: the
+// request always floods from the miss bridge, sourced from the flow's
+// source MAC so the per-source race relocks reply routing fabric-wide.
+func (b *Bridge) startRepair(f *netsim.Frame, v *layers.FrameView, now time.Duration) {
+	pk := pairOf(v.SrcKey, v.DstKey)
+	r, pending := b.repairs[pk]
+	if !pending {
+		r = &pairRepair{nonce: b.Rand().Uint32()}
+		b.repairs[pk] = r
+		b.stats.RepairsStarted++
+		r.timer = b.repairWheel().After(b.cfg.RepairTimeout, func() {
+			b.stats.RepairDropped += uint64(len(r.buffered))
+			for _, bf := range r.buffered {
+				bf.Release()
+			}
+			r.buffered = nil
+			delete(b.repairs, pk)
+		})
+		frame, err := layers.Serialize(
+			// Sourced from the flow's source so the locking race works
+			// unchanged; hosts never see it (bridges consume PathCtl).
+			&layers.Ethernet{Dst: layers.BroadcastMAC, Src: v.Src, EtherType: layers.EtherTypePathCtl},
+			&layers.PathCtl{Type: layers.PathCtlRequest, BridgeID: uint64(b.NumID()), Src: v.Src, Dst: v.Dst, Nonce: r.nonce},
+		)
+		if err != nil {
+			panic("flowpath: serialize PathRequest: " + err.Error())
+		}
+		b.stats.PathRequestsSent++
+		var except *netsim.Port
+		if e, ok := b.hosts.GetKey(v.SrcKey, now); ok {
+			// Guard the source's binding so our own returning flood
+			// cannot steal it (core.originatePathRequest's rule).
+			b.hosts.GuardKey(v.SrcKey, now)
+			except = e.Port
+		}
+		b.stats.BroadcastRelayed++
+		b.FloodBytesExcept(except, frame)
+	}
+	if len(r.buffered) >= b.cfg.RepairBuffer {
+		b.stats.RepairDropped++
+		return
+	}
+	r.buffered = append(r.buffered, f.Retain())
+}
+
+// completeRepair releases frames buffered for pk out the confirmed port.
+func (b *Bridge) completeRepair(pk PairKey, out *netsim.Port, _ time.Duration) {
+	r, ok := b.repairs[pk]
+	if !ok {
+		return
+	}
+	delete(b.repairs, pk)
+	b.repairWheel().Stop(r.timer)
+	for _, f := range r.buffered {
+		b.stats.RepairReleased++
+		b.stats.Forwarded++
+		out.SendFrame(f)
+		f.Release()
+	}
+	r.buffered = nil
+}
+
+// answerPathRequest replies to a pair PathRequest when the requested
+// destination hangs off one of this bridge's edge ports — the durable
+// edge host table is what makes this possible after the transient locks
+// of the original exchange have long expired.
+func (b *Bridge) answerPathRequest(in *netsim.Port, v *layers.FrameView, now time.Duration) bool {
+	if v.Ctl.Type != layers.PathCtlRequest {
+		return false
+	}
+	ctl := &v.Ctl
+	e, ok := b.hosts.Get(ctl.Dst, now)
+	if !ok || !b.IsEdge(e.Port) || e.Port == in {
+		return false
+	}
+	reply, err := layers.Serialize(
+		&layers.Ethernet{Dst: ctl.Src, Src: ctl.Dst, EtherType: layers.EtherTypePathCtl},
+		&layers.PathCtl{Type: layers.PathCtlReply, BridgeID: uint64(b.NumID()), Src: ctl.Src, Dst: ctl.Dst, Nonce: ctl.Nonce},
+	)
+	if err != nil {
+		panic("flowpath: serialize PathReply: " + err.Error())
+	}
+	b.stats.PathRepliesSent++
+	// The request just locked Src to the ingress; the reply will retrace
+	// it, confirming the pair at every hop. The terminal hops are ours:
+	// write both directions now so data released upstream completes the
+	// path (Src→Dst out the edge port, Dst→Src back out the ingress).
+	b.pairs.Learn(pairOf(ctl.Src.Uint64(), ctl.Dst.Uint64()), e.Port, now)
+	b.pairs.Learn(pairOf(ctl.Dst.Uint64(), ctl.Src.Uint64()), in, now)
+	in.Send(reply)
+	// Release anything we were buffering for the pair ourselves.
+	b.completeRepair(pairOf(ctl.Src.Uint64(), ctl.Dst.Uint64()), e.Port, now)
+	return true
+}
+
+var _ bridge.Protocol = (*Bridge)(nil)
+var _ netsim.Node = (*Bridge)(nil)

@@ -1,0 +1,230 @@
+// Package flowpath implements the finer-grained members of the All-Path
+// family from the scalability study (Rojas et al., "All-Path Routing
+// Protocols: Analysis of Scalability and Load Balancing Capabilities for
+// Ethernet Networks"; PAPERS.md): Flow-Path, which locks one path per
+// {source, destination} host pair on the first frame of the flow, and
+// TCP-Path, which additionally races a fresh path per TCP connection
+// (keyed by the 4-tuple) and falls back to ARP-Path semantics for
+// everything that is not TCP.
+//
+// Both register through the topo protocol registry in init() — the
+// builder, the fabric Spec codec and every harness pick them up by name
+// ("flowpath", "tcppath") with no switch anywhere — which is exactly the
+// out-of-tree shape the registry exists for. See DESIGN.md §10 for the
+// semantics and the table-size trade-off the allpath experiment measures.
+package flowpath
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// PairKey is a directed forwarding key: two packed 64-bit halves. For
+// Flow-Path pairs the halves are the packed source and destination MACs
+// (layers.MAC.Uint64 — exact, no hashing); for TCP-Path connections they
+// pack the IPv4 addresses and the TCP ports. Direction matters: (a, b)
+// keys frames travelling a→b, and the reverse path is a separate entry.
+type PairKey struct {
+	Hi, Lo uint64
+}
+
+// EntryState mirrors the ARP-Path locking states for pair entries.
+type EntryState uint8
+
+// Pair entry states.
+const (
+	// StateLocked marks a pair bound to the port where the first copy of
+	// a discovery flood arrived; the race window filters later copies.
+	StateLocked EntryState = iota
+	// StateLearned marks a confirmed pair path (a reply traversed it, or
+	// traffic refreshed it).
+	StateLearned
+)
+
+// Entry is one pair binding.
+type Entry struct {
+	Port    *netsim.Port
+	State   EntryState
+	Expires time.Duration
+	// LockedUntil is the end of the race window; while it lies in the
+	// future the binding must not move (§2.1.1 applied per pair).
+	LockedUntil time.Duration
+}
+
+// Guarded reports whether the race window is still open at now.
+func (e Entry) Guarded(now time.Duration) bool { return now < e.LockedUntil }
+
+// pairEntry is the stored form: the public Entry plus the port generation
+// at bind time, so FlushPort invalidates per-port in O(1) exactly like
+// core.LockTable.
+type pairEntry struct {
+	Entry
+	gen uint32
+	ps  *pairPortState
+}
+
+type pairPortState struct {
+	gen  uint32
+	live int
+}
+
+// PairTable is the Flow-Path forwarding table: directed PairKey → (port,
+// locked|learned, expiry). It reimplements core.LockTable's semantics
+// over 128-bit keys — the whole point of the variant is that entries are
+// per pair (or per connection), so the 64-bit-packed-MAC table cannot
+// carry them.
+type PairTable struct {
+	lockTimeout    time.Duration
+	learnedTimeout time.Duration
+	entries        map[PairKey]pairEntry
+	ports          map[*netsim.Port]*pairPortState
+	resident       int
+}
+
+// NewPairTable builds an empty table with the race window and the
+// confirmed-entry lifetime.
+func NewPairTable(lockTimeout, learnedTimeout time.Duration) *PairTable {
+	if lockTimeout <= 0 || learnedTimeout <= 0 {
+		panic("flowpath: timeouts must be positive")
+	}
+	return &PairTable{
+		lockTimeout:    lockTimeout,
+		learnedTimeout: learnedTimeout,
+		entries:        make(map[PairKey]pairEntry),
+		ports:          make(map[*netsim.Port]*pairPortState),
+	}
+}
+
+func (t *PairTable) port(p *netsim.Port) *pairPortState {
+	st, ok := t.ports[p]
+	if !ok {
+		st = &pairPortState{}
+		t.ports[p] = st
+	}
+	return st
+}
+
+func (t *PairTable) dead(e pairEntry, now time.Duration) bool {
+	return e.Expires <= now || e.gen != e.ps.gen
+}
+
+func (t *PairTable) evict(k PairKey, e pairEntry) {
+	if e.gen == e.ps.gen {
+		e.ps.live--
+		t.resident--
+	}
+	delete(t.entries, k)
+}
+
+func (t *PairTable) store(k PairKey, old pairEntry, hadOld bool, e Entry) {
+	if hadOld && old.gen == old.ps.gen {
+		old.ps.live--
+		t.resident--
+	}
+	st := t.port(e.Port)
+	st.live++
+	t.resident++
+	t.entries[k] = pairEntry{Entry: e, gen: st.gen, ps: st}
+}
+
+// Get returns the live entry for k, evicting lazily.
+func (t *PairTable) Get(k PairKey, now time.Duration) (Entry, bool) {
+	e, ok := t.entries[k]
+	if !ok {
+		return Entry{}, false
+	}
+	if t.dead(e, now) {
+		t.evict(k, e)
+		return Entry{}, false
+	}
+	return e.Entry, true
+}
+
+// Lock binds k to port in the locked state, (re)starting the race window.
+func (t *PairTable) Lock(k PairKey, port *netsim.Port, now time.Duration) {
+	old, hadOld := t.entries[k]
+	t.store(k, old, hadOld, Entry{
+		Port:        port,
+		State:       StateLocked,
+		Expires:     now + t.lockTimeout,
+		LockedUntil: now + t.lockTimeout,
+	})
+}
+
+// Learn binds k to port in the learned state. A confirmation on the
+// entry's existing port preserves the remaining race window so late flood
+// copies stay filtered (core.LockTable.LearnKey's rule).
+func (t *PairTable) Learn(k PairKey, port *netsim.Port, now time.Duration) {
+	old, hadOld := t.entries[k]
+	lockedUntil := time.Duration(0)
+	if hadOld && old.Port == port && !t.dead(old, now) {
+		lockedUntil = old.LockedUntil
+	}
+	t.store(k, old, hadOld, Entry{
+		Port:        port,
+		State:       StateLearned,
+		Expires:     now + t.learnedTimeout,
+		LockedUntil: lockedUntil,
+	})
+}
+
+// Refresh extends the current entry's lifetime without moving it.
+func (t *PairTable) Refresh(k PairKey, now time.Duration) {
+	e, ok := t.entries[k]
+	if !ok {
+		return
+	}
+	if t.dead(e, now) {
+		t.evict(k, e)
+		return
+	}
+	switch e.State {
+	case StateLocked:
+		e.Expires = now + t.lockTimeout
+	case StateLearned:
+		e.Expires = now + t.learnedTimeout
+	}
+	t.entries[k] = e
+}
+
+// Delete removes k's entry.
+func (t *PairTable) Delete(k PairKey) {
+	if e, ok := t.entries[k]; ok {
+		t.evict(k, e)
+	}
+}
+
+// FlushPort invalidates every entry bound to port in O(1) by advancing
+// the port's generation; returns the number invalidated.
+func (t *PairTable) FlushPort(port *netsim.Port) int {
+	st := t.port(port)
+	n := st.live
+	st.gen++
+	st.live = 0
+	t.resident -= n
+	return n
+}
+
+// Len returns the number of live-generation entries (expired-but-
+// untouched included, like core.LockTable.Len).
+func (t *PairTable) Len() int { return t.resident }
+
+// Reset drops everything (bridge restart).
+func (t *PairTable) Reset() {
+	clear(t.entries)
+	clear(t.ports)
+	t.resident = 0
+}
+
+// Snapshot returns the live entries; the scenario checker walks them per
+// directed pair, and the allpath experiment counts them.
+func (t *PairTable) Snapshot(now time.Duration) map[PairKey]Entry {
+	out := make(map[PairKey]Entry, len(t.entries))
+	for k, e := range t.entries {
+		if !t.dead(e, now) {
+			out[k] = e.Entry
+		}
+	}
+	return out
+}

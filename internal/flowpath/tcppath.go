@@ -1,0 +1,223 @@
+package flowpath
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/bridge"
+	"repro/internal/core"
+	"repro/internal/layers"
+	"repro/internal/netsim"
+)
+
+// TCPConfig tunes a TCP-Path bridge: the embedded ARP-Path config for the
+// fallback dataplane plus the per-connection knobs.
+type TCPConfig struct {
+	// ARPPath configures the fallback dataplane (everything non-TCP, and
+	// TCP segments whose connection has no entry and is not opening).
+	ARPPath core.Config
+	// ConnLockTimeout is the SYN flood's race window.
+	ConnLockTimeout time.Duration
+	// ConnTimeout is the lifetime of confirmed connection entries;
+	// segments refresh it.
+	ConnTimeout time.Duration
+}
+
+// DefaultTCPConfig matches ARP-Path's timing.
+func DefaultTCPConfig() TCPConfig {
+	return TCPConfig{
+		ARPPath:         core.DefaultConfig(),
+		ConnLockTimeout: 200 * time.Millisecond,
+		ConnTimeout:     120 * time.Second,
+	}
+}
+
+// WithDefaults fills unset fields field-wise.
+func (c TCPConfig) WithDefaults() TCPConfig {
+	c.ARPPath = c.ARPPath.WithDefaults()
+	d := DefaultTCPConfig()
+	if c.ConnLockTimeout == 0 {
+		c.ConnLockTimeout = d.ConnLockTimeout
+	}
+	if c.ConnTimeout == 0 {
+		c.ConnTimeout = d.ConnTimeout
+	}
+	return c
+}
+
+// TCPStats counts the TCP-Path-specific events (the embedded ARP-Path
+// dataplane keeps its own core.Stats).
+type TCPStats struct {
+	SynFloods     uint64 // opening segments flooded to race a path
+	SynRaceDrops  uint64 // duplicate flood copies filtered
+	SynDelivered  uint64 // opening segments terminated at the destination edge
+	ConnConfirmed uint64 // connection entries confirmed by SYN|ACK
+	ConnForwarded uint64 // segments forwarded on connection entries
+	Fallbacks     uint64 // TCP segments handed to the ARP-Path dataplane
+	ConnPurged    uint64 // connection entries flushed by link failures
+}
+
+// TCPPath is a TCP-Path bridge: per-TCP-connection paths keyed by the
+// 4-tuple, established by flooding the connection's opening SYN exactly
+// like an ARP discovery (first copy locks the reverse path, duplicates
+// race-dropped, the SYN|ACK confirms hop by hop) — so each connection
+// races its own path under the congestion of the moment, the study's load
+// balancing axis. Everything that is not TCP, and any segment whose
+// connection has no entry and is not an opener, falls back to the
+// embedded, unmodified ARP-Path dataplane.
+type TCPPath struct {
+	*core.Bridge
+	cfg   TCPConfig
+	conns *PairTable
+	stats TCPStats
+}
+
+// NewTCPPath creates a TCP-Path bridge.
+func NewTCPPath(net *netsim.Network, name string, numID int, cfg TCPConfig) *TCPPath {
+	if cfg.ConnLockTimeout <= 0 || cfg.ConnTimeout <= 0 {
+		panic("flowpath: connection timeouts must be positive")
+	}
+	t := &TCPPath{
+		cfg:   cfg,
+		conns: NewPairTable(cfg.ConnLockTimeout, cfg.ConnTimeout),
+	}
+	// The chassis dispatches to t; t consumes TCP segments and delegates
+	// the rest to the embedded ARP-Path protocol.
+	t.Bridge = core.NewWithProtocol(net, name, numID, cfg.ARPPath, t)
+	return t
+}
+
+// connKey packs a directed 4-tuple into a PairKey: exact, no hashing.
+func connKey(v *layers.FrameView) PairKey {
+	return PairKey{
+		Hi: uint64(binary.BigEndian.Uint32(v.IPSrc[:]))<<32 | uint64(binary.BigEndian.Uint32(v.IPDst[:])),
+		Lo: uint64(v.TCPSrcPort)<<16 | uint64(v.TCPDstPort),
+	}
+}
+
+// reverseKey is the opposite direction's key.
+func reverseKey(k PairKey) PairKey {
+	return PairKey{
+		Hi: k.Hi<<32 | k.Hi>>32,
+		Lo: k.Lo<<16&0xFFFF0000 | k.Lo>>16&0xFFFF,
+	}
+}
+
+// TCPStats returns the TCP-Path counters.
+func (t *TCPPath) TCPStats() TCPStats { return t.stats }
+
+// Conns exposes the connection table (experiments, tests).
+func (t *TCPPath) Conns() *PairTable { return t.conns }
+
+// ForwardingEntries reports resident forwarding state: the ARP-Path table
+// plus the connection table.
+func (t *TCPPath) ForwardingEntries() int { return t.Table().Len() + t.conns.Len() }
+
+// OnStart implements bridge.Protocol.
+func (t *TCPPath) OnStart() { t.Bridge.OnStart() }
+
+// OnPortStatus implements bridge.Protocol: flush connections through the
+// dead link, then let ARP-Path flush its own table.
+func (t *TCPPath) OnPortStatus(p *netsim.Port, up bool) {
+	if !up {
+		t.stats.ConnPurged += uint64(t.conns.FlushPort(p))
+	}
+	t.Bridge.OnPortStatus(p, up)
+}
+
+// Restart clears the connection table along with everything ARP-Path
+// loses in a power-cycle.
+func (t *TCPPath) Restart() {
+	t.conns.Reset()
+	t.Bridge.Restart()
+}
+
+// OnFrame implements bridge.Protocol.
+func (t *TCPPath) OnFrame(in *netsim.Port, f *netsim.Frame) {
+	v := f.View()
+	if !v.HasTCP || v.IsMulticast() {
+		t.Bridge.OnFrame(in, f)
+		return
+	}
+	t.handleTCP(in, f, v)
+}
+
+// handleTCP is the per-connection dataplane.
+func (t *TCPPath) handleTCP(in *netsim.Port, f *netsim.Frame, v *layers.FrameView) {
+	now := t.Now()
+	k := connKey(v)
+
+	if v.IsTCPSYN() {
+		t.handleSYN(in, f, v, k, now)
+		return
+	}
+
+	if e, ok := t.conns.Get(k, now); ok {
+		if e.Port == in || t.SameNeighbor(e.Port, in) {
+			// Hairpin on the connection entry: let ARP-Path decide (it
+			// has its own hairpin/repair handling for the MAC pair).
+			t.stats.Fallbacks++
+			t.Bridge.OnFrame(in, f)
+			return
+		}
+		if v.TCPFlags&(layers.TCPFlagSYN|layers.TCPFlagACK) == layers.TCPFlagSYN|layers.TCPFlagACK {
+			// The SYN|ACK confirms the connection path hop by hop: its
+			// own direction out the locked port, the opener's direction
+			// back where it arrived.
+			t.conns.Learn(k, e.Port, now)
+			t.conns.Learn(reverseKey(k), in, now)
+			t.stats.ConnConfirmed++
+		} else {
+			t.conns.Refresh(k, now)
+		}
+		t.stats.ConnForwarded++
+		e.Port.SendFrame(f)
+		return
+	}
+
+	// No connection entry (expired, flushed, or a mid-stream segment of a
+	// connection opened before a restart): ARP-Path semantics.
+	t.stats.Fallbacks++
+	t.Bridge.OnFrame(in, f)
+}
+
+// handleSYN floods a connection opener with the ARP-Path race applied to
+// the connection key: the first copy locks the reverse direction (the
+// path the SYN|ACK will retrace) to its arrival port, duplicates are
+// filtered, and the flood terminates at the destination's edge bridge.
+func (t *TCPPath) handleSYN(in *netsim.Port, f *netsim.Frame, v *layers.FrameView, k PairKey, now time.Duration) {
+	rk := reverseKey(k)
+	if e, ok := t.conns.Get(rk, now); ok {
+		switch {
+		case e.Port == in:
+			// Same port: a retransmitted opener — restart the race.
+			t.conns.Lock(rk, in, now)
+		case e.Guarded(now):
+			// A slower flood copy: discard (§2.1.1 on the connection).
+			t.stats.SynRaceDrops++
+			return
+		default:
+			t.conns.Lock(rk, in, now)
+		}
+	} else {
+		t.conns.Lock(rk, in, now)
+	}
+
+	// The embedded ARP-Path table knows the destination from the ARP
+	// exchange that necessarily preceded the connection; an edge entry
+	// for it terminates the flood here.
+	if e, ok := t.EntryFor(v.Dst); ok && t.IsEdge(e.Port) && e.Port != in {
+		// The destination hangs off this bridge: deliver the first copy
+		// and pre-learn the opener's direction — the SYN|ACK will confirm
+		// the rest of the path.
+		t.conns.Learn(k, e.Port, now)
+		t.stats.SynDelivered++
+		e.Port.SendFrame(f)
+		return
+	}
+	t.stats.SynFloods++
+	t.FloodExcept(in, f)
+}
+
+var _ bridge.Protocol = (*TCPPath)(nil)
+var _ netsim.Node = (*TCPPath)(nil)

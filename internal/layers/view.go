@@ -30,6 +30,21 @@ type FrameView struct {
 	// message; Ctl then holds it.
 	HasCtl bool
 	Ctl    PathCtl
+
+	// HasIP is set when the payload decoded as an options-free IPv4
+	// header with a valid checksum; the address/protocol fields then
+	// hold. Only the fields a forwarding decision can key on are broken
+	// out — the view stays a flat, comparable struct with no slices.
+	HasIP        bool
+	IPSrc, IPDst Addr4
+	IPProto      uint8
+
+	// HasTCP is set when the IPv4 payload decoded as a TCP-lite segment;
+	// the 4-tuple ports and flag bits then hold. TCP-Path bridges key
+	// per-connection paths on (IPSrc, IPDst, TCPSrcPort, TCPDstPort).
+	HasTCP                 bool
+	TCPSrcPort, TCPDstPort uint16
+	TCPFlags               uint8
 }
 
 // Decode resets v from frame. It never allocates; undecodable inner
@@ -51,6 +66,21 @@ func (v *FrameView) Decode(frame []byte) {
 		v.HasARP = v.ARP.DecodeFromBytes(eth.Payload()) == nil
 	case EtherTypePathCtl:
 		v.HasCtl = v.Ctl.DecodeFromBytes(eth.Payload()) == nil
+	case EtherTypeIPv4:
+		var ip IPv4
+		if ip.DecodeFromBytes(eth.Payload()) != nil {
+			return
+		}
+		v.HasIP = true
+		v.IPSrc, v.IPDst, v.IPProto = ip.Src, ip.Dst, ip.Protocol
+		if ip.Protocol == IPProtoTCPLite {
+			var tcp TCPLite
+			if tcp.DecodeFromBytes(ip.Payload()) == nil {
+				v.HasTCP = true
+				v.TCPSrcPort, v.TCPDstPort = tcp.SrcPort, tcp.DstPort
+				v.TCPFlags = tcp.Flags
+			}
+		}
 	}
 }
 
@@ -62,4 +92,11 @@ func (v *FrameView) IsMulticast() bool { return v.Dst.IsMulticast() }
 // multicast — the chassis consumes these before the protocol sees them.
 func (v *FrameView) IsHello() bool {
 	return v.HasCtl && v.Ctl.Type == PathCtlHello && v.Dst == PathCtlMulticast
+}
+
+// IsTCPSYN reports whether the frame is the opening segment of a TCP-lite
+// connection (SYN set, ACK clear) — the frame TCP-Path floods to race a
+// fresh per-connection path.
+func (v *FrameView) IsTCPSYN() bool {
+	return v.HasTCP && v.TCPFlags&TCPFlagSYN != 0 && v.TCPFlags&TCPFlagACK == 0
 }

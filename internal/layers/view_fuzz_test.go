@@ -43,6 +43,12 @@ func FuzzFrameViewAgreesWithDecoder(f *testing.F) {
 		&UDP{SrcPort: 9, DstPort: 9},
 		Payload("fuzz"),
 	))
+	f.Add(seed(
+		&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeIPv4},
+		&IPv4{TTL: 64, Protocol: IPProtoTCPLite, Src: HostIP(1), Dst: HostIP(2)},
+		&TCPLite{SrcPort: 3000, DstPort: 80, Seq: 1, Flags: TCPFlagSYN, Window: 65535,
+			SrcIP: HostIP(1), DstIP: HostIP(2)},
+	))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var v FrameView
@@ -54,7 +60,7 @@ func FuzzFrameViewAgreesWithDecoder(f *testing.F) {
 			t.Fatalf("view.OK=%v, Ethernet decoder err=%v", v.OK, ethErr)
 		}
 		if !v.OK {
-			if v.HasARP || v.HasCtl || v.SrcKey != 0 || v.DstKey != 0 {
+			if v.HasARP || v.HasCtl || v.HasIP || v.HasTCP || v.SrcKey != 0 || v.DstKey != 0 {
 				t.Fatalf("failed view carries fields: %+v", v)
 			}
 			return
@@ -85,6 +91,25 @@ func FuzzFrameViewAgreesWithDecoder(f *testing.F) {
 		}
 		if wantCtl && v.Ctl != ctl {
 			t.Fatalf("PathCtl fields diverge: view %+v, decoder %+v", v.Ctl, ctl)
+		}
+
+		var ip IPv4
+		wantIP := eth.EtherType == EtherTypeIPv4 && ip.DecodeFromBytes(eth.Payload()) == nil
+		if v.HasIP != wantIP {
+			t.Fatalf("HasIP=%v, decoder says %v", v.HasIP, wantIP)
+		}
+		if wantIP && (v.IPSrc != ip.Src || v.IPDst != ip.Dst || v.IPProto != ip.Protocol) {
+			t.Fatalf("IPv4 fields diverge: view %v->%v/%d, decoder %v->%v/%d",
+				v.IPSrc, v.IPDst, v.IPProto, ip.Src, ip.Dst, ip.Protocol)
+		}
+		var tcp TCPLite
+		wantTCP := wantIP && ip.Protocol == IPProtoTCPLite && tcp.DecodeFromBytes(ip.Payload()) == nil
+		if v.HasTCP != wantTCP {
+			t.Fatalf("HasTCP=%v, decoder says %v", v.HasTCP, wantTCP)
+		}
+		if wantTCP && (v.TCPSrcPort != tcp.SrcPort || v.TCPDstPort != tcp.DstPort || v.TCPFlags != tcp.Flags) {
+			t.Fatalf("TCP fields diverge: view %d->%d/%#x, decoder %d->%d/%#x",
+				v.TCPSrcPort, v.TCPDstPort, v.TCPFlags, tcp.SrcPort, tcp.DstPort, tcp.Flags)
 		}
 
 		// The Parser (gopacket-style full stack) must agree on the layers

@@ -109,3 +109,62 @@ func TestFrameViewDecodeDoesNotAllocate(t *testing.T) {
 		t.Fatalf("Decode allocates %.1f/op, want 0", allocs)
 	}
 }
+
+// TestFrameViewDecodesTCPTuple pins the TCP-Path fields: an IPv4/TCP-lite
+// frame yields the 4-tuple and flags, IsTCPSYN classifies opening
+// segments only, and the decode stays allocation-free.
+func TestFrameViewDecodesTCPTuple(t *testing.T) {
+	mk := func(flags uint8) []byte {
+		frame, err := Serialize(
+			&Ethernet{Dst: HostMAC(2), Src: HostMAC(1), EtherType: EtherTypeIPv4},
+			&IPv4{TTL: 64, Protocol: IPProtoTCPLite, Src: HostIP(1), Dst: HostIP(2)},
+			&TCPLite{SrcPort: 3000, DstPort: 80, Seq: 7, Flags: flags, Window: 4096,
+				SrcIP: HostIP(1), DstIP: HostIP(2)},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame
+	}
+
+	var v FrameView
+	v.Decode(mk(TCPFlagSYN))
+	if !v.OK || !v.HasIP || !v.HasTCP {
+		t.Fatalf("view flags: %+v", v)
+	}
+	if v.IPSrc != HostIP(1) || v.IPDst != HostIP(2) || v.IPProto != IPProtoTCPLite {
+		t.Fatalf("IP fields: %+v", v)
+	}
+	if v.TCPSrcPort != 3000 || v.TCPDstPort != 80 || v.TCPFlags != TCPFlagSYN {
+		t.Fatalf("TCP fields: %+v", v)
+	}
+	if !v.IsTCPSYN() {
+		t.Fatal("SYN not classified as a connection opener")
+	}
+	v.Decode(mk(TCPFlagSYN | TCPFlagACK))
+	if v.IsTCPSYN() {
+		t.Fatal("SYN|ACK misclassified as a connection opener")
+	}
+	v.Decode(mk(TCPFlagACK))
+	if v.IsTCPSYN() {
+		t.Fatal("plain ACK misclassified as a connection opener")
+	}
+
+	frame := mk(TCPFlagSYN)
+	if allocs := testing.AllocsPerRun(1000, func() { v.Decode(frame) }); allocs != 0 {
+		t.Fatalf("TCP decode allocates %.1f/op, want 0", allocs)
+	}
+
+	// A stale TCP view must not leak into a following non-IP decode.
+	arp, err := Serialize(
+		&Ethernet{Dst: BroadcastMAC, Src: HostMAC(1), EtherType: EtherTypeARP},
+		&ARP{Operation: ARPRequest, SenderHW: HostMAC(1), SenderIP: HostIP(1), TargetIP: HostIP(2)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Decode(arp)
+	if v.HasIP || v.HasTCP {
+		t.Fatalf("stale TCP fields leaked: %+v", v)
+	}
+}

@@ -295,6 +295,50 @@ func (n *Network) ScheduleLinkUp(t time.Duration, l *Link) {
 	n.Engine.At(t, func() { l.SetUp(true) })
 }
 
+// ScheduleScoped schedules fn at absolute virtual time t under owner's
+// scheduling identity, for an action that touches only the state of the
+// nodes in touch (owner included). The event's ordering key is a function
+// of owner's own history — partition-independent, like every other key —
+// but its venue is chosen by the partition: when every touched node lives
+// in owner's shard the event executes inside that shard's parallel
+// windows; when the action spans shards it executes on the control engine
+// as a coordinator barrier, with every shard paused and clocks aligned.
+// Fault injection uses this to keep intra-shard faults off the barrier
+// path: the trace is byte-identical either way, only the synchronization
+// cost differs. Call from driver code only (between runs or inside a
+// barrier event): the cross-shard branch schedules on the control
+// engine, which shard workers must never touch mid-window.
+func (n *Network) ScheduleScoped(t time.Duration, owner Node, touch []Node, fn func()) {
+	p := n.Proc(owner.Name())
+	oseq := p.NextSeq()
+	if n.co == nil {
+		n.Engine.ScheduleKeyedFunc(t, p.ID(), oseq, fn)
+		return
+	}
+	home := n.co.shardOf[owner]
+	for _, nd := range touch {
+		if n.co.shardOf[nd] != home {
+			// Spans shards: a barrier, but keyed exactly like the
+			// shard-local venue would have keyed it.
+			n.Engine.ScheduleKeyedFunc(t, p.ID(), oseq, fn)
+			return
+		}
+	}
+	n.co.shards[home].ScheduleKeyedFunc(t, p.ID(), oseq, fn)
+}
+
+// Barriers returns how many control-engine events have executed as
+// coordinator barriers (all shards paused) since the fabric was
+// partitioned; 0 on an unsharded network. Barriers are the serial section
+// of a sharded run, so the scenario engine's shard-local fault routing is
+// pinned by this counter going down.
+func (n *Network) Barriers() uint64 {
+	if n.co == nil {
+		return 0
+	}
+	return n.co.barriers
+}
+
 // PortStats counts traffic through one port.
 type PortStats struct {
 	TxFrames, TxBytes uint64
@@ -450,15 +494,21 @@ func (l *Link) Loss(from *Port) float64 { return l.dir[from.side].lossRate }
 // transition and notifying both nodes. Must be called from the simulation
 // goroutine (inside an event, or via Network.ScheduleLink{Down,Up}). In a
 // sharded run the link's state is read by both sides' shards, so SetUp is
-// only legal from root/driver context — a fault op or a phase boundary —
-// which the coordinator executes as a barrier with every shard paused.
+// legal from root/driver context (a fault op or phase boundary executing
+// as a coordinator barrier with every shard paused) — or, when both ends
+// live in one shard, from an event of that shard (ScheduleScoped's
+// shard-local fault venue).
 func (l *Link) SetUp(up bool) {
 	if l.up == up {
 		return
 	}
 	l.up = up
 	l.epoch++
-	now := l.net.Now()
+	// The transmitting sides' clock: equals the control clock at barriers
+	// and in driver code, and the owning shard's clock for a shard-local
+	// intra-shard fault (where the control clock is parked at the last
+	// barrier).
+	now := l.proc[0].Engine().Now()
 	for i := range l.dir {
 		l.dir[i].busyUntil = now
 		l.dir[i].queuedBytes = 0

@@ -68,9 +68,11 @@ type coordinator struct {
 	net       *Network
 	shards    []*sim.Engine
 	shardOf   map[Node]int
-	lookahead time.Duration
-	out       [][][]remoteRec // [from][to] outboxes, written only by `from`'s worker
-	tap       []tapShard      // per-shard tap buffers, written only by that shard's worker
+	lookahead time.Duration     // global minimum (reporting; la drives the windows)
+	la        [][]time.Duration // la[from][to]: min latency over boundary links from→to (maxInt64 = none)
+	barriers  uint64            // root events executed with all shards paused
+	out       [][][]remoteRec   // [from][to] outboxes, written only by `from`'s worker
+	tap       []tapShard        // per-shard tap buffers, written only by that shard's worker
 
 	// inWindow is true while shard workers are executing a parallel
 	// window. Written only while every worker is idle (the window channel
@@ -125,6 +127,17 @@ func (n *Network) Partition(k int, shardOf func(Node) int) {
 		co.shardOf[node] = s
 		n.procs[node.Name()].Rebind(shards[s])
 	}
+	// Lookahead is computed per shard pair: one short boundary link only
+	// throttles the windows of the shards it joins (and paths through
+	// them), not the whole fabric. The global minimum is kept for
+	// reporting (Lookahead).
+	co.la = make([][]time.Duration, k)
+	for i := range co.la {
+		co.la[i] = make([]time.Duration, k)
+		for j := range co.la[i] {
+			co.la[i][j] = time.Duration(math.MaxInt64)
+		}
+	}
 	la := time.Duration(math.MaxInt64)
 	for _, l := range n.links {
 		sa := co.shardOf[l.ports[0].node]
@@ -137,6 +150,13 @@ func (n *Network) Partition(k int, shardOf func(Node) int) {
 			if lb <= 0 {
 				panic(fmt.Sprintf("netsim: boundary link %v needs positive latency", l))
 			}
+			// Both directions share the link config, so the pair matrix is
+			// symmetric; a frame from sa lands in sb no earlier than lb
+			// after its send, and vice versa.
+			if lb < co.la[sa][sb] {
+				co.la[sa][sb] = lb
+				co.la[sb][sa] = lb
+			}
 			if lb < la {
 				la = lb
 			}
@@ -147,6 +167,31 @@ func (n *Network) Partition(k int, shardOf func(Node) int) {
 		la = time.Millisecond
 	}
 	co.lookahead = la
+
+	// Close the pair matrix over multi-hop paths (Floyd–Warshall; k is
+	// small). An event pending in shard t can influence shard s through
+	// any chain of boundary crossings, each materializing at a window
+	// exchange, so the binding constraint is the cheapest path t→s — and
+	// for t = s the cheapest round trip: a shard's own events can come
+	// back at it through a currently-idle neighbour, which is why the
+	// diagonal stays ∞-initialized instead of 0 (the relaxation fills in
+	// real cycle costs).
+	const inf = time.Duration(math.MaxInt64)
+	for via := 0; via < k; via++ {
+		for i := 0; i < k; i++ {
+			if co.la[i][via] == inf {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if co.la[via][j] == inf {
+					continue
+				}
+				if d := co.la[i][via] + co.la[via][j]; d < co.la[i][j] {
+					co.la[i][j] = d
+				}
+			}
+		}
+	}
 	n.co = co
 }
 
@@ -226,15 +271,24 @@ func (co *coordinator) buffer(e *sim.Engine, ev TapEvent) {
 	})
 }
 
-// flushTaps merges the per-shard tap buffers into the deterministic total
-// order and delivers them to the registered taps. Within a shard the
-// buffer is already key-sorted (events execute in key order); across
-// shards a stable k-way merge on (at, owner, oseq) reconstructs exactly
-// the emission order of the unsharded run. Keys never tie across buffers:
-// only shard events are buffered (barrier and driver emissions deliver
-// inline), and every shard event's owner is a distinct node or link
-// direction.
-func (co *coordinator) flushTaps() {
+// flushTaps drains every buffered tap observation (end of a run).
+func (co *coordinator) flushTaps() { co.flushTapsBelow(maxKey) }
+
+// flushTapsBelow merges the per-shard tap buffers up to (strictly below)
+// the watermark key and delivers them to the registered taps, keeping
+// later records buffered. Within a shard the buffer is already key-sorted
+// (events execute in key order); across shards a stable k-way merge on
+// (at, owner, oseq) reconstructs exactly the emission order of the
+// unsharded run. Keys never tie across buffers: only shard events are
+// buffered (barrier and driver emissions deliver inline), and every shard
+// event's owner is a distinct node or link direction.
+//
+// The watermark matters because windows are bounded per shard: one shard
+// may already have executed — and buffered taps for — events keyed after
+// another shard's next pending event. Flushing only below the minimum
+// pending key everywhere keeps the delivered stream in global key order;
+// the tails stay buffered until the lagging shards catch up.
+func (co *coordinator) flushTapsBelow(watermark evKey) {
 	if len(co.net.taps) == 0 {
 		for s := range co.tap {
 			co.tap[s].recs = co.tap[s].recs[:0]
@@ -257,6 +311,9 @@ func (co *coordinator) flushTaps() {
 			break
 		}
 		r := &co.tap[best].recs[idx[best]]
+		if k := (evKey{r.at, r.owner, r.oseq}); !keyLess(k, watermark) {
+			break
+		}
 		idx[best]++
 		ev := TapEvent{
 			At: r.at, Kind: r.kind, From: r.from, To: r.to,
@@ -267,8 +324,14 @@ func (co *coordinator) flushTaps() {
 		}
 	}
 	for s := range co.tap {
-		co.tap[s].recs = co.tap[s].recs[:0]
-		co.tap[s].arena = co.tap[s].arena[:0]
+		ts := &co.tap[s]
+		n := copy(ts.recs, ts.recs[idx[s]:])
+		ts.recs = ts.recs[:n]
+		if n == 0 {
+			// Frame bytes are only referenced through live records; the
+			// arena resets (and its offsets restart) once all are flushed.
+			ts.arena = ts.arena[:0]
+		}
 	}
 }
 
@@ -292,10 +355,39 @@ func (co *coordinator) noteWorkerPanic(r any) {
 	co.mu.Unlock()
 }
 
+// evKey is a full event ordering key: the coordinator compares them
+// lexicographically to decide barriers and per-shard window bounds.
+type evKey struct {
+	at          time.Duration
+	owner, oseq uint64
+}
+
+// keyLess orders two keys the way the event heap does.
+func keyLess(a, b evKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.owner != b.owner {
+		return a.owner < b.owner
+	}
+	return a.oseq < b.oseq
+}
+
+// maxKey sorts after every real event key.
+var maxKey = evKey{at: time.Duration(math.MaxInt64), owner: math.MaxUint64, oseq: math.MaxUint64}
+
 // run is the coordinator's main loop: alternate parallel lookahead windows
 // with root-event barriers until the horizon (bounded) or quiescence.
 // When bounded, events at exactly `until` run too and every clock ends at
 // `until`, mirroring Engine.RunUntil.
+//
+// Barriers are key-exact: a control-engine event may carry an entity's
+// identity (owner > 0, from ScheduleScoped's cross-shard case), and shard
+// events at the same timestamp with smaller keys run inside the preceding
+// window, so the global execution order is the single-engine key order
+// whatever the event's venue. Windows are bounded per shard pair: shard s
+// may run to min over senders t of (t's earliest event + la[t][s]) — one
+// short boundary link only throttles its own two shards.
 func (co *coordinator) run(until time.Duration, bounded bool) {
 	defer co.flushTaps()
 	root := co.net.Engine
@@ -307,13 +399,13 @@ func (co *coordinator) run(until time.Duration, bounded bool) {
 	// no goroutine churn. They are not kept across run() calls: a parked
 	// pool would outlive the Network (blocked goroutines never collect),
 	// and the spawn cost is microseconds against any window-bearing run.
-	var bounds []chan time.Duration
+	var bounds []chan evKey
 	var done chan struct{}
 	startWorkers := func() {
-		bounds = make([]chan time.Duration, k)
+		bounds = make([]chan evKey, k)
 		done = make(chan struct{}, k)
 		for s := 0; s < k; s++ {
-			bounds[s] = make(chan time.Duration, 1)
+			bounds[s] = make(chan evKey, 1)
 			go func(s int) {
 				for b := range bounds[s] {
 					func() {
@@ -322,7 +414,7 @@ func (co *coordinator) run(until time.Duration, bounded bool) {
 								co.noteWorkerPanic(r)
 							}
 						}()
-						co.shards[s].RunWindow(b)
+						co.shards[s].RunWindowKey(b.at, b.owner, b.oseq)
 					}()
 					done <- struct{}{}
 				}
@@ -337,8 +429,8 @@ func (co *coordinator) run(until time.Duration, bounded bool) {
 
 	startProcessed := co.net.Processed()
 	limit := root.EventLimit()
+	next := make([]evKey, k) // per-shard next event key this iteration
 	for {
-		co.flushTaps()
 		co.exchange()
 		// Runaway-loop backstop, checked every iteration so both code
 		// paths — parallel windows and root-event barriers — are covered;
@@ -348,14 +440,37 @@ func (co *coordinator) run(until time.Duration, bounded bool) {
 			panic(fmt.Sprintf("netsim: event limit %d exceeded across shards — probable forwarding loop", limit))
 		}
 
-		rootT, rootOK := root.NextEventAt()
+		rootKey := maxKey
+		rootAt, rootOwner, rootSeq, rootOK := root.NextKey()
+		if rootOK {
+			rootKey = evKey{rootAt, rootOwner, rootSeq}
+		}
+		minShard := maxKey
 		minT := time.Duration(math.MaxInt64)
-		for _, e := range co.shards {
-			if t, ok := e.NextEventAt(); ok && t < minT {
-				minT = t
+		for s, e := range co.shards {
+			next[s] = maxKey
+			if at, owner, oseq, ok := e.NextKey(); ok {
+				next[s] = evKey{at, owner, oseq}
+				if keyLess(next[s], minShard) {
+					minShard = next[s]
+				}
+				if at < minT {
+					minT = at
+				}
 			}
 		}
-		shardOK := minT != time.Duration(math.MaxInt64)
+		shardOK := minShard != maxKey
+
+		// Everything keyed below both the pending barrier and every
+		// shard's next event is final: no later execution, injection or
+		// inline barrier emission can carry a smaller key (arrivals land
+		// strictly after their sender's pending events), so the buffered
+		// taps below that watermark flush now, in global key order.
+		watermark := minShard
+		if keyLess(rootKey, watermark) {
+			watermark = rootKey
+		}
+		co.flushTapsBelow(watermark)
 
 		if !rootOK && !shardOK {
 			if bounded {
@@ -366,40 +481,55 @@ func (co *coordinator) run(until time.Duration, bounded bool) {
 			return
 		}
 		earliest := minT
-		if rootOK && rootT < earliest {
-			earliest = rootT
+		if rootOK && rootKey.at < earliest {
+			earliest = rootKey.at
 		}
 		if bounded && earliest > until {
 			co.setAllNow(until)
 			return
 		}
 
-		if rootOK && rootT <= minT {
-			// Barrier: no shard event strictly before the root event is
+		if rootOK && keyLess(rootKey, minShard) {
+			// Barrier: no shard event keyed before the root event is
 			// pending anywhere, so line every clock up on its timestamp
-			// and run it alone. Root events at one instant run in FIFO
+			// and run it alone. Root events at one instant run in key
 			// order; anything they schedule re-enters the loop. Taps the
 			// barrier emits deliver inline (emit), in program order,
 			// after everything the windows already flushed.
-			co.setAllNow(rootT)
+			co.setAllNow(rootKey.at)
+			co.barriers++
 			root.Step()
 			continue
 		}
 
-		// Parallel window: everything strictly below bound is safe.
-		bound := minT + co.lookahead
-		if rootOK && rootT < bound {
-			bound = rootT // stop below the pending barrier
-		}
-		if bounded && bound > until+1 {
-			bound = until + 1 // inclusive of events at exactly `until`
-		}
+		// Parallel window: shard s may run everything keyed strictly below
+		// its own bound. Any future arrival into s traces back to an event
+		// currently pending in some shard t (exchanges only happen between
+		// windows, so an idle shard cannot wake up and send mid-window)
+		// and crosses boundary paths costing at least la[t][s] — the
+		// closed matrix, t = s included via its cheapest round trip. The
+		// pending root event, if any, caps every shard key-exactly.
 		if bounds == nil {
 			startWorkers()
 		}
 		co.inWindow = true
 		for s := 0; s < k; s++ {
-			bounds[s] <- bound
+			b := rootKey // maxKey when no root event is pending
+			if bounded {
+				// Inclusive of events at exactly `until`.
+				if lim := (evKey{at: until + 1}); keyLess(lim, b) {
+					b = lim
+				}
+			}
+			for t := 0; t < k; t++ {
+				if next[t] == maxKey || co.la[t][s] == time.Duration(math.MaxInt64) {
+					continue
+				}
+				if lim := (evKey{at: next[t].at + co.la[t][s]}); keyLess(lim, b) {
+					b = lim
+				}
+			}
+			bounds[s] <- b
 		}
 		for s := 0; s < k; s++ {
 			<-done

@@ -7,10 +7,26 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flowpath"
 	"repro/internal/layers"
 	"repro/internal/netsim"
 	"repro/internal/topo"
 )
+
+// coreTabler is the checker's view of any bridge that forwards on an
+// ARP-Path locking table — core.Bridge itself and variants that embed it
+// (flowpath.TCPPath). Walks never assert the concrete type, so a
+// registered variant gets the table checks for free.
+type coreTabler interface {
+	Table() *core.LockTable
+	EntryFor(layers.MAC) (core.Entry, bool)
+}
+
+// proxySnapshotter is the checker's view of a bridge with the in-switch
+// ARP proxy.
+type proxySnapshotter interface {
+	ProxySnapshot(now time.Duration) map[layers.Addr4]layers.MAC
+}
 
 // Invariant names a protocol property the checker enforces. Each encodes
 // a claim of the paper (DESIGN.md §7 maps them to sections).
@@ -95,6 +111,14 @@ type Checker struct {
 	bsends    map[uint64]map[string]int // broadcast frame -> "bridge[port]" -> sends
 	delivered map[uint64]int            // frame -> total deliveries
 
+	// synFloods is armed for tcppath fabrics: a unicast TCP SYN is a
+	// legitimate network-wide flood there (the connection's discovery
+	// race), so it is held to the per-port flood bound instead of the
+	// per-bridge unicast visit limit. fv is the scratch view the
+	// classifier decodes into.
+	synFloods bool
+	fv        layers.FrameView
+
 	violations []Violation
 	dropped    int // violations beyond maxViolationDetails
 	loops      bool
@@ -119,8 +143,19 @@ func NewChecker(built *topo.Built) *Checker {
 	for _, b := range built.Bridges {
 		c.bridges[b.Name()] = true
 	}
+	c.synFloods = built.Opts.Protocol == flowpath.ProtoTCPPath
 	built.Tap(c.tap)
 	return c
+}
+
+// synFlood reports whether a frame is a flooded TCP connection opener on
+// a tcppath fabric.
+func (c *Checker) synFlood(frame []byte) bool {
+	if !c.synFloods {
+		return false
+	}
+	c.fv.Decode(frame)
+	return c.fv.IsTCPSYN()
 }
 
 // MarkStable tells the checker all faults have healed and the network has
@@ -179,7 +214,10 @@ func (c *Checker) tap(ev netsim.TapEvent) {
 			c.violate(InvHopCap, ev.At, "frame %d exceeded %d deliveries (last hop %v->%v)", nid, c.hopCap, ev.From, ev.To)
 		}
 		to := ev.To.Node().Name()
-		if !c.bridges[to] || layers.FrameDst(ev.Frame).IsMulticast() {
+		if !c.bridges[to] || layers.FrameDst(ev.Frame).IsMulticast() || c.synFlood(ev.Frame) {
+			// SYN floods are counted per port on the send side, like any
+			// other flood: deliveries to a bridge legitimately repeat
+			// (one slower copy per incident link, race-dropped inside).
 			return
 		}
 		m := c.uvisits[ev.FrameID]
@@ -197,7 +235,7 @@ func (c *Checker) tap(ev netsim.TapEvent) {
 		}
 	case netsim.TapSend:
 		from := ev.From.Node().Name()
-		if !c.bridges[from] || !layers.FrameDst(ev.Frame).IsMulticast() {
+		if !c.bridges[from] || (!layers.FrameDst(ev.Frame).IsMulticast() && !c.synFlood(ev.Frame)) {
 			return
 		}
 		m := c.bsends[ev.FrameID]
@@ -252,7 +290,7 @@ func (c *Checker) CheckProxyCaches() {
 		hostName[h.IP()] = name
 	}
 	for _, br := range c.built.Bridges {
-		cb, ok := br.(*core.Bridge)
+		cb, ok := br.(proxySnapshotter)
 		if !ok {
 			continue
 		}
@@ -276,21 +314,64 @@ func (c *Checker) CheckProxyCaches() {
 	}
 }
 
-// CheckTables verifies the locking tables form per-destination forests:
-// for every MAC, following entries bridge to bridge must never revisit a
-// bridge, and a walk that reaches a host must have reached the MAC's
-// owner. Dead ends at entry-less bridges are legal (expiry is lazy and
-// repair rebuilds on demand); cycles never are — a cycle is the loop the
-// protocol claims cannot form without blocked ports.
+// CheckTables verifies the forwarding tables form per-destination
+// forests: following entries bridge to bridge must never revisit a
+// bridge, and a walk that reaches a host must have reached the owner.
+// Dead ends at entry-less bridges are legal (expiry is lazy and repair
+// rebuilds on demand); cycles never are — a cycle is the loop the
+// protocol claims cannot form without blocked ports. The walk follows
+// whichever tables the protocol keeps: the per-MAC locking table
+// (arppath, tcppath's fallback plane) and/or the per-pair table
+// (flowpath); tcppath fabrics additionally walk the per-connection
+// entries under the same rule.
 func (c *Checker) CheckTables() {
 	now := c.built.Now()
 	owners := c.hostByMAC()
+	c.checkMACTables(now, owners)
+	c.checkPairTables(now, owners)
+	c.checkConnTables(now)
+}
 
-	// nextHop[mac][bridge] = node the entry's port leads to.
+// checkChains verifies one keyed family of next-hop maps: no walk may
+// revisit a bridge, and walks reaching a host must reach wantHost (when
+// non-empty).
+func (c *Checker) checkChains(what string, hops map[string]string, wantHost string) {
+	starts := make([]string, 0, len(hops))
+	for b := range hops {
+		starts = append(starts, b)
+	}
+	sort.Strings(starts)
+	for _, start := range starts {
+		seen := map[string]bool{start: true}
+		cur := start
+		for {
+			next, ok := hops[cur]
+			if !ok {
+				break // dead end: legal
+			}
+			if !c.bridges[next] {
+				if wantHost != "" && next != wantHost {
+					c.violate(InvTableConsistency, 0, "entries for %s walk from %s to host %s (owner is %s)", what, start, next, wantHost)
+				}
+				break
+			}
+			if seen[next] {
+				c.violate(InvTableConsistency, 0, "entries for %s cycle: walk from %s revisits %s", what, start, next)
+				break
+			}
+			seen[next] = true
+			cur = next
+		}
+	}
+}
+
+// checkMACTables walks the per-destination MAC entries of every bridge
+// exposing an ARP-Path locking table.
+func (c *Checker) checkMACTables(now time.Duration, owners map[uint64]string) {
 	nextHop := make(map[layers.MAC]map[string]string)
 	macs := make([]layers.MAC, 0)
 	for _, br := range c.built.Bridges {
-		cb, ok := br.(*core.Bridge)
+		cb, ok := br.(coreTabler)
 		if !ok {
 			continue
 		}
@@ -305,54 +386,108 @@ func (c *Checker) CheckTables() {
 		}
 	}
 	sort.Slice(macs, func(i, j int) bool { return macs[i].Uint64() < macs[j].Uint64() })
-
 	for _, mac := range macs {
-		hops := nextHop[mac]
-		starts := make([]string, 0, len(hops))
-		for b := range hops {
-			starts = append(starts, b)
-		}
-		sort.Strings(starts)
-		for _, start := range starts {
-			seen := map[string]bool{start: true}
-			cur := start
-			for {
-				next, ok := hops[cur]
-				if !ok {
-					break // dead end: legal
-				}
-				if !c.bridges[next] {
-					if owner, isHost := owners[mac.Uint64()]; isHost && owner != next {
-						c.violate(InvTableConsistency, 0, "entries for %v walk from %s to host %s (owner is %s)", mac, start, next, owner)
-					}
-					break
-				}
-				if seen[next] {
-					c.violate(InvTableConsistency, 0, "entries for %v cycle: walk from %s revisits %s", mac, start, next)
-					break
-				}
-				seen[next] = true
-				cur = next
-			}
-		}
+		c.checkChains(mac.String(), nextHop[mac], owners[mac.Uint64()])
 	}
 }
 
+// checkKeyedTables gathers one keyed snapshot family across all bridges
+// (nil where a bridge keeps no such table) and walks every key's chains:
+// acyclic always, ending at the key's owner where one exists.
+func (c *Checker) checkKeyedTables(
+	snapshot func(topo.Bridge) map[flowpath.PairKey]flowpath.Entry,
+	what func(flowpath.PairKey) string,
+	owner func(flowpath.PairKey) string,
+) {
+	nextHop := make(map[flowpath.PairKey]map[string]string)
+	keys := make([]flowpath.PairKey, 0)
+	for _, br := range c.built.Bridges {
+		for k, e := range snapshot(br) {
+			m := nextHop[k]
+			if m == nil {
+				m = make(map[string]string)
+				nextHop[k] = m
+				keys = append(keys, k)
+			}
+			m[br.Name()] = e.Port.Peer().Node().Name()
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Hi != keys[j].Hi {
+			return keys[i].Hi < keys[j].Hi
+		}
+		return keys[i].Lo < keys[j].Lo
+	})
+	for _, k := range keys {
+		c.checkChains(what(k), nextHop[k], owner(k))
+	}
+}
+
+// checkPairTables walks the directed pair entries of flowpath bridges:
+// every (src, dst) pair's chain must be acyclic and, when it reaches a
+// host, reach dst's owner.
+func (c *Checker) checkPairTables(now time.Duration, owners map[uint64]string) {
+	c.checkKeyedTables(
+		func(br topo.Bridge) map[flowpath.PairKey]flowpath.Entry {
+			if fb, ok := br.(*flowpath.Bridge); ok {
+				return fb.Pairs().Snapshot(now)
+			}
+			return nil
+		},
+		func(k flowpath.PairKey) string {
+			return fmt.Sprintf("pair %v->%v", layers.MACFromUint64(k.Hi), layers.MACFromUint64(k.Lo))
+		},
+		func(k flowpath.PairKey) string { return owners[k.Lo] },
+	)
+}
+
+// checkConnTables walks tcppath per-connection entries; connections have
+// no single host owner to assert, so only the no-cycle half applies.
+func (c *Checker) checkConnTables(now time.Duration) {
+	c.checkKeyedTables(
+		func(br topo.Bridge) map[flowpath.PairKey]flowpath.Entry {
+			if tb, ok := br.(*flowpath.TCPPath); ok {
+				return tb.Conns().Snapshot(now)
+			}
+			return nil
+		},
+		func(k flowpath.PairKey) string { return fmt.Sprintf("conn %x/%x", k.Hi, k.Lo) },
+		func(flowpath.PairKey) string { return "" },
+	)
+}
+
 // walkTo follows dst-MAC entries from a bridge and returns the bridge
-// chain, ending when a host is reached (ok true if it is the owner).
-func (c *Checker) walkTo(start string, mac layers.MAC, owner string) (chain []string, ok bool) {
+// chain, ending when a host is reached (ok true if it is the owner). On
+// flowpath fabrics the walk follows the directed (src, dst) pair entries
+// instead — the protocol's forwarding state for exactly this
+// conversation.
+func (c *Checker) walkTo(start string, src, dst layers.MAC, owner string) (chain []string, ok bool) {
+	now := c.built.Now()
 	cur := start
 	for steps := 0; steps <= len(c.built.Bridges); steps++ {
 		chain = append(chain, cur)
-		cb, isBridge := c.bridgeByName(cur)
+		br, isBridge := c.bridgeByName(cur)
 		if !isBridge {
 			return chain, false
 		}
-		e, found := cb.EntryFor(mac)
-		if !found {
+		var port *netsim.Port
+		switch b := br.(type) {
+		case *flowpath.Bridge:
+			p, found := b.FlowNextHop(src, dst, now)
+			if !found {
+				return chain, false
+			}
+			port = p
+		case coreTabler:
+			e, found := b.EntryFor(dst)
+			if !found {
+				return chain, false
+			}
+			port = e.Port
+		default:
 			return chain, false
 		}
-		next := e.Port.Peer().Node().Name()
+		next := port.Peer().Node().Name()
 		if !c.bridges[next] {
 			return chain, next == owner
 		}
@@ -361,11 +496,10 @@ func (c *Checker) walkTo(start string, mac layers.MAC, owner string) (chain []st
 	return chain, false
 }
 
-func (c *Checker) bridgeByName(name string) (*core.Bridge, bool) {
+func (c *Checker) bridgeByName(name string) (topo.Bridge, bool) {
 	for _, br := range c.built.Bridges {
 		if br.Name() == name {
-			cb, ok := br.(*core.Bridge)
-			return cb, ok
+			return br, true
 		}
 	}
 	return nil, false
@@ -379,8 +513,8 @@ func (c *Checker) CheckPathSymmetry(a, b string) {
 	ha, hb := c.built.Hosts[a], c.built.Hosts[b]
 	edgeA := ha.Port().Peer().Node().Name()
 	edgeB := hb.Port().Peer().Node().Name()
-	toB, okAB := c.walkTo(edgeA, hb.MAC(), b)
-	toA, okBA := c.walkTo(edgeB, ha.MAC(), a)
+	toB, okAB := c.walkTo(edgeA, ha.MAC(), hb.MAC(), b)
+	toA, okBA := c.walkTo(edgeB, hb.MAC(), ha.MAC(), a)
 	if !okAB || !okBA {
 		c.violate(InvPathSymmetry, 0, "path %s<->%s incomplete after quiescence (%s->%s reached=%v, %s->%s reached=%v)",
 			a, b, a, b, okAB, b, a, okBA)
@@ -403,6 +537,15 @@ func (c *Checker) CheckPathSymmetry(a, b string) {
 func (c *Checker) CheckDelivery(pair string, sent, answered int) {
 	if answered != sent {
 		c.violate(InvDelivery, 0, "pair %s: %d of %d post-quiescence probes answered", pair, answered, sent)
+	}
+}
+
+// CheckTCPDelivery records the tcppath post-quiescence transfer verdict:
+// on a healed, quiesced fabric a fresh TCP conversation — SYN flood,
+// per-connection path, data — must run to completion.
+func (c *Checker) CheckTCPDelivery(pair string, completed bool) {
+	if !completed {
+		c.violate(InvDelivery, 0, "pair %s: post-quiescence TCP transfer did not complete", pair)
 	}
 }
 

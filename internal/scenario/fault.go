@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/host/app"
+	"repro/internal/netsim"
 )
 
 // FaultFamily names a class of seeded fault schedules.
@@ -246,47 +247,96 @@ func generateOps(family FaultFamily, plan *rand.Rand, ix *netIndex, phase time.D
 	return ops
 }
 
-// applyOps schedules every op on the engine at base+op.At. Burst sinks are
-// bound up front (port bindings are not time-dependent); the returned
-// sinks report burst delivery for the result's traffic accounting.
+// forceBarrierOps is a test knob: when set, every fault op schedules on
+// the control engine the pre-classification way (a coordinator barrier in
+// sharded runs, whatever it touches). The barrier-reduction regression
+// compares a run against this mode to pin that intra-shard ops really
+// left the barrier path.
+var forceBarrierOps bool
+
+// scheduleOp routes one fault action: keyed by owner's identity, executed
+// shard-locally when everything it touches lives in owner's shard, as a
+// coordinator barrier otherwise (netsim.ScheduleScoped).
+func (ix *netIndex) scheduleOp(at time.Duration, owner netsim.Node, touch []netsim.Node, fn func()) {
+	if forceBarrierOps {
+		ix.built.Engine.At(at, fn)
+		return
+	}
+	ix.built.Network.ScheduleScoped(at, owner, touch, fn)
+}
+
+// linkEnds returns a link's two end nodes.
+func linkEnds(l *netsim.Link) (netsim.Node, netsim.Node) {
+	return l.A().Node(), l.B().Node()
+}
+
+// applyOps schedules every op at base+op.At. Each op is keyed by the
+// entity it acts on and classified by the set of nodes whose state it
+// touches: a flap of an intra-shard link, a loss knob, a burst, a restart
+// whose neighbours are co-sharded all run inside their shard's parallel
+// windows; only ops that genuinely span shards pause the fabric as
+// coordinator barriers. Burst sinks are bound up front (port bindings are
+// not time-dependent); the returned sinks report burst delivery for the
+// result's traffic accounting.
 func applyOps(ix *netIndex, ops []FaultOp, base time.Duration) (offered int, sinks []*app.Sink) {
-	eng := ix.built.Engine
 	for _, op := range ops {
 		op := op
 		switch op.Kind {
-		case OpLinkDown:
-			eng.At(base+op.At, func() { ix.link(op.Link).SetUp(false) })
-		case OpLinkUp:
-			eng.At(base+op.At, func() { ix.link(op.Link).SetUp(true) })
+		case OpLinkDown, OpLinkUp:
+			// SetUp purges both directions and notifies both end nodes.
+			l := ix.link(op.Link)
+			a, b := linkEnds(l)
+			up := op.Kind == OpLinkUp
+			ix.scheduleOp(base+op.At, a, []netsim.Node{a, b}, func() { l.SetUp(up) })
 		case OpBridgeRestart:
-			eng.At(base+op.At, func() { ix.bridge(op.Bridge).(restartable).Restart() })
-		case OpSetLoss:
-			eng.At(base+op.At, func() {
-				l := ix.link(op.Link)
-				l.SetLoss(l.Ports()[op.Side], op.Rate)
-			})
-		case OpClearLoss:
-			eng.At(base+op.At, func() {
-				l := ix.link(op.Link)
-				l.SetLoss(l.Ports()[op.Side], 0)
+			// Restart wipes the bridge and bounces every attached link,
+			// which notifies each peer node.
+			br := ix.bridge(op.Bridge)
+			touch := []netsim.Node{br}
+			for _, p := range br.Ports() {
+				touch = append(touch, p.Peer().Node())
+			}
+			ix.scheduleOp(base+op.At, br, touch, func() { ix.bridge(op.Bridge).(restartable).Restart() })
+		case OpSetLoss, OpClearLoss:
+			// A direction's loss state is owned by the transmitting side.
+			l := ix.link(op.Link)
+			from := l.Ports()[op.Side]
+			rate := op.Rate
+			if op.Kind == OpClearLoss {
+				rate = 0
+			}
+			ix.scheduleOp(base+op.At, from.Node(), []netsim.Node{from.Node()}, func() {
+				l.SetLoss(from, rate)
 			})
 		case OpBurst:
 			offered += op.Count
 			sinks = append(sinks, app.NewSink(ix.host(op.Dst), op.Port))
 			src := ix.host(op.Src)
-			eng.At(base+op.At, func() {
+			ix.scheduleOp(base+op.At, src, []netsim.Node{src}, func() {
 				app.StartFlow(src, app.FlowConfig{
 					DstIP: ix.host(op.Dst).IP(), DstPort: op.Port, SrcPort: op.Port,
 					PayloadSize: op.Payload, Interval: op.Interval, Count: op.Count,
 				}, nil)
 			})
-		case OpHostMove:
-			eng.At(base+op.At, func() { ix.rehome(op.Host, true) })
-		case OpHostReturn:
-			eng.At(base+op.At, func() { ix.rehome(op.Host, false) })
+		case OpHostMove, OpHostReturn:
+			h := ix.host(op.Host)
+			toSpare := op.Kind == OpHostMove
+			ix.scheduleOp(base+op.At, h, ix.rehomeTouch(op.Host), func() { ix.rehome(op.Host, toSpare) })
 		}
 	}
 	return offered, sinks
+}
+
+// rehomeTouch is the node set a host move touches: the station plus the
+// edge bridges at both wall jacks (both links flip state).
+func (ix *netIndex) rehomeTouch(host int) []netsim.Node {
+	h := ix.host(host)
+	touch := []netsim.Node{h}
+	for _, li := range []int{ix.homeJack[host], ix.spareJack[host]} {
+		a, b := linkEnds(ix.link(li))
+		touch = append(touch, a, b)
+	}
+	return touch
 }
 
 // rehome swaps a station between its home and spare jacks and schedules
@@ -302,7 +352,11 @@ func (ix *netIndex) rehome(host int, toSpare bool) {
 	from.SetUp(false)
 	to.SetUp(true)
 	h := ix.host(host)
-	ix.built.Engine.At(ix.built.Now()+5*time.Millisecond, func() {
+	// Under the host's identity (not the control engine's): the
+	// announcement must fire whether the move ran as a barrier, as a
+	// shard-local event, or from heal's driver context — and carry the
+	// same partition-independent key in all three.
+	h.After(5*time.Millisecond, func() {
 		// The link may have flapped again (replayed/shrunk schedules);
 		// announce only while the new jack is still the live one.
 		if to.Up() {

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/flowpath"
 	"repro/internal/host"
 	"repro/internal/host/app"
 	"repro/internal/topo"
@@ -30,6 +31,16 @@ type Config struct {
 	Seed     int64
 	Topology TopologyFamily
 	Faults   FaultFamily
+
+	// Protocol selects the bridging protocol under test by registry name
+	// ("" = arppath). The invariant library adapts: the loop/flood/
+	// delivery/drain checks are protocol-independent, table walks follow
+	// whichever tables the protocol keeps (per-host for arppath and
+	// tcppath's fallback plane, per-pair for flowpath), and tcppath runs
+	// additionally classify flooded TCP SYNs as floods and must complete
+	// a post-quiescence TCP transfer. A variant run of a seed is a
+	// different scenario from the arppath run.
+	Protocol topo.Protocol
 
 	// Shards runs the simulation on a parallel engine partitioned into
 	// that many shards (0/1 = classic single engine). A scenario's trace,
@@ -59,6 +70,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Protocol == "" {
+		c.Protocol = topo.ARPPath
+	}
 	if c.Topology == "" {
 		c.Topology = TopoErdosRenyi
 	}
@@ -83,6 +97,9 @@ func (c Config) withDefaults() Config {
 // Name renders the scenario triple for reports.
 func (c Config) Name() string {
 	name := fmt.Sprintf("%s/%s/seed=%d", c.Topology, c.Faults, c.Seed)
+	if c.Protocol != "" && c.Protocol != topo.ARPPath {
+		name += "/" + string(c.Protocol)
+	}
 	if c.Big {
 		name += "/big"
 	}
@@ -123,6 +140,9 @@ type Result struct {
 	// Drained reports the engine ran to full quiescence (skipped when a
 	// loop-class violation fires, since a live loop never drains).
 	Drained bool
+	// Barriers counts coordinator barriers of a sharded run (0 at shards
+	// ≤ 1): the serial section the shard-local fault routing shrinks.
+	Barriers uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -266,6 +286,21 @@ func run(cfg Config, replayOps []FaultOp) *Result {
 		time.Duration(cfg.VerifyPings)*warmSpacing + 2*time.Second
 	built.RunFor(warmWindow)
 
+	// Phase 3c (tcppath only): a post-quiescence TCP transfer must
+	// complete — the per-connection machinery's delivery analog, opening
+	// with a SYN flood through whatever state the healed fabric kept.
+	var tcpRep *app.StreamReport
+	tcpProbe := cfg.Protocol == flowpath.ProtoTCPPath && len(pairs) > 0
+	if tcpProbe {
+		srv, cli := ix.host(pairs[0][0]), ix.host(pairs[0][1])
+		scfg := app.DefaultStreamConfig()
+		scfg.Size = 64 << 10
+		built.Engine.At(built.Now(), func() {
+			app.StartStream(srv, cli, scfg, func(r *app.StreamReport) { tcpRep = r })
+		})
+		built.RunFor(15 * time.Second)
+	}
+
 	// Phase 4: drain to full quiescence and run the post-mortem checks.
 	// A live forwarding loop regenerates events forever, so when the
 	// online checkers already caught one the drain is skipped — the
@@ -283,6 +318,10 @@ func run(cfg Config, replayOps []FaultOp) *Result {
 		for i, pr := range warmPairs {
 			pairName := ix.hostNames[pr[0]] + "<->" + ix.hostNames[pr[1]]
 			chk.CheckWarmDelivery(pairName, cfg.VerifyPings, warmAnswered[i], warmLastOK[i])
+		}
+		if tcpProbe {
+			pairName := ix.hostNames[pairs[0][0]] + "<->" + ix.hostNames[pairs[0][1]]
+			chk.CheckTCPDelivery(pairName, tcpRep != nil && tcpRep.Complete)
 		}
 	}
 
@@ -304,6 +343,7 @@ func run(cfg Config, replayOps []FaultOp) *Result {
 	res.ViolationsDropped = chk.Dropped()
 	res.Fingerprint = chk.Fingerprint()
 	res.Events = chk.Events()
+	res.Barriers = built.Network.Barriers()
 	return res
 }
 

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/flowpath"
+	"repro/internal/topo"
 )
 
 // sweepTopos × sweepFaults × sweepSeeds is the tier-1 sweep: 4 topology
@@ -121,6 +124,8 @@ func TestScenarioShardedMatchesSingle(t *testing.T) {
 		{Seed: 8, Topology: TopoFatTree, Faults: FaultsBridgeRestarts},
 		{Seed: 9, Topology: TopoRandomRegular, Faults: FaultsHostMobility},
 		{Seed: 10, Topology: TopoErdosRenyi, Faults: FaultsLinkFlaps, Proxy: true},
+		{Seed: 11, Topology: TopoErdosRenyi, Faults: FaultsMixed, Protocol: flowpath.ProtoFlowPath},
+		{Seed: 12, Topology: TopoRingOfRings, Faults: FaultsBridgeRestarts, Protocol: flowpath.ProtoTCPPath},
 	}
 	for _, base := range cases {
 		base := base
@@ -250,4 +255,69 @@ func TestShrinkEndToEnd(t *testing.T) {
 func ExampleConfig_Name() {
 	fmt.Println(Config{Seed: 42, Topology: TopoErdosRenyi, Faults: FaultsMixed}.Name())
 	// Output: erdos-renyi/mixed/seed=42
+}
+
+// TestShardLocalOpsReduceBarriers pins the barrier-reduction half of the
+// shard-local fault routing: the same -big scenario, run at shards=2 with
+// classification on and with every op forced onto the barrier path, must
+// pass both ways — and the classified run must use strictly fewer
+// coordinator barriers. (Trace equivalence across shard counts is pinned
+// separately by TestScenarioShardedMatchesSingle; barrier-forced mode
+// re-keys the ops, so its fingerprint is not comparable.)
+func TestShardLocalOpsReduceBarriers(t *testing.T) {
+	cfg := Config{Seed: 2, Topology: TopoErdosRenyi, Faults: FaultsMixed, Shards: 2, Big: true}
+	classified := Run(cfg)
+	if classified.Failed() {
+		t.Fatalf("classified run failed: %v", classified.Violations)
+	}
+	forceBarrierOps = true
+	defer func() { forceBarrierOps = false }()
+	forced := Run(cfg)
+	if forced.Failed() {
+		t.Fatalf("barrier-forced run failed: %v", forced.Violations)
+	}
+	if classified.Barriers >= forced.Barriers {
+		t.Fatalf("barriers: classified=%d, forced=%d — intra-shard ops did not leave the barrier path",
+			classified.Barriers, forced.Barriers)
+	}
+	t.Logf("barriers: classified=%d forced=%d (ops=%d)", classified.Barriers, forced.Barriers, len(classified.Ops))
+}
+
+// TestScenarioSweepVariants runs the invariant library against the
+// All-Path variants: Flow-Path and TCP-Path fabrics under the same
+// seeded topologies and fault schedules must hold loop-freedom, flood
+// bounds, table consistency (per-pair walks for flowpath, MAC + conn
+// walks for tcppath), eventual delivery and frame-drain — and tcppath
+// runs must complete a post-quiescence TCP transfer through a fresh
+// SYN-flood-raced connection path.
+func TestScenarioSweepVariants(t *testing.T) {
+	for _, proto := range []topo.Protocol{flowpath.ProtoFlowPath, flowpath.ProtoTCPPath} {
+		for _, tf := range sweepTopos {
+			for _, ff := range []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsQueuePressure, FaultsPartition} {
+				for _, seed := range []int64{1, 2} {
+					cfg := Config{Seed: seed, Topology: tf, Faults: ff, Protocol: proto}
+					t.Run(cfg.Name(), func(t *testing.T) {
+						r := Run(cfg)
+						if r.Failed() {
+							for _, v := range r.Violations {
+								t.Errorf("%v", v)
+							}
+							if r.ViolationsDropped > 0 {
+								t.Errorf("+%d further violations", r.ViolationsDropped)
+							}
+							for _, op := range r.OpsApplied {
+								t.Logf("schedule: %s", op)
+							}
+						}
+						if !r.Drained {
+							t.Errorf("scenario did not drain")
+						}
+						if r.ProbesAnswered != r.ProbesSent {
+							t.Errorf("probes answered %d/%d", r.ProbesAnswered, r.ProbesSent)
+						}
+					})
+				}
+			}
+		}
+	}
 }

@@ -49,10 +49,11 @@ func TopologyFamilies() []TopologyFamily {
 // scenario's build, so existing fingerprints are untouched).
 func buildTopology(cfg Config, plan *rand.Rand) *topo.Built {
 	f, seed, big := cfg.Topology, cfg.Seed, cfg.Big
-	opts := topo.DefaultOptions(topo.ARPPath, seed)
+	opts := topo.DefaultOptions(cfg.Protocol, seed)
 	opts.Shards = cfg.Shards
 	opts.SpareJacks = cfg.Faults == FaultsHostMobility
 	if cfg.Proxy {
+		// The proxy is an ARP-Path knob; Options.ARPPath enforces it.
 		opts.ARPPath().Proxy = true
 	}
 	if big {

@@ -364,6 +364,19 @@ func (e *Engine) ScheduleKeyed(t time.Duration, owner, oseq uint64, r Runner, ar
 	ev.rarg = arg
 }
 
+// ScheduleKeyedFunc enqueues fn at absolute time t with an explicit,
+// caller-computed key (the closure counterpart of ScheduleKeyed). netsim
+// uses it to give fault-injection events an entity's partition-independent
+// identity while choosing the executing engine separately: the same key
+// lands on a shard engine when the fault is shard-local and on the control
+// engine (a coordinator barrier) when it spans shards.
+func (e *Engine) ScheduleKeyedFunc(t time.Duration, owner, oseq uint64, fn func()) {
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e.newPooled(t, owner, oseq).fn = fn
+}
+
 // After schedules fn to run d after the current virtual time under the
 // root identity. Negative d panics.
 func (e *Engine) After(d time.Duration, fn func()) *Timer {
@@ -484,10 +497,24 @@ func (e *Engine) CurKey() (at time.Duration, owner, oseq uint64) {
 // Unlike RunUntil it does not advance the clock to the bound — the next
 // window recomputes its horizon from the real queue heads.
 func (e *Engine) RunWindow(bound time.Duration) int {
+	return e.RunWindowKey(bound, 0, 0)
+}
+
+// RunWindowKey executes every event whose full ordering key sorts
+// strictly before (at, owner, oseq) and reports how many ran. The key-
+// exact bound is what lets a pending coordinator barrier carry an entity
+// identity (owner > 0): shard events at the barrier's own timestamp with
+// smaller keys must still run inside the window, exactly where the
+// single-engine run would have executed them.
+func (e *Engine) RunWindowKey(at time.Duration, owner, oseq uint64) int {
 	n := 0
 	for {
-		next, ok := e.peek()
-		if !ok || next >= bound {
+		if _, ok := e.peek(); !ok {
+			return n
+		}
+		head := e.queue[0]
+		if head.at > at || (head.at == at && (head.owner > owner ||
+			(head.owner == owner && head.oseq >= oseq))) {
 			return n
 		}
 		e.Step()

@@ -32,6 +32,11 @@ import (
 	"repro/internal/host"
 	"repro/internal/netsim"
 	"repro/internal/topo"
+
+	// The All-Path variants (Flow-Path, TCP-Path) register themselves
+	// through the protocol registry exactly like an out-of-tree protocol
+	// would: importing the SDK is what links them into every harness.
+	_ "repro/internal/flowpath"
 )
 
 // Re-exported types: the SDK surface an out-of-tree protocol or harness

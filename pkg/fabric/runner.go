@@ -122,11 +122,13 @@ func (r *Runner) Run() (*Result, error) {
 	switch spec.Workload.Kind {
 	case "ping", "stream", "allpairs":
 		err = r.runSim(spec, out, res)
+	case "matrix":
+		err = r.runMatrix(spec, out, res)
 	case "figure2-demo":
 		err = r.runFigure2Demo(spec, out, res)
 	case "path-repair":
 		err = r.runPathRepair(spec, out, res)
-	case "properties", "load", "proxy", "repair", "lockwindow", "tablesize", "forward", "scale", "all":
+	case "properties", "load", "proxy", "repair", "lockwindow", "tablesize", "forward", "scale", "allpath", "all":
 		err = r.runBench(spec, out, errw, res)
 	case "sweep":
 		err = r.runSweep(spec, out, jobs, res)

@@ -105,11 +105,16 @@ type LinkSpec struct {
 //
 //   - "ping", "stream", "allpairs" — the simulator workloads on the
 //     Spec's topology (arppath-sim)
+//   - "matrix" — a spec-level traffic matrix on the Spec's topology:
+//     seeded flow arrivals following the hotspot, permutation or
+//     weighted-pairs pattern, driven as TCP-lite transfers for any
+//     registered protocol
 //   - "figure2-demo" — the ARP-Path vs STP latency demo (arpvstp)
 //   - "path-repair" — streaming under successive failures (pathrepair)
 //   - "properties", "load", "proxy", "repair", "lockwindow",
-//     "tablesize", "forward", "scale", "all" — the evaluation tables
-//     (fabricbench)
+//     "tablesize", "forward", "scale", "allpath", "all" — the evaluation
+//     tables (fabricbench); "allpath" is the Flow-Path/TCP-Path
+//     comparative experiment over the same matrices
 //   - "sweep" — the adversarial scenario sweep (scenario)
 type WorkloadSpec struct {
 	Kind string `json:"kind,omitempty"`
@@ -126,16 +131,31 @@ type WorkloadSpec struct {
 	FastSTP bool `json:"fast_stp,omitempty"`
 	// Frames is the pump volume of the forward benchmark.
 	Frames int `json:"frames,omitempty"`
-	// Bridges sizes the scale experiment's fabric.
+	// Bridges sizes the scale and allpath experiments' fabrics.
 	Bridges int `json:"bridges,omitempty"`
+
+	// Pattern selects the traffic matrix of the matrix workload and the
+	// allpath experiment: hotspot, permutation or pairs.
+	Pattern string `json:"pattern,omitempty"`
+	// Flows is the matrix flow count (0 = one per host).
+	Flows int `json:"flows,omitempty"`
+	// Hotspots is the hotspot pattern's hot-destination count.
+	Hotspots int `json:"hotspots,omitempty"`
+	// Skew is the pairs pattern's Zipf exponent.
+	Skew float64 `json:"skew,omitempty"`
+	// FlowBytes is the per-flow transfer size.
+	FlowBytes int `json:"flow_bytes,omitempty"`
+	// Arrival is the mean spacing of the seeded flow arrival schedule.
+	Arrival Duration `json:"arrival,omitempty"`
 }
 
 // ScenarioSpec parameterizes the adversarial sweep. The protocol under
-// test comes from Spec.Protocol (arppath, optionally with the proxy
-// enabled in its config extension — any other config tuning is rejected,
-// the sweep builds its fabrics with the defaults); the probe counts from
-// Spec.Verify. Spec.Link and Spec.WarmUp do not apply: each scenario
-// draws its own links and warm-up from its seed.
+// test comes from Spec.Protocol — arppath (optionally with the proxy
+// enabled in its config extension), flowpath or tcppath; any other
+// config tuning is rejected, the sweep builds its fabrics with the
+// defaults — and the probe counts from Spec.Verify. Spec.Link and
+// Spec.WarmUp do not apply: each scenario draws its own links and
+// warm-up from its seed.
 type ScenarioSpec struct {
 	// Topologies and Faults list family names, or ["all"] (the default;
 	// WithDefaults expands it).
@@ -324,7 +344,7 @@ func (p *ProtocolSpec) SetOption(key string, value any) error {
 }
 
 // topologyKinds are the workload kinds that build the Spec's topology.
-var topologyKinds = map[string]bool{"ping": true, "stream": true, "allpairs": true}
+var topologyKinds = map[string]bool{"ping": true, "stream": true, "allpairs": true, "matrix": true}
 
 func (t TopologySpec) withDefaults() TopologySpec {
 	switch t.Family {
@@ -392,6 +412,31 @@ func (w WorkloadSpec) withDefaults() WorkloadSpec {
 	case "scale":
 		if w.Bridges == 0 {
 			w.Bridges = 256
+		}
+	case "matrix":
+		if w.Pattern == "" {
+			w.Pattern = "hotspot"
+		}
+		if w.Hotspots == 0 {
+			w.Hotspots = 2
+		}
+		if w.Skew == 0 {
+			w.Skew = 1.5
+		}
+		if w.FlowBytes == 0 {
+			w.FlowBytes = 256 << 10
+		}
+		if w.Arrival == 0 {
+			w.Arrival = Duration(time.Millisecond)
+		}
+	case "allpath":
+		// The comparative experiment sweeps every pattern itself; only
+		// the fabric and flow-count knobs apply.
+		if w.Bridges == 0 {
+			w.Bridges = 24
+		}
+		if w.Flows == 0 {
+			w.Flows = 24
 		}
 	}
 	return w

@@ -52,6 +52,18 @@ func (r *Runner) runBench(spec Spec, out, errw io.Writer, res *Result) error {
 		}
 		res.BenchJSON = bench
 		r.emit(out, res, t)
+	case "allpath":
+		acfg := experiments.AllPathConfig{
+			Seed: seed, Bridges: spec.Workload.Bridges, Degree: 3,
+			Flows: spec.Workload.Flows,
+		}
+		rs := experiments.RunAllPath(acfg)
+		bench, err := experiments.AllPathJSON(acfg, rs)
+		if err != nil {
+			return err
+		}
+		res.BenchJSON = bench
+		r.emit(out, res, experiments.AllPathTable(rs))
 	case "all":
 		r.emit(out, res, experiments.T1Table(experiments.RunT1Properties(seed, 6)))
 		ap := experiments.RunT2Load(seed, topo.ARPPath)

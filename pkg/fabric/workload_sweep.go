@@ -6,35 +6,55 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/flowpath"
 	"repro/internal/scenario"
 	"repro/internal/topo"
 )
+
+// sweepProtocols are the protocols whose invariants the scenario engine
+// can verify: ARP-Path and the All-Path variants.
+var sweepProtocols = map[topo.Protocol]bool{
+	topo.ARPPath:           true,
+	flowpath.ProtoFlowPath: true,
+	flowpath.ProtoTCPPath:  true,
+}
 
 // runSweep is the scenario harness: seeded random topologies × seeded
 // fault schedules × protocol invariant checks, with shrink-on-failure.
 // Independent scenarios run concurrently on Jobs workers; each scenario's
 // seed, trace and fingerprint are identical at any Jobs value.
 func (r *Runner) runSweep(spec Spec, out io.Writer, jobs int, res *Result) error {
-	if topo.Protocol(spec.Protocol.Name) != topo.ARPPath {
-		return fmt.Errorf("fabric: the sweep verifies ARP-Path invariants; protocol %q is not sweepable", spec.Protocol.Name)
+	proto := topo.Protocol(spec.Protocol.Name)
+	if !sweepProtocols[proto] {
+		return fmt.Errorf("fabric: the sweep verifies All-Path invariants; protocol %q is not sweepable", spec.Protocol.Name)
 	}
-	// The one protocol knob the sweep honours is the proxy: a proxy-enabled
-	// Spec arms proxy mode (and the proxy-consistency invariant) fleet-wide.
-	// Any other tuning in the extension is rejected rather than silently
-	// dropped — each scenario builds its fabric with the defaults.
+	// The one protocol knob the sweep honours is ARP-Path's proxy: a
+	// proxy-enabled Spec arms proxy mode (and the proxy-consistency
+	// invariant) fleet-wide. Any other tuning in the extension is rejected
+	// rather than silently dropped — each scenario builds its fabric with
+	// the defaults.
 	proxy := false
-	if def, ok := topo.LookupProtocol(topo.ARPPath); ok {
+	if def, ok := topo.LookupProtocol(proto); ok {
 		cfg, err := decodeProtocolConfig(def, spec.Protocol.Config)
 		if err != nil {
 			return err
 		}
-		if c, ok := cfg.(*core.Config); ok {
-			def.ApplyDefaults(cfg)
+		def.ApplyDefaults(cfg)
+		switch c := cfg.(type) {
+		case *core.Config:
 			proxy = c.Proxy
 			ref := core.DefaultConfig()
 			ref.Proxy = c.Proxy
 			if *c != ref {
 				return fmt.Errorf("fabric: the sweep builds its fabrics with the default ARP-Path config; only the proxy knob is honoured (got %+v)", *c)
+			}
+		case *flowpath.Config:
+			if *c != flowpath.DefaultConfig() {
+				return fmt.Errorf("fabric: the sweep builds its fabrics with the default Flow-Path config (got %+v)", *c)
+			}
+		case *flowpath.TCPConfig:
+			if *c != flowpath.DefaultTCPConfig() {
+				return fmt.Errorf("fabric: the sweep builds its fabrics with the default TCP-Path config (got %+v)", *c)
 			}
 		}
 	}
@@ -48,6 +68,7 @@ func (r *Runner) runSweep(spec Spec, out io.Writer, jobs int, res *Result) error
 					Seed:        spec.Seed + int64(s),
 					Topology:    scenario.TopologyFamily(tf),
 					Faults:      scenario.FaultFamily(ff),
+					Protocol:    proto,
 					Big:         sc.Big,
 					Proxy:       proxy,
 					Shards:      spec.Shards,
@@ -134,9 +155,12 @@ func doShrink(out io.Writer, cfg scenario.Config, r *scenario.Result) {
 	for _, op := range res.OpsApplied {
 		fmt.Fprintf(out, "    %s\n", op)
 	}
-	// The reproduce line must name the exact scenario: big and proxy runs
-	// of a seed are different scenarios (different builds).
+	// The reproduce line must name the exact scenario: protocol, big and
+	// proxy runs of a seed are different scenarios (different builds).
 	extra := ""
+	if cfg.Protocol != "" && cfg.Protocol != topo.ARPPath {
+		extra += " -protocol " + string(cfg.Protocol)
+	}
 	if cfg.Big {
 		extra += " -big"
 	}

@@ -21,29 +21,37 @@ import (
 func TestSpecSmoke(t *testing.T) {
 	cases := []struct {
 		cmd  string
+		spec string // fixture basename; defaults to the cmd name
 		args []string
 	}{
-		{"fabricbench", nil},
-		{"scenario", []string{"-j", "2"}},
-		{"arppath-sim", nil},
-		{"arpvstp", nil},
-		{"pathrepair", nil},
+		{cmd: "fabricbench"},
+		{cmd: "scenario", args: []string{"-j", "2"}},
+		{cmd: "arppath-sim"},
+		{cmd: "arpvstp"},
+		{cmd: "pathrepair"},
+		// The All-Path variants run through the same simulator shell: the
+		// registry, not the cmd, is what selects the protocol.
+		{cmd: "arppath-sim", spec: "flowpath"},
+		{cmd: "arppath-sim", spec: "tcppath"},
 	}
 	for _, c := range cases {
 		c := c
-		t.Run(c.cmd, func(t *testing.T) {
-			golden, err := os.ReadFile("examples/specs/" + c.cmd + ".golden")
+		if c.spec == "" {
+			c.spec = c.cmd
+		}
+		t.Run(c.spec, func(t *testing.T) {
+			golden, err := os.ReadFile("examples/specs/" + c.spec + ".golden")
 			if err != nil {
 				t.Fatal(err)
 			}
-			args := append([]string{"run", "./cmd/" + c.cmd, "-spec", "examples/specs/" + c.cmd + ".json"}, c.args...)
+			args := append([]string{"run", "./cmd/" + c.cmd, "-spec", "examples/specs/" + c.spec + ".json"}, c.args...)
 			out, err := exec.Command("go", args...).Output()
 			if err != nil {
 				t.Fatalf("go %v: %v", args, err)
 			}
 			if string(out) != string(golden) {
 				t.Fatalf("output diverged from examples/specs/%s.golden.\ngot:\n%s\nwant:\n%s",
-					c.cmd, out, golden)
+					c.spec, out, golden)
 			}
 		})
 	}
