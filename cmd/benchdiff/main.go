@@ -1,0 +1,112 @@
+// Command benchdiff is the CI bench-regression gate: it compares a fresh
+// BENCH_scale.json against the committed baseline and fails when
+// events/s regressed beyond tolerance on any comparable record.
+//
+// Usage:
+//
+//	benchdiff -baseline bench/BENCH_scale.json -current BENCH_scale.json [-tolerance 0.10]
+//
+// Records pair by (bridges, shards). Wall-clock figures are machine
+// dependent, so the gate only fires on regressions past the tolerance;
+// improvements and small wobbles pass silently (and are reported).
+//
+// The committed baseline was recorded on a multi-core box; a single-core
+// CI runner cannot reproduce multi-shard numbers (shard workers would
+// time-slice one core). When GOMAXPROCS==1, only shards==1 records are
+// compared and the rest are reported as skipped. The deterministic
+// columns (events, delivered) are compared unconditionally — those never
+// depend on the machine, and a mismatch means the workload itself
+// changed, which requires re-recording the baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// record mirrors pkg/fabric's benchRecord (the BENCH_scale.json schema).
+type record struct {
+	Bridges      int     `json:"bridges"`
+	Shards       int     `json:"shards"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Events       uint64  `json:"events"`
+	Delivered    int     `json:"delivered"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func load(path string) ([]record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []record
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "bench/BENCH_scale.json", "committed baseline artifact")
+	current := flag.String("current", "BENCH_scale.json", "freshly produced artifact")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional events/s regression")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	curBy := make(map[[2]int]record, len(cur))
+	for _, r := range cur {
+		curBy[[2]int{r.Bridges, r.Shards}] = r
+	}
+
+	singleCore := runtime.GOMAXPROCS(0) == 1
+	failed := false
+	compared := 0
+	for _, b := range base {
+		c, ok := curBy[[2]int{b.Bridges, b.Shards}]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL bridges=%d shards=%d: record missing from %s\n",
+				b.Bridges, b.Shards, *current)
+			failed = true
+			continue
+		}
+		if c.Events != b.Events || c.Delivered != b.Delivered {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL bridges=%d shards=%d: deterministic columns moved (events %d->%d, delivered %d->%d) — workload changed, re-record the baseline\n",
+				b.Bridges, b.Shards, b.Events, c.Events, b.Delivered, c.Delivered)
+			failed = true
+			continue
+		}
+		if singleCore && b.Shards != 1 {
+			fmt.Printf("benchdiff: skip bridges=%d shards=%d: GOMAXPROCS=1 cannot reproduce multi-core numbers\n",
+				b.Bridges, b.Shards)
+			continue
+		}
+		compared++
+		ratio := c.EventsPerSec / b.EventsPerSec
+		verdict := "ok"
+		if ratio < 1.0-*tolerance {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchdiff: %s bridges=%d shards=%d: %.0f -> %.0f events/s (%.1f%%)\n",
+			verdict, b.Bridges, b.Shards, b.EventsPerSec, c.EventsPerSec, 100*(ratio-1))
+	}
+	if compared == 0 && !failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: FAIL: no records compared")
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

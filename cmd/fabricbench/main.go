@@ -11,6 +11,11 @@
 //	fabricbench [-spec FILE]
 //	            [-exp properties|load|proxy|repair|lockwindow|tablesize|forward|scale|allpath|all]
 //	            [-seed N] [-shards K] [-csv] [-bench-out FILE]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//
+// The profiling flags record pprof/runtime-trace artifacts around the
+// workload (DESIGN.md §11 documents the recipe); they change nothing in
+// any table, figure or fingerprint.
 //
 // -shards runs every experiment's simulation on K parallel engine shards;
 // all figure/table outputs are byte-identical for any K (only wall-clock
@@ -36,6 +41,9 @@ func main() {
 	shards := flag.Int("shards", 1, "run simulations on K parallel engine shards")
 	bridges := flag.Int("bridges", 0, "fabric size override for -exp scale / -exp allpath (0 = the experiment's default)")
 	benchOut := flag.String("bench-out", "", "write the -exp scale / -exp allpath JSON artifact to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the workload to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-workload, after GC) to this file")
+	execTrace := flag.String("trace", "", "write a runtime execution trace of the workload to this file")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "fabricbench: unexpected arguments")
@@ -76,7 +84,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	runner := fabric.Runner{Spec: spec, CSV: *csv}
+	runner := fabric.Runner{Spec: spec, CSV: *csv, Profile: fabric.ProfileOptions{
+		CPUPath: *cpuProfile, MemPath: *memProfile, TracePath: *execTrace,
+	}}
 	res, err := runner.Run()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fabricbench: %v\n", err)

@@ -28,10 +28,11 @@ type Sink struct {
 	count int
 }
 
-// NewSink binds a counting receiver on h:port.
+// NewSink binds a counting receiver on h:port. The sink never reads the
+// payload, so it takes borrowed (zero-copy) delivery.
 func NewSink(h *host.Host, port uint16) *Sink {
 	s := &Sink{}
-	h.UDP(port, func(host.Datagram) { s.count++ })
+	h.UDP(port, func(host.Datagram) { s.count++ }).Borrow()
 	return s
 }
 

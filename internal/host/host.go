@@ -49,16 +49,25 @@ type Host struct {
 	udp   map[uint16]*UDPSocket
 	tcp   *tcpHost
 	stats Stats
+
+	// Reusable transmit scratch for the cached-resolution fast path of
+	// sendIP. Safe to share across sends: serialization is synchronous and
+	// Port.Send copies the bytes into a pooled frame before returning.
+	txBuf *layers.SerializeBuffer
+	txEth layers.Ethernet
+	txIP  layers.IPv4
+	txLs  [6]layers.SerializableLayer
 }
 
 // New creates host number n named name: MAC 02:00:00::n, IP 10.0.n.
 func New(net *netsim.Network, name string, n int) *Host {
 	h := &Host{
-		net:  net,
-		name: name,
-		mac:  layers.HostMAC(n),
-		ip:   layers.HostIP(n),
-		udp:  make(map[uint16]*UDPSocket),
+		net:   net,
+		name:  name,
+		mac:   layers.HostMAC(n),
+		ip:    layers.HostIP(n),
+		udp:   make(map[uint16]*UDPSocket),
+		txBuf: layers.NewSerializeBuffer(),
 	}
 	h.arp = newARPCache(h, DefaultARPConfig())
 	h.icmp = newICMPEndpoint(h)
@@ -187,7 +196,25 @@ func (h *Host) handleIPv4(eth *layers.Ethernet) {
 
 // sendIP resolves dst's MAC and transmits the transport layers under an
 // IPv4 header. Packets are queued while resolution is in flight.
+//
+// The cached-binding case — every packet of an established conversation —
+// serializes into the host's reusable scratch instead of allocating a
+// resolution closure, a layer slice and a fresh buffer per packet. The
+// miss path keeps the allocating closure: its captures must survive until
+// the ARP exchange completes.
 func (h *Host) sendIP(dst layers.Addr4, proto uint8, transport ...layers.SerializableLayer) {
+	if mac, ok := h.arp.lookup(dst); ok {
+		h.txEth = layers.Ethernet{Dst: mac, Src: h.mac, EtherType: layers.EtherTypeIPv4}
+		h.txIP = layers.IPv4{TTL: 64, Protocol: proto, Src: h.ip, Dst: dst}
+		ls := append(h.txLs[:0], &h.txEth, &h.txIP)
+		ls = append(ls, transport...)
+		if err := layers.SerializeLayers(h.txBuf, layers.FixAll, ls...); err != nil {
+			panic(fmt.Sprintf("host %s: serialize: %v", h.name, err))
+		}
+		h.stats.IPTx++
+		h.send(h.txBuf.Bytes())
+		return
+	}
 	h.arp.resolve(dst, func(mac layers.MAC, err error) {
 		if err != nil {
 			return // resolution failed; transports retransmit on their own

@@ -6,7 +6,10 @@ import (
 	"repro/internal/layers"
 )
 
-// Datagram is a received UDP payload with its source.
+// Datagram is a received UDP payload with its source. Data is a private
+// copy the receiver may retain — unless the socket opted into Borrow
+// delivery, in which case it aliases the pooled frame and is valid only
+// for the duration of the callback.
 type Datagram struct {
 	SrcIP   layers.Addr4
 	SrcPort uint16
@@ -15,12 +18,13 @@ type Datagram struct {
 
 // UDPSocket is a bound UDP port on a host.
 type UDPSocket struct {
-	h     *Host
-	port  uint16
-	onRx  func(Datagram)
-	rx    uint64
-	tx    uint64
-	drops uint64
+	h      *Host
+	port   uint16
+	onRx   func(Datagram)
+	borrow bool
+	rx     uint64
+	tx     uint64
+	drops  uint64
 }
 
 // UDP binds port on the host. onRx is invoked for each received datagram
@@ -36,6 +40,16 @@ func (h *Host) UDP(port uint16, onRx func(Datagram)) *UDPSocket {
 
 // Close releases the port.
 func (s *UDPSocket) Close() { delete(s.h.udp, s.port) }
+
+// Borrow switches the socket to zero-copy delivery: Datagram.Data handed
+// to onRx aliases the pooled frame buffer and is valid only until the
+// callback returns. Receivers that never retain the payload (counters,
+// request/response handlers that answer inline) skip a per-datagram copy
+// on the hot path. Returns the socket for chaining at bind time.
+func (s *UDPSocket) Borrow() *UDPSocket {
+	s.borrow = true
+	return s
+}
 
 // Port returns the bound local port.
 func (s *UDPSocket) Port() uint16 { return s.port }
@@ -73,8 +87,12 @@ func (h *Host) handleUDP(ip *layers.IPv4) {
 	if s.onRx != nil {
 		// The frame buffer is pooled and recycled after delivery, but
 		// sockets routinely retain datagrams past the callback (tests,
-		// request/response apps), so hand them a private copy.
-		data := append([]byte(nil), u.Payload()...)
+		// request/response apps), so hand them a private copy — unless the
+		// socket declared itself borrow-safe.
+		data := u.Payload()
+		if !s.borrow {
+			data = append([]byte(nil), data...)
+		}
 		s.onRx(Datagram{SrcIP: ip.Src, SrcPort: u.SrcPort, Data: data})
 	}
 }

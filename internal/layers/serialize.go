@@ -11,6 +11,7 @@ package layers
 type SerializeBuffer struct {
 	buf   []byte // backing storage
 	start int    // first used byte in buf
+	head  int    // headroom high-water mark restored by Clear
 }
 
 // defaultHeadroom leaves room for the usual header stack
@@ -31,6 +32,7 @@ func NewSerializeBufferExpectedSize(prepend, append int) *SerializeBuffer {
 	return &SerializeBuffer{
 		buf:   make([]byte, prepend, prepend+append),
 		start: prepend,
+		head:  prepend,
 	}
 }
 
@@ -57,6 +59,7 @@ func (b *SerializeBuffer) PrependBytes(n int) []byte {
 		copy(nb[head:], b.Bytes())
 		b.buf = nb
 		b.start = head
+		b.head = head
 	}
 	b.start -= n
 	return b.buf[b.start : b.start+n]
@@ -80,14 +83,18 @@ func (b *SerializeBuffer) AppendBytes(n int) []byte {
 }
 
 // Clear resets the buffer to empty, restoring headroom for the next packet.
-// Previously returned Bytes slices are invalidated.
+// Previously returned Bytes slices are invalidated. The headroom restored
+// is the largest the buffer has ever had, not whatever a previous packet
+// left over — a reused buffer reaches a steady state where packets of the
+// same shape serialize with no allocation at all.
 func (b *SerializeBuffer) Clear() {
-	head := b.start
+	head := b.head
 	if head == 0 {
 		head = defaultHeadroom
 		if cap(b.buf) < head {
 			b.buf = make([]byte, head, head+512)
 		}
+		b.head = head
 	}
 	b.buf = b.buf[:head]
 	b.start = head

@@ -1,9 +1,5 @@
 package netsim
 
-import (
-	"hash/fnv"
-)
-
 // TapFingerprint folds every tap event into a running FNV-1a digest with
 // frame identities normalized to first-seen order. It is THE trace
 // fingerprint of the repository — the scenario checker, the scaling
@@ -64,8 +60,15 @@ func (t *TapFingerprint) fold(vs ...uint64) {
 	t.fp = h
 }
 
+// foldString folds FNV-1a(s) into the digest. The hash is computed inline
+// straight off the string — same value hash/fnv produces, without the
+// hasher and []byte conversion allocations the stdlib route costs per
+// event on a tapped run.
 func (t *TapFingerprint) foldString(s string) {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	t.fold(h.Sum64())
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	t.fold(h)
 }

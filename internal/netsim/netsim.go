@@ -202,6 +202,12 @@ func (n *Network) Links() []*Link { return n.links }
 // Tap registers fn to observe every frame event in the network.
 func (n *Network) Tap(fn TapFunc) { n.taps = append(n.taps, fn) }
 
+// tracing reports whether any tap is installed. The frame hot path guards
+// every emit call behind it so an untapped run never pays for assembling
+// the TapEvent (the dominant configuration for benchmarks: the check is
+// one load+branch per frame event instead of a struct fill).
+func (n *Network) tracing() bool { return len(n.taps) > 0 }
+
 // emit reports a tap event observed while engine e was executing. During
 // a parallel window the event is buffered per shard (bytes copied into a
 // per-shard arena, stamped with the executing event's ordering key) and
@@ -247,6 +253,8 @@ func (n *Network) Connect(a, b Node, cfg LinkConfig) *Link {
 	n.nports[b]++
 	l.ports[0] = &Port{node: a, index: ia, link: l, side: 0}
 	l.ports[1] = &Port{node: b, index: ib, link: l, side: 1}
+	l.ports[0].str = fmt.Sprintf("%s[%d]", a.Name(), ia)
+	l.ports[1].str = fmt.Sprintf("%s[%d]", b.Name(), ib)
 	// Each direction transmits under its own identity: flight events are
 	// keyed by (link direction, per-direction sequence), both functions of
 	// the sending side's deterministic history alone, so delivery order is
@@ -354,6 +362,7 @@ type Port struct {
 	index int
 	link  *Link
 	side  int
+	str   string // cached String(): node name and index are fixed at cabling
 	stats PortStats
 }
 
@@ -383,7 +392,12 @@ func (p *Port) Stats() PortStats {
 }
 
 // String renders "node[index]".
-func (p *Port) String() string { return fmt.Sprintf("%s[%d]", p.node.Name(), p.index) }
+func (p *Port) String() string {
+	if p.str != "" {
+		return p.str
+	}
+	return fmt.Sprintf("%s[%d]", p.node.Name(), p.index)
+}
 
 // Send copies frame into a pooled buffer and transmits it out this port;
 // the caller may reuse its slice. This is the origination path (hosts,
@@ -574,13 +588,17 @@ func deliver(e *sim.Engine, l *Link, from, to *Port, f *Frame, epoch uint64) {
 		// link this runs in the receiver's shard while the sender owns the
 		// rest of the port counters, hence the atomic.
 		atomic.AddUint64(&from.stats.DropsDown, 1)
-		l.net.emit(e, TapEvent{At: e.Now(), Kind: TapDropDown, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
+		if l.net.tracing() {
+			l.net.emit(e, TapEvent{At: e.Now(), Kind: TapDropDown, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
+		}
 		f.Release()
 		return
 	}
 	to.stats.RxFrames++
 	to.stats.RxBytes += uint64(f.Len())
-	l.net.emit(e, TapEvent{At: e.Now(), Kind: TapDeliver, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
+	if l.net.tracing() {
+		l.net.emit(e, TapEvent{At: e.Now(), Kind: TapDeliver, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
+	}
 	to.node.HandleFrame(to, f)
 	f.Release()
 }
@@ -618,18 +636,24 @@ func (l *Link) admit(from *Port, frame []byte, id uint64) bool {
 	now := e.Now()
 	if !l.up {
 		atomic.AddUint64(&from.stats.DropsDown, 1)
-		l.net.emit(e, TapEvent{At: now, Kind: TapDropDown, From: from, To: from.Peer(), Frame: frame, FrameID: id})
+		if l.net.tracing() {
+			l.net.emit(e, TapEvent{At: now, Kind: TapDropDown, From: from, To: from.Peer(), Frame: frame, FrameID: id})
+		}
 		return false
 	}
 	d := &l.dir[from.side]
 	if d.lossRate > 0 && d.rng.Float64() < d.lossRate {
 		from.stats.DropsLoss++
-		l.net.emit(e, TapEvent{At: now, Kind: TapDropLoss, From: from, To: from.Peer(), Frame: frame, FrameID: id})
+		if l.net.tracing() {
+			l.net.emit(e, TapEvent{At: now, Kind: TapDropLoss, From: from, To: from.Peer(), Frame: frame, FrameID: id})
+		}
 		return false
 	}
 	if d.queuedBytes+layers.WireBytes(len(frame)) > l.cfg.Queue {
 		from.stats.DropsQueue++
-		l.net.emit(e, TapEvent{At: now, Kind: TapDropQueue, From: from, To: from.Peer(), Frame: frame, FrameID: id})
+		if l.net.tracing() {
+			l.net.emit(e, TapEvent{At: now, Kind: TapDropQueue, From: from, To: from.Peer(), Frame: frame, FrameID: id})
+		}
 		return false
 	}
 	return true
@@ -663,7 +687,9 @@ func (l *Link) transmit(from *Port, f *Frame) {
 	from.stats.TxFrames++
 	from.stats.TxBytes += uint64(f.Len())
 	to := from.Peer()
-	l.net.emit(e, TapEvent{At: now, Kind: TapSend, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
+	if l.net.tracing() {
+		l.net.emit(e, TapEvent{At: now, Kind: TapSend, From: from, To: to, Frame: f.Bytes(), FrameID: f.id})
+	}
 
 	// Both events are keyed now (not at txDone) by this direction's
 	// identity, so the (time, owner, seq) order of deliveries — and every

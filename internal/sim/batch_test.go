@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPendingCountsBufferedEvents pins the queue-size accounting across
+// the batched path's three pending structures: a handler that schedules
+// work mid-batch must see it in Pending() whether the engine staged it in
+// the run buffer, the spill buffer, or the heap.
+func TestPendingCountsBufferedEvents(t *testing.T) {
+	for _, batched := range []bool{true, false} {
+		e := New(1)
+		e.SetBatched(batched)
+		var inside []int
+		for i := 0; i < 5; i++ {
+			e.Schedule(time.Duration(i)*time.Microsecond, func() {})
+		}
+		// At t=10µs: schedule one event into the current window (same
+		// timestamp ⇒ spill or heap), one at a future time (heap), then
+		// record what Pending reports from inside the handler.
+		e.Schedule(10*time.Microsecond, func() {
+			e.Schedule(10*time.Microsecond, func() {})
+			e.Schedule(20*time.Microsecond, func() {})
+			inside = append(inside, e.Pending())
+		})
+		e.Run()
+		if len(inside) != 1 || inside[0] != 2 {
+			t.Fatalf("batched=%v: Pending inside handler = %v, want [2]", batched, inside)
+		}
+		if got := e.Pending(); got != 0 {
+			t.Fatalf("batched=%v: Pending after Run = %d, want 0", batched, got)
+		}
+		if e.Processed() != 8 {
+			t.Fatalf("batched=%v: processed %d events, want 8", batched, e.Processed())
+		}
+	}
+}
+
+// TestPendingCountsCanceledInBuffers mirrors the long-standing heap
+// semantics on the batched path: canceled events still count in Pending
+// until the queue discards them lazily.
+func TestPendingCountsCanceledInBuffers(t *testing.T) {
+	e := New(1)
+	var tm *Timer
+	e.Schedule(time.Microsecond, func() {
+		tm = e.At(5*time.Microsecond, func() { t.Fatal("canceled event ran") })
+		tm.Stop()
+	})
+	e.Run()
+	if !tm.Stopped() {
+		t.Fatal("Stop did not take")
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", got)
+	}
+}
+
+// execRecord is one executed event in a differential log.
+type execRecord struct {
+	at          time.Duration
+	owner, oseq uint64
+	tag         int
+}
+
+// runRandomWorkload drives one randomized scheduling storm on a fresh
+// engine and returns the execution log. The workload is built to stress
+// every batched-path structure: bursts of events sharing one timestamp
+// (shuffled owner order, so spill appends go out of order and fall back
+// to the heap), cascades scheduled from inside handlers at the current
+// timestamp and at tiny deltas (landing inside the live window), timer
+// cancellations (stale entries in run/spill/heap), and occasional far
+// jumps (forcing window turnover).
+func runRandomWorkload(seed int64, batched bool) []execRecord {
+	e := New(seed)
+	e.SetBatched(batched)
+	rng := rand.New(rand.NewSource(seed))
+	procs := make([]*Proc, 8)
+	for i := range procs {
+		procs[i] = NewProc(e, uint64(i+1))
+	}
+	var log []execRecord
+	var timers []*Timer
+	tag := 0
+	var spawn func(depth int) func()
+	spawn = func(depth int) func() {
+		id := tag
+		tag++
+		return func() {
+			at, owner, oseq := e.CurKey()
+			log = append(log, execRecord{at: at, owner: owner, oseq: oseq, tag: id})
+			if depth >= 3 {
+				return
+			}
+			n := rng.Intn(4)
+			for i := 0; i < n; i++ {
+				p := procs[rng.Intn(len(procs))]
+				var d time.Duration
+				switch rng.Intn(4) {
+				case 0: // same timestamp, possibly smaller owner: window head
+					d = 0
+				case 1: // inside the live window
+					d = time.Duration(rng.Intn(3)) * time.Nanosecond
+				case 2: // near future
+					d = time.Duration(rng.Intn(500)) * time.Nanosecond
+				default: // far jump
+					d = time.Duration(1+rng.Intn(5)) * time.Microsecond
+				}
+				if rng.Intn(5) == 0 {
+					timers = append(timers, p.At(p.Now()+d, spawn(depth+1)))
+				} else {
+					p.Schedule(p.Now()+d, spawn(depth+1))
+				}
+			}
+			// Cancel a random outstanding timer now and then, wherever its
+			// entry happens to be staged.
+			if len(timers) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(timers))
+				timers[i].Stop()
+				timers[i] = timers[len(timers)-1]
+				timers = timers[:len(timers)-1]
+			}
+		}
+	}
+	// Seed bursts: many events at identical timestamps under shuffled
+	// owners, plus a sprinkle of distinct times.
+	for burst := 0; burst < 6; burst++ {
+		at := time.Duration(burst) * 300 * time.Nanosecond
+		order := rng.Perm(len(procs))
+		for _, pi := range order {
+			for k := 0; k < 3; k++ {
+				procs[pi].Schedule(at, spawn(0))
+			}
+		}
+	}
+	e.Run()
+	return log
+}
+
+// TestBatchedMatchesUnbatchedDifferential is the engine-level half of the
+// batch determinism argument: for a sweep of seeds, a randomized workload
+// executes in the byte-identical order on the batched window-drain path
+// and the unbatched one-pop-per-event reference path.
+func TestBatchedMatchesUnbatchedDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := runRandomWorkload(seed, true)
+		b := runRandomWorkload(seed, false)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: batched ran %d events, unbatched %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: execution diverges at event %d: batched %+v, unbatched %+v",
+					seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestSpillOverflowKeepsOrder overflows the spill cap from inside a single
+// window — far more same-timestamp events than maxSpill, scheduled in
+// shuffled owner order so most inserts also fail the monotonic-append rule
+// — and asserts the engine still executes every event in exact
+// (time, owner, oseq) order via the heap-merge fallback.
+func TestSpillOverflowKeepsOrder(t *testing.T) {
+	e := New(7)
+	rng := rand.New(rand.NewSource(7))
+	const owners = 64
+	procs := make([]*Proc, owners)
+	for i := range procs {
+		procs[i] = NewProc(e, uint64(i+1))
+	}
+	var log []execRecord
+	record := func() {
+		at, owner, oseq := e.CurKey()
+		log = append(log, execRecord{at: at, owner: owner, oseq: oseq})
+	}
+	const at = time.Microsecond
+	e.Schedule(at, func() {
+		// 2×maxSpill+64 events, all at the executing timestamp, owners
+		// shuffled: the window bound is beyond them all, so every one is
+		// spill-eligible and most must overflow or divert to the heap.
+		for i := 0; i < 2*maxSpill+64; i++ {
+			procs[rng.Intn(owners)].Schedule(at, record)
+		}
+	})
+	e.Run()
+	if len(log) != 2*maxSpill+64 {
+		t.Fatalf("ran %d events, want %d", len(log), 2*maxSpill+64)
+	}
+	for i := 1; i < len(log); i++ {
+		p, c := log[i-1], log[i]
+		if c.at != p.at {
+			t.Fatalf("event %d: time moved %v -> %v inside a same-time burst", i, p.at, c.at)
+		}
+		if c.owner < p.owner || (c.owner == p.owner && c.oseq <= p.oseq) {
+			t.Fatalf("event %d: key order violated: (%d,%d) after (%d,%d)",
+				i, c.owner, c.oseq, p.owner, p.oseq)
+		}
+	}
+}
+
+// TestSetDefaultBatched pins the package-level switch the differential
+// fabric tests rely on to force every engine of a sharded run (control
+// plus shards) onto the reference path.
+func TestSetDefaultBatched(t *testing.T) {
+	prev := SetDefaultBatched(false)
+	defer SetDefaultBatched(prev)
+	if e := New(1); e.Batched() {
+		t.Fatal("New ignored SetDefaultBatched(false)")
+	}
+	SetDefaultBatched(true)
+	if e := New(1); !e.Batched() {
+		t.Fatal("New ignored SetDefaultBatched(true)")
+	}
+}

@@ -21,11 +21,26 @@
 // an execution order that does not depend on how the fabric is partitioned
 // into shards, which is the determinism bedrock the parallel coordinator
 // in internal/netsim builds on.
+//
+// Representation (DESIGN.md §11): events live in a generation-guarded
+// arena and the pending queue is a binary heap of pointer-free 32-byte
+// entries carrying the full ordering key inline. Comparisons during heap
+// maintenance touch only the contiguous entry slice — no pointer chasing,
+// no interface dispatch, no GC write barriers on sift swaps — and
+// cancellation is a generation bump, with stale entries skipped lazily
+// when the queue reaches them. On top of that sits batched window-drain
+// execution (Run/RunUntil/RunWindowKey): the heap's front window is popped
+// into a reusable run buffer and dispatched as a batch, with events
+// scheduled *during* the batch that fall inside the window going to a
+// small insertion-sorted spill buffer instead of the heap. Execution
+// always takes the minimum pending key across run buffer, spill buffer
+// and heap, so the order is exactly the classic one-pop-per-event order —
+// the batching is invisible everywhere except the wall clock.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 )
@@ -36,93 +51,179 @@ import (
 // far below it. Use SetEventLimit to raise it for very long runs.
 const DefaultEventLimit = 50_000_000
 
+// Batch geometry. maxBatch is how many heap-front events one refill moves
+// into the run buffer: big enough to amortize the per-batch bookkeeping,
+// small enough that the window (bounded by the next heap key after the
+// refill) stays short and the spill buffer stays cache-resident. maxSpill
+// caps the *pending* spill tail; events past it fall back to the heap,
+// which the dispatch merge also consumes, so overflow affects cost, never
+// order.
+const (
+	maxBatch = 128
+	maxSpill = 512
+)
+
+// defaultBatched is the execution mode New hands to fresh engines. The
+// differential determinism tests flip it to force entire fabrics (shard
+// engines included) onto the unbatched reference path; see
+// SetDefaultBatched.
+var defaultBatched = true
+
+// SetDefaultBatched sets whether engines created by New use batched
+// window-drain execution (the default) or the unbatched one-pop-per-event
+// reference path. It exists for differential testing — run a workload both
+// ways, require byte-identical traces — and must not be called while
+// engines are running. Returns the previous value.
+func SetDefaultBatched(on bool) bool {
+	prev := defaultBatched
+	defaultBatched = on
+	return prev
+}
+
 // Timer is a handle to a scheduled event. The zero value is not a valid
 // Timer; handles are produced by Engine.At and Engine.After.
 type Timer struct {
-	ev *event
+	eng     *Engine
+	at      time.Duration
+	idx     int32 // arena slot + 1; 0 = no event
+	gen     uint32
+	stopped bool
 }
 
 // Stop cancels the timer. It reports whether the call prevented the event
 // from firing: false means the event already ran (or was already stopped).
-// Stopping a nil Timer is a no-op that returns false.
+// Stopping a nil Timer is a no-op that returns false. Cancellation is
+// O(1): the arena slot is released under a generation bump and the queue
+// entry is skipped when the queue reaches it.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.done {
+	if t == nil || t.idx == 0 || t.stopped {
 		return false
 	}
-	t.ev.canceled = true
+	e := t.eng
+	a := &e.arena[t.idx-1]
+	if a.free || a.gen != t.gen {
+		return false // already fired
+	}
+	e.release(t.idx - 1)
+	t.stopped = true
 	return true
 }
 
 // Stopped reports whether the timer was canceled before it fired.
-func (t *Timer) Stopped() bool { return t != nil && t.ev != nil && t.ev.canceled }
+func (t *Timer) Stopped() bool { return t != nil && t.stopped }
 
 // When returns the virtual time the event is (or was) scheduled to fire
 // at. A nil or zero Timer has no event and reports zero, mirroring the
 // nil-safety of Stop and Stopped.
 func (t *Timer) When() time.Duration {
-	if t == nil || t.ev == nil {
+	if t == nil {
 		return 0
 	}
-	return t.ev.at
+	return t.at
 }
 
 // Runner is the allocation-free event callback: an object whose RunEvent
 // method fires when the event comes due. Unlike a closure handed to At,
 // a Runner carries its own state, so scheduling one allocates nothing —
-// the engine recycles the internal event object after it fires. arg
-// distinguishes multiple events pending on the same Runner (netsim uses
-// it to tell a serializer-free event from a frame arrival).
+// the engine recycles the arena slot after it fires. arg distinguishes
+// multiple events pending on the same Runner (netsim uses it to tell a
+// serializer-free event from a frame arrival).
 type Runner interface {
 	RunEvent(arg int32)
 }
 
+// event is one arena slot: the payload of a scheduled event. The ordering
+// key does not live here — it rides in the queue entry — so heap
+// maintenance never touches the arena. Slots are recycled through a free
+// list; the generation counter invalidates stale queue entries and Timer
+// handles cheaply, which is what makes cancellation O(1) with no heap
+// fix-up.
 type event struct {
-	at       time.Duration
-	owner    uint64 // scheduling identity (Proc id; 0 = the root driver)
-	oseq     uint64 // per-owner sequence: FIFO among one owner's equal-time events
 	fn       func()
 	runner   Runner // alternative to fn for pooled, closure-free events
 	rarg     int32  // argument passed to runner.RunEvent
-	pooled   bool   // recycle after firing (no Timer handle exists)
-	canceled bool
-	done     bool
-	index    int // heap index, -1 once popped
+	gen      uint32 // bumped on release; guards entries and Timer handles
+	free     bool
+	nextFree int32
 }
 
-type eventHeap []*event
+// entry is one pending event in the queue, run buffer or spill buffer:
+// the full ordering key inline plus the generation-guarded arena
+// reference. Entries are 32 pointer-free bytes, so sift swaps are plain
+// memory moves with no GC write barrier and key comparisons stay inside
+// the contiguous slice.
+type entry struct {
+	at          time.Duration
+	owner, oseq uint64 // scheduling identity (owner 0 = the root driver) + per-owner seq
+	idx         int32
+	gen         uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// entryLess orders entries by (time, owner, owner-sequence).
+func entryLess(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].owner != h[j].owner {
-		return h[i].owner < h[j].owner
+	if a.owner != b.owner {
+		return a.owner < b.owner
 	}
-	return h[i].oseq < h[j].oseq
+	return a.oseq < b.oseq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// keyBelow reports whether (at, owner, oseq) sorts strictly before the
+// bound key.
+func keyBelow(at time.Duration, owner, oseq uint64, bAt time.Duration, bOwner, bOseq uint64) bool {
+	if at != bAt {
+		return at < bAt
+	}
+	if owner != bOwner {
+		return owner < bOwner
+	}
+	return oseq < bOseq
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// eventHeap is a binary min-heap of entries with the comparison inlined —
+// no container/heap interface dispatch on the hot path.
+type eventHeap []entry
+
+func (h *eventHeap) push(en entry) {
+	q := append(*h, en)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryLess(&q[i], &q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+func (h *eventHeap) popMin() entry {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && entryLess(&q[r], &q[l]) {
+			m = r
+		}
+		if !entryLess(&q[m], &q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
 }
 
 // Proc is a deterministic scheduling identity bound to one Engine: the
@@ -196,7 +297,7 @@ func (p *Proc) Schedule(t time.Duration, fn func()) {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	p.eng.newPooled(t, p.id, p.NextSeq()).fn = fn
+	p.eng.scheduleFunc(t, p.id, p.NextSeq(), fn)
 }
 
 // ScheduleRunner enqueues r.RunEvent(arg) at absolute time t under this
@@ -205,9 +306,7 @@ func (p *Proc) ScheduleRunner(t time.Duration, r Runner, arg int32) {
 	if r == nil {
 		panic("sim: nil event runner")
 	}
-	ev := p.eng.newPooled(t, p.id, p.NextSeq())
-	ev.runner = r
-	ev.rarg = arg
+	p.eng.scheduleRunner(t, p.id, p.NextSeq(), r, arg)
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
@@ -220,12 +319,27 @@ type Engine struct {
 	now       time.Duration
 	root      Proc
 	queue     eventHeap
-	free      []*event // recycled pooled events (Schedule/ScheduleRunner)
+	arena     []event
+	freeHead  int32 // arena free list head, -1 when empty
 	rng       *rand.Rand
 	seed      int64
 	processed uint64
 	limit     uint64
-	id        int // shard index (0 when unsharded)
+	id        int  // shard index (0 when unsharded)
+	unbatched bool // force the one-pop-per-event reference path
+
+	// Batched window-drain state (see drain). run is the heap's popped
+	// front window, spill collects events scheduled during the batch that
+	// fall inside it; both are consumed by index and reused across
+	// batches. While inBatch is set, bound{At,Owner,Seq} is the window's
+	// exclusive key bound, and enqueues below it route to the spill.
+	run                  []entry
+	runPos               int
+	spill                []entry
+	spillPos             int
+	inBatch              bool
+	boundAt              time.Duration
+	boundOwner, boundSeq uint64
 
 	// Key of the event currently executing — the causal stamp the tap
 	// buffering layer records so per-shard tap streams can be merged into
@@ -238,9 +352,11 @@ type Engine struct {
 // built with the same seed and fed the same schedule produce identical runs.
 func New(seed int64) *Engine {
 	e := &Engine{
-		rng:   rand.New(rand.NewSource(seed)),
-		seed:  seed,
-		limit: DefaultEventLimit,
+		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
+		limit:     DefaultEventLimit,
+		freeHead:  -1,
+		unbatched: !defaultBatched,
 	}
 	e.root = Proc{eng: e}
 	return e
@@ -271,8 +387,23 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events still queued (including canceled
-// events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// events that have not yet been discarded). During batched execution,
+// events pending in the run and spill buffers count exactly like events
+// still in the heap — a handler that schedules work observes it here
+// wherever the engine happens to have staged it.
+func (e *Engine) Pending() int {
+	return len(e.queue) + (len(e.run) - e.runPos) + (len(e.spill) - e.spillPos)
+}
+
+// Batched reports whether the engine uses batched window-drain execution.
+func (e *Engine) Batched() bool { return !e.unbatched }
+
+// SetBatched selects between batched window-drain execution (the default)
+// and the unbatched one-pop-per-event reference path. Both produce the
+// identical execution order; the differential determinism tests run
+// workloads both ways and require byte-identical traces. Call between
+// runs, not from inside an event.
+func (e *Engine) SetBatched(on bool) { e.unbatched = !on }
 
 // SetEventLimit replaces the runaway-loop backstop. n must be positive.
 func (e *Engine) SetEventLimit(n uint64) {
@@ -294,6 +425,54 @@ func (e *Engine) At(t time.Duration, fn func()) *Timer {
 	return e.root.At(t, fn)
 }
 
+// alloc takes an arena slot from the free list, growing the arena when it
+// is dry.
+func (e *Engine) alloc() int32 {
+	if e.freeHead >= 0 {
+		idx := e.freeHead
+		a := &e.arena[idx]
+		e.freeHead = a.nextFree
+		a.free = false
+		return idx
+	}
+	e.arena = append(e.arena, event{})
+	return int32(len(e.arena) - 1)
+}
+
+// release invalidates and frees one arena slot. Called before the callback
+// runs so the callback may itself schedule into the recycled slot.
+func (e *Engine) release(idx int32) {
+	a := &e.arena[idx]
+	a.gen++
+	a.fn = nil
+	a.runner = nil
+	a.free = true
+	a.nextFree = e.freeHead
+	e.freeHead = idx
+}
+
+// enqueue routes a new entry to the pending structure that owns its key.
+// The spill buffer takes it when a batch is executing, the key falls
+// inside the current window, and it extends the spill's sorted tail —
+// handlers overwhelmingly schedule in increasing key order (a fixed delta
+// ahead of a non-decreasing now), so this append-only fast path catches
+// nearly everything and costs O(1). Anything else — no batch running, key
+// beyond the window, or out of order against the spill tail — goes to the
+// heap, which the batch dispatch also merges from, so routing is a cost
+// decision, never a correctness one. (An earlier draft binary-inserted
+// out-of-order keys into the spill; same-timestamp bursts with shuffled
+// owner ids turned that into quadratic memmove traffic.)
+func (e *Engine) enqueue(en entry) {
+	if e.inBatch && keyBelow(en.at, en.owner, en.oseq, e.boundAt, e.boundOwner, e.boundSeq) {
+		if n := len(e.spill); n-e.spillPos < maxSpill &&
+			(n == e.spillPos || !entryLess(&en, &e.spill[n-1])) {
+			e.spill = append(e.spill, en)
+			return
+		}
+	}
+	e.queue.push(en)
+}
+
 // at is the common keyed scheduling path behind Proc.At and Engine.At.
 func (e *Engine) at(t time.Duration, owner, oseq uint64, fn func()) *Timer {
 	if t < e.now {
@@ -302,46 +481,49 @@ func (e *Engine) at(t time.Duration, owner, oseq uint64, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &event{at: t, owner: owner, oseq: oseq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	idx := e.alloc()
+	a := &e.arena[idx]
+	a.fn = fn
+	e.enqueue(entry{at: t, owner: owner, oseq: oseq, idx: idx, gen: a.gen})
+	return &Timer{eng: e, at: t, idx: idx + 1, gen: a.gen}
 }
 
-// newPooled takes an event object from the free list (or allocates one)
-// and enqueues it under the given key. Pooled events have no Timer handle
-// and cannot be canceled, which is what makes recycling them safe.
-func (e *Engine) newPooled(t time.Duration, owner, oseq uint64) *event {
+// scheduleFunc enqueues a non-cancellable closure event under the given
+// key. No Timer handle exists, so the arena slot recycles the moment it
+// fires.
+func (e *Engine) scheduleFunc(t time.Duration, owner, oseq uint64, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	var ev *event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		*ev = event{}
-	} else {
-		ev = &event{}
+	idx := e.alloc()
+	a := &e.arena[idx]
+	a.fn = fn
+	e.enqueue(entry{at: t, owner: owner, oseq: oseq, idx: idx, gen: a.gen})
+}
+
+// scheduleRunner is scheduleFunc for Runner events: fully allocation-free.
+func (e *Engine) scheduleRunner(t time.Duration, owner, oseq uint64, r Runner, arg int32) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev.at = t
-	ev.owner = owner
-	ev.oseq = oseq
-	ev.pooled = true
-	heap.Push(&e.queue, ev)
-	return ev
+	idx := e.alloc()
+	a := &e.arena[idx]
+	a.runner = r
+	a.rarg = arg
+	e.enqueue(entry{at: t, owner: owner, oseq: oseq, idx: idx, gen: a.gen})
 }
 
 // Schedule runs fn at absolute virtual time t like At, but returns no
 // Timer handle: the event cannot be canceled, and in exchange the engine
-// recycles the event object, so steady-state scheduling does not allocate
-// beyond the closure itself. The event carries the root identity.
+// recycles the arena slot immediately, so steady-state scheduling does not
+// allocate beyond the closure itself. The event carries the root identity.
 func (e *Engine) Schedule(t time.Duration, fn func()) {
 	e.root.Schedule(t, fn)
 }
 
 // ScheduleRunner enqueues r.RunEvent(arg) at absolute virtual time t under
 // the root identity. Like Schedule it returns no handle and recycles the
-// event; because the callback is an interface rather than a closure, a
+// slot; because the callback is an interface rather than a closure, a
 // caller that reuses its Runner objects schedules with zero allocations —
 // the netsim hot path depends on this (via Proc.ScheduleRunner).
 func (e *Engine) ScheduleRunner(t time.Duration, r Runner, arg int32) {
@@ -359,9 +541,7 @@ func (e *Engine) ScheduleKeyed(t time.Duration, owner, oseq uint64, r Runner, ar
 	if r == nil {
 		panic("sim: nil event runner")
 	}
-	ev := e.newPooled(t, owner, oseq)
-	ev.runner = r
-	ev.rarg = arg
+	e.scheduleRunner(t, owner, oseq, r, arg)
 }
 
 // ScheduleKeyedFunc enqueues fn at absolute time t with an explicit,
@@ -374,7 +554,7 @@ func (e *Engine) ScheduleKeyedFunc(t time.Duration, owner, oseq uint64, fn func(
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	e.newPooled(t, owner, oseq).fn = fn
+	e.scheduleFunc(t, owner, oseq, fn)
 }
 
 // After schedules fn to run d after the current virtual time under the
@@ -383,55 +563,150 @@ func (e *Engine) After(d time.Duration, fn func()) *Timer {
 	return e.root.After(d, fn)
 }
 
+// execute runs one validated entry's callback: clock advance, causal
+// stamp, slot release (before the call, so the callback can reuse it),
+// dispatch.
+func (e *Engine) execute(en *entry, a *event) {
+	e.now = en.at
+	e.curAt, e.curOwner, e.curSeq = en.at, en.owner, en.oseq
+	e.processed++
+	if r := a.runner; r != nil {
+		arg := a.rarg
+		e.release(en.idx)
+		r.RunEvent(arg)
+	} else {
+		fn := a.fn
+		e.release(en.idx)
+		fn()
+	}
+}
+
 // Step executes the next pending event, if any, and reports whether one ran.
 // Canceled events are discarded without counting as a step.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.canceled {
-			continue
+		en := e.queue.popMin()
+		a := &e.arena[en.idx]
+		if a.free || a.gen != en.gen {
+			continue // canceled; entry was stale
 		}
-		if ev.at < e.now {
-			panic("sim: event queue went backwards") // unreachable by construction
-		}
-		e.now = ev.at
-		e.curAt, e.curOwner, e.curSeq = ev.at, ev.owner, ev.oseq
-		ev.done = true
-		e.processed++
-		if ev.runner != nil {
-			r, arg := ev.runner, ev.rarg
-			e.recycle(ev)
-			r.RunEvent(arg)
-		} else {
-			fn := ev.fn
-			if ev.pooled {
-				e.recycle(ev)
-			}
-			fn()
-		}
+		e.execute(&en, a)
 		return true
 	}
 	return false
 }
 
-// recycle returns a pooled event to the free list. Called before the
-// callback runs so the callback may itself schedule and reuse the object.
-func (e *Engine) recycle(ev *event) {
-	ev.fn = nil
-	ev.runner = nil
-	e.free = append(e.free, ev)
+// drain executes every pending event whose key sorts strictly before
+// (boundAt, boundOwner, boundSeq), in exact (time, owner, oseq) order, and
+// returns how many ran. It panics when the total processed count would
+// exceed stopAt (the hoisted event-limit check: one predictable branch per
+// event against a precomputed register value, instead of the old
+// per-iteration limit arithmetic).
+//
+// Mechanics: the heap's front window — up to maxBatch entries below the
+// caller bound — is popped into the run buffer; the window's own exclusive
+// bound is the smaller of the caller bound and the next heap key. The
+// batch then dispatches by merging three sorted sources: the run buffer,
+// the spill buffer (events scheduled during the batch that fall inside the
+// window — they skip the heap entirely, which is the point), and the heap
+// itself (reached when enqueue declined the spill: out-of-order key or
+// cap overflow). Taking the minimum key across the three sources every
+// step makes the execution order identical to the unbatched engine's,
+// whatever the routing decided.
+func (e *Engine) drain(boundAt time.Duration, boundOwner, boundSeq uint64, stopAt uint64) int {
+	n := 0
+	for {
+		// Refill: pop the heap's front window into the run buffer.
+		e.run = e.run[:0]
+		e.runPos = 0
+		for len(e.run) < maxBatch && len(e.queue) > 0 {
+			h := &e.queue[0]
+			if !keyBelow(h.at, h.owner, h.oseq, boundAt, boundOwner, boundSeq) {
+				break
+			}
+			en := e.queue.popMin()
+			if a := &e.arena[en.idx]; a.free || a.gen != en.gen {
+				continue // canceled; entry was stale
+			}
+			e.run = append(e.run, en)
+		}
+		if len(e.run) == 0 {
+			return n // nothing below the bound (spill drains with its batch)
+		}
+		// The window bound: where the refill stopped.
+		wAt, wOwner, wSeq := boundAt, boundOwner, boundSeq
+		if len(e.queue) > 0 {
+			if h := &e.queue[0]; keyBelow(h.at, h.owner, h.oseq, wAt, wOwner, wSeq) {
+				wAt, wOwner, wSeq = h.at, h.owner, h.oseq
+			}
+		}
+		e.inBatch = true
+		e.boundAt, e.boundOwner, e.boundSeq = wAt, wOwner, wSeq
+
+		for {
+			var en entry
+			src := -1
+			if e.runPos < len(e.run) {
+				en = e.run[e.runPos]
+				src = 0
+			}
+			if e.spillPos < len(e.spill) {
+				if s := &e.spill[e.spillPos]; src < 0 || entryLess(s, &en) {
+					en = *s
+					src = 1
+				}
+			}
+			if len(e.queue) > 0 { // keys enqueue routed past the spill
+				if h := &e.queue[0]; keyBelow(h.at, h.owner, h.oseq, wAt, wOwner, wSeq) &&
+					(src < 0 || entryLess(h, &en)) {
+					src = 2
+				}
+			}
+			switch src {
+			case 0:
+				e.runPos++
+			case 1:
+				e.spillPos++
+			case 2:
+				en = e.queue.popMin()
+			default:
+				goto batchDone
+			}
+			a := &e.arena[en.idx]
+			if a.free || a.gen != en.gen {
+				continue // canceled mid-batch
+			}
+			e.execute(&en, a)
+			n++
+			if e.processed > stopAt {
+				e.inBatch = false
+				panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v — probable forwarding loop", e.limit, e.now))
+			}
+		}
+	batchDone:
+		e.inBatch = false
+		e.spill = e.spill[:0]
+		e.spillPos = 0
+	}
 }
+
+// maxBound is the exclusive drain bound that admits every real key.
+const maxBoundAt = time.Duration(math.MaxInt64)
 
 // Run executes events until the queue drains. It panics if the event limit
 // is exceeded, which in practice means a protocol is generating events
 // faster than it consumes them (a forwarding loop).
 func (e *Engine) Run() {
-	start := e.processed
-	for e.Step() {
-		if e.processed-start > e.limit {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v — probable forwarding loop", e.limit, e.now))
+	stopAt := e.processed + e.limit
+	if e.unbatched {
+		for e.Step() {
+			if e.processed > stopAt {
+				panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v — probable forwarding loop", e.limit, e.now))
+			}
 		}
+		return
 	}
+	e.drain(maxBoundAt, math.MaxUint64, math.MaxUint64, stopAt)
 }
 
 // RunUntil executes every event scheduled at or before t, then advances the
@@ -440,17 +715,28 @@ func (e *Engine) RunUntil(t time.Duration) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", t, e.now))
 	}
-	start := e.processed
-	for {
-		next, ok := e.peek()
-		if !ok || next > t {
-			break
+	stopAt := e.processed + e.limit
+	if e.unbatched {
+		for {
+			next, ok := e.peek()
+			if !ok || next > t {
+				break
+			}
+			e.Step()
+			if e.processed > stopAt {
+				panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v — probable forwarding loop", e.limit, e.now))
+			}
 		}
-		e.Step()
-		if e.processed-start > e.limit {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v — probable forwarding loop", e.limit, e.now))
-		}
+		e.now = t
+		return
 	}
+	// Inclusive of events at exactly t: the exclusive bound is the first
+	// key of t+1 (saturating at the horizon).
+	boundAt := t + 1
+	if t == maxBoundAt {
+		boundAt = maxBoundAt
+	}
+	e.drain(boundAt, 0, 0, stopAt)
 	e.now = t
 }
 
@@ -460,11 +746,12 @@ func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
 // peek returns the timestamp of the next live event.
 func (e *Engine) peek() (time.Duration, bool) {
 	for len(e.queue) > 0 {
-		if e.queue[0].canceled {
-			heap.Pop(&e.queue)
+		h := &e.queue[0]
+		if a := &e.arena[h.idx]; a.free || a.gen != h.gen {
+			e.queue.popMin()
 			continue
 		}
-		return e.queue[0].at, true
+		return h.at, true
 	}
 	return 0, false
 }
@@ -479,8 +766,8 @@ func (e *Engine) NextKey() (at time.Duration, owner, oseq uint64, ok bool) {
 	if _, live := e.peek(); !live {
 		return 0, 0, 0, false
 	}
-	ev := e.queue[0]
-	return ev.at, ev.owner, ev.oseq, true
+	h := &e.queue[0]
+	return h.at, h.owner, h.oseq, true
 }
 
 // CurKey returns the ordering key of the event currently (or most
@@ -505,21 +792,25 @@ func (e *Engine) RunWindow(bound time.Duration) int {
 // exact bound is what lets a pending coordinator barrier carry an entity
 // identity (owner > 0): shard events at the barrier's own timestamp with
 // smaller keys must still run inside the window, exactly where the
-// single-engine run would have executed them.
+// single-engine run would have executed them. The event-limit backstop for
+// sharded runs lives in the coordinator (it spans all shards of one run),
+// so the per-engine check is disarmed here.
 func (e *Engine) RunWindowKey(at time.Duration, owner, oseq uint64) int {
-	n := 0
-	for {
-		if _, ok := e.peek(); !ok {
-			return n
+	if e.unbatched {
+		n := 0
+		for {
+			if _, ok := e.peek(); !ok {
+				return n
+			}
+			h := &e.queue[0]
+			if !keyBelow(h.at, h.owner, h.oseq, at, owner, oseq) {
+				return n
+			}
+			e.Step()
+			n++
 		}
-		head := e.queue[0]
-		if head.at > at || (head.at == at && (head.owner > owner ||
-			(head.owner == owner && head.oseq >= oseq))) {
-			return n
-		}
-		e.Step()
-		n++
 	}
+	return e.drain(at, owner, oseq, math.MaxUint64)
 }
 
 // SetNow advances the clock to exactly t without running anything. It

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/host"
 	"repro/internal/netsim"
+	"repro/internal/sim"
 )
 
 // runShardedGrid builds a 3x4 grid with corner hosts, pumps a few ARP-initiated
@@ -56,6 +57,87 @@ func TestShardedRunMatchesSingleEngine(t *testing.T) {
 		if fp != baseFP || ev != baseEv || ok != baseOK {
 			t.Fatalf("shards=%d diverged: fp=%#x events=%d answered=%d, want fp=%#x events=%d answered=%d",
 				k, fp, ev, ok, baseFP, baseEv, baseOK)
+		}
+	}
+}
+
+// runShardedGridBurst is the adversarial variant of runShardedGrid for
+// the batched hot path: every ordered host pair starts a ping series at
+// the SAME virtual instant, so the run opens with a dense burst of events
+// sharing one key window — ARP floods from all four corners at once, with
+// boundary-link frames landing mid-batch in neighbouring shards. batched
+// selects the engine execution mode for every engine the fabric builds
+// (control and shards alike).
+func runShardedGridBurst(t *testing.T, shards int, batched bool) (uint64, uint64, int) {
+	t.Helper()
+	prev := sim.SetDefaultBatched(batched)
+	defer sim.SetDefaultBatched(prev)
+	opts := DefaultOptions(ARPPath, 99)
+	opts.Shards = shards
+	built := Grid(opts, 3, 4)
+	fp := netsim.NewTapFingerprint()
+	built.Network.Tap(fp.Observe)
+
+	// Callbacks fire on the source host's shard worker; with every series
+	// starting at the same instant, two completions can share one
+	// coordinator window (no barrier between them), so each pair gets its
+	// own counter slot and the total is summed after the run joins.
+	hosts := []string{"H1", "H2", "H3", "H4"}
+	var pairs [][2]string
+	for _, an := range hosts {
+		for _, bn := range hosts {
+			if an != bn {
+				pairs = append(pairs, [2]string{an, bn})
+			}
+		}
+	}
+	perPair := make([]int, len(pairs))
+	for i, pr := range pairs {
+		a := built.Host(pr[0])
+		b := built.Host(pr[1])
+		slot := &perPair[i]
+		built.Engine.At(built.Now()+5*time.Millisecond, func() {
+			a.PingSeries(b.IP(), 4, 120, 5*time.Millisecond, time.Second, func(rs []host.PingResult) {
+				for _, r := range rs {
+					if r.Err == nil {
+						*slot++
+					}
+				}
+			})
+		})
+	}
+	built.RunFor(3 * time.Second)
+	built.Run()
+	answered := 0
+	for _, n := range perPair {
+		answered += n
+	}
+	if live := built.Network.LiveFrames(); live != 0 {
+		t.Fatalf("shards=%d batched=%v: %d frames still live after drain", shards, batched, live)
+	}
+	return fp.Sum(), fp.Events(), answered
+}
+
+// TestShardedBurstMatchesUnbatchedSingleEngine extends the determinism
+// gate along both new axes at once: the same-instant burst workload must
+// produce the identical tap trace on one engine or four, batched
+// window-drain or unbatched one-pop reference — every combination byte
+// for byte.
+func TestShardedBurstMatchesUnbatchedSingleEngine(t *testing.T) {
+	baseFP, baseEv, baseOK := runShardedGridBurst(t, 1, false)
+	if baseOK == 0 {
+		t.Fatal("no pings answered on the unbatched unsharded run")
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		for _, batched := range []bool{true, false} {
+			if k == 1 && !batched {
+				continue // the reference run itself
+			}
+			fp, ev, ok := runShardedGridBurst(t, k, batched)
+			if fp != baseFP || ev != baseEv || ok != baseOK {
+				t.Fatalf("shards=%d batched=%v diverged: fp=%#x events=%d answered=%d, want fp=%#x events=%d answered=%d",
+					k, batched, fp, ev, ok, baseFP, baseEv, baseOK)
+			}
 		}
 	}
 }

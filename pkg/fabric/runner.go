@@ -45,6 +45,10 @@ type Runner struct {
 	Jobs int
 	// Verbose prints sweep PASS lines, not just failures.
 	Verbose bool
+	// Profile records pprof/runtime-trace artifacts around the workload
+	// (fabricbench -cpuprofile/-memprofile/-trace). Observation only: a
+	// profiled run's outputs are byte-identical to an unprofiled one.
+	Profile ProfileOptions
 }
 
 // Result is the machine-readable half of a run.
@@ -81,7 +85,7 @@ func Run(spec Spec) (*Result, error) {
 // hook — that are package-level by design (the experiment runners build
 // their own fabrics); concurrent Runs would race on them. Sweep workloads
 // parallelize internally (Jobs) without touching either.
-func (r *Runner) Run() (*Result, error) {
+func (r *Runner) Run() (res *Result, err error) {
 	spec, err := r.Spec.WithDefaults()
 	if err != nil {
 		return nil, err
@@ -97,7 +101,7 @@ func (r *Runner) Run() (*Result, error) {
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	res := &Result{Spec: spec}
+	res = &Result{Spec: spec}
 
 	prevShards := experiments.Shards
 	experiments.Shards = spec.Shards
@@ -117,6 +121,18 @@ func (r *Runner) Run() (*Result, error) {
 			fps = append(fps, fp)
 		}
 		defer func() { topo.OnBuilt = prev }()
+	}
+
+	if r.Profile.enabled() {
+		stop, perr := r.Profile.start()
+		if perr != nil {
+			return nil, perr
+		}
+		defer func() {
+			if serr := stop(); serr != nil && err == nil {
+				err = serr
+			}
+		}()
 	}
 
 	switch spec.Workload.Kind {
