@@ -1,22 +1,33 @@
 // Command benchdiff is the CI bench-regression gate: it compares a fresh
-// BENCH_scale.json against the committed baseline and fails when
-// events/s regressed beyond tolerance on any comparable record.
+// bench artifact against its committed baseline and fails when any
+// comparable record moved — exactly for deterministic columns, beyond a
+// tolerance for wall-clock throughput.
 //
 // Usage:
 //
 //	benchdiff -baseline bench/BENCH_scale.json -current BENCH_scale.json [-tolerance 0.10]
 //
-// Records pair by (bridges, shards). Wall-clock figures are machine
-// dependent, so the gate only fires on regressions past the tolerance;
-// improvements and small wobbles pass silently (and are reported).
+// The artifact schema is detected from the key fields present in the
+// records, so the same binary gates every BENCH_*.json the repo
+// produces:
 //
-// The committed baseline was recorded on a multi-core box; a single-core
-// CI runner cannot reproduce multi-shard numbers (shard workers would
-// time-slice one core). When GOMAXPROCS==1, only shards==1 records are
-// compared and the rest are reported as skipped. The deterministic
-// columns (events, delivered) are compared unconditionally — those never
-// depend on the machine, and a mismatch means the workload itself
-// changed, which requires re-recording the baseline.
+//   - scale (BENCH_scale.json): records pair by (bridges, shards);
+//     events and delivered must match exactly, events_per_sec is
+//     tolerance-gated (regressions only — improvements pass silently).
+//     The committed baseline was recorded on a multi-core box; when
+//     GOMAXPROCS==1 only shards==1 throughput is compared and the rest
+//     is reported as skipped (deterministic columns still compare).
+//   - allpath (BENCH_allpath.json): records pair by (pattern,
+//     protocol); every retained column is deterministic and must match
+//     exactly.
+//   - tables (BENCH_tables.json): records pair by (variant, policy,
+//     capacity); every retained column is deterministic and must match
+//     exactly.
+//
+// Machine-dependent fields (gomaxprocs, wall_ns, lookahead_ns,
+// frames_per_sec) are never compared. A deterministic mismatch means
+// the workload itself changed, which requires re-recording the
+// baseline.
 package main
 
 import (
@@ -25,16 +36,39 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 )
 
-// record mirrors pkg/fabric's benchRecord (the BENCH_scale.json schema).
-type record struct {
-	Bridges      int     `json:"bridges"`
-	Shards       int     `json:"shards"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	Events       uint64  `json:"events"`
-	Delivered    int     `json:"delivered"`
-	EventsPerSec float64 `json:"events_per_sec"`
+type record = map[string]any
+
+// schema describes how one artifact kind pairs and compares.
+type schema struct {
+	name     string
+	keys     []string        // pairing fields, also exempt from comparison
+	tolerant map[string]bool // throughput fields gated by -tolerance
+	// skipMultiShard: on a single-core runner, throughput of multi-shard
+	// records is not reproducible; compare their deterministic columns
+	// only.
+	skipMultiShard bool
+}
+
+var schemas = []schema{
+	{name: "tables", keys: []string{"variant", "policy", "capacity"}},
+	{name: "allpath", keys: []string{"pattern", "protocol"}},
+	{
+		name: "scale", keys: []string{"bridges", "shards"},
+		tolerant:       map[string]bool{"events_per_sec": true},
+		skipMultiShard: true,
+	},
+}
+
+// ignored fields are machine- or environment-dependent in every schema.
+var ignored = map[string]bool{
+	"gomaxprocs":     true,
+	"wall_ns":        true,
+	"lookahead_ns":   true,
+	"frames_per_sec": true,
 }
 
 func load(path string) ([]record, error) {
@@ -49,10 +83,47 @@ func load(path string) ([]record, error) {
 	return rs, nil
 }
 
+// detect picks the schema whose key fields are all present.
+func detect(rs []record) (schema, error) {
+	if len(rs) == 0 {
+		return schema{}, fmt.Errorf("empty artifact")
+	}
+	for _, s := range schemas {
+		ok := true
+		for _, k := range s.keys {
+			if _, present := rs[0][k]; !present {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s, nil
+		}
+	}
+	return schema{}, fmt.Errorf("records match no known schema (fields: %v)", fieldNames(rs[0]))
+}
+
+func fieldNames(r record) []string {
+	names := make([]string, 0, len(r))
+	for k := range r {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s schema) pairKey(r record) string {
+	parts := make([]string, len(s.keys))
+	for i, k := range s.keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, r[k])
+	}
+	return strings.Join(parts, " ")
+}
+
 func main() {
 	baseline := flag.String("baseline", "bench/BENCH_scale.json", "committed baseline artifact")
 	current := flag.String("current", "BENCH_scale.json", "freshly produced artifact")
-	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional events/s regression")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional throughput regression")
 	flag.Parse()
 
 	base, err := load(*baseline)
@@ -65,42 +136,77 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	curBy := make(map[[2]int]record, len(cur))
+	sch, err := detect(base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *baseline, err)
+		os.Exit(2)
+	}
+	if curSch, err := detect(cur); err != nil || curSch.name != sch.name {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s is not a %s artifact\n", *current, sch.name)
+		os.Exit(2)
+	}
+
+	curBy := make(map[string]record, len(cur))
 	for _, r := range cur {
-		curBy[[2]int{r.Bridges, r.Shards}] = r
+		curBy[sch.pairKey(r)] = r
 	}
 
 	singleCore := runtime.GOMAXPROCS(0) == 1
 	failed := false
 	compared := 0
 	for _, b := range base {
-		c, ok := curBy[[2]int{b.Bridges, b.Shards}]
+		key := sch.pairKey(b)
+		c, ok := curBy[key]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchdiff: FAIL bridges=%d shards=%d: record missing from %s\n",
-				b.Bridges, b.Shards, *current)
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s: record missing from %s\n", key, *current)
 			failed = true
 			continue
 		}
-		if c.Events != b.Events || c.Delivered != b.Delivered {
-			fmt.Fprintf(os.Stderr, "benchdiff: FAIL bridges=%d shards=%d: deterministic columns moved (events %d->%d, delivered %d->%d) — workload changed, re-record the baseline\n",
-				b.Bridges, b.Shards, b.Events, c.Events, b.Delivered, c.Delivered)
-			failed = true
-			continue
+		isKey := map[string]bool{}
+		for _, k := range sch.keys {
+			isKey[k] = true
 		}
-		if singleCore && b.Shards != 1 {
-			fmt.Printf("benchdiff: skip bridges=%d shards=%d: GOMAXPROCS=1 cannot reproduce multi-core numbers\n",
-				b.Bridges, b.Shards)
+		exactOK := true
+		for _, field := range fieldNames(b) {
+			if ignored[field] || sch.tolerant[field] || isKey[field] {
+				continue
+			}
+			if bv, cv := b[field], c[field]; bv != cv {
+				fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s: deterministic column %s moved (%v -> %v) — workload changed, re-record the baseline\n",
+					key, field, bv, cv)
+				exactOK = false
+				failed = true
+			}
+		}
+		if !exactOK {
 			continue
 		}
 		compared++
-		ratio := c.EventsPerSec / b.EventsPerSec
-		verdict := "ok"
-		if ratio < 1.0-*tolerance {
-			verdict = "FAIL"
-			failed = true
+		if len(sch.tolerant) == 0 {
+			fmt.Printf("benchdiff: ok %s: deterministic columns match\n", key)
+			continue
 		}
-		fmt.Printf("benchdiff: %s bridges=%d shards=%d: %.0f -> %.0f events/s (%.1f%%)\n",
-			verdict, b.Bridges, b.Shards, b.EventsPerSec, c.EventsPerSec, 100*(ratio-1))
+		if sch.skipMultiShard && singleCore {
+			if shards, _ := b["shards"].(float64); shards != 1 {
+				fmt.Printf("benchdiff: skip %s throughput: GOMAXPROCS=1 cannot reproduce multi-core numbers\n", key)
+				continue
+			}
+		}
+		for field := range sch.tolerant {
+			bv, _ := b[field].(float64)
+			cv, _ := c[field].(float64)
+			if bv == 0 {
+				continue
+			}
+			ratio := cv / bv
+			verdict := "ok"
+			if ratio < 1.0-*tolerance {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("benchdiff: %s %s: %s %.0f -> %.0f (%.1f%%)\n",
+				verdict, key, field, bv, cv, 100*(ratio-1))
+		}
 	}
 	if compared == 0 && !failed {
 		fmt.Fprintln(os.Stderr, "benchdiff: FAIL: no records compared")

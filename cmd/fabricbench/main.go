@@ -9,7 +9,7 @@
 // Usage:
 //
 //	fabricbench [-spec FILE]
-//	            [-exp properties|load|proxy|repair|lockwindow|tablesize|forward|scale|allpath|all]
+//	            [-exp properties|load|proxy|repair|lockwindow|tablesize|forward|scale|allpath|tables|all]
 //	            [-seed N] [-shards K] [-csv] [-bench-out FILE]
 //	            [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
@@ -34,13 +34,14 @@ import (
 
 func main() {
 	specPath := flag.String("spec", "", "run the spec file (explicitly set flags override it)")
-	exp := flag.String("exp", "all", "experiment: properties, load, proxy, repair, lockwindow, tablesize, forward, scale, allpath or all")
+	exp := flag.String("exp", "all", "experiment: properties, load, proxy, repair, lockwindow, tablesize, forward, scale, allpath, tables or all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	frames := flag.Int("frames", 50_000, "data frames to pump in -exp forward")
 	shards := flag.Int("shards", 1, "run simulations on K parallel engine shards")
 	bridges := flag.Int("bridges", 0, "fabric size override for -exp scale / -exp allpath (0 = the experiment's default)")
-	benchOut := flag.String("bench-out", "", "write the -exp scale / -exp allpath JSON artifact to this file")
+	conversations := flag.Int("conversations", 0, "conversation count override for -exp tables (0 = the spec/experiment default)")
+	benchOut := flag.String("bench-out", "", "write the -exp scale / -exp allpath / -exp tables JSON artifact to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the workload to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-workload, after GC) to this file")
 	execTrace := flag.String("trace", "", "write a runtime execution trace of the workload to this file")
@@ -76,9 +77,12 @@ func main() {
 	if use("bridges") && *bridges > 0 {
 		spec.Workload.Bridges = *bridges
 	}
+	if use("conversations") && *conversations > 0 {
+		spec.Workload.Conversations = *conversations
+	}
 
 	switch spec.Workload.Kind {
-	case "properties", "load", "proxy", "repair", "lockwindow", "tablesize", "forward", "scale", "allpath", "all":
+	case "properties", "load", "proxy", "repair", "lockwindow", "tablesize", "forward", "scale", "allpath", "tables", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "fabricbench: unknown experiment %q\n", spec.Workload.Kind)
 		os.Exit(2)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/layers"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/tables"
 )
 
 // repairWheelTick is the granularity of the repair-timeout timer wheel.
@@ -40,6 +41,12 @@ type Config struct {
 	// silently dropped. Exists only for the repair ablation (T4), which
 	// shows the dataplane blackholes without it.
 	DisableRepair bool
+	// TableCapacity bounds the locking table's entry count (0 =
+	// unbounded). A bound requires TablePolicy. See DESIGN.md §12.
+	TableCapacity int
+	// TablePolicy selects the eviction policy for a bounded table:
+	// "lru" or "clock" ("" / "timeout" is the unbounded baseline).
+	TablePolicy string
 }
 
 // DefaultConfig returns the defaults used throughout the experiments.
@@ -151,9 +158,13 @@ func NewWithProtocol(net *netsim.Network, name string, numID int, cfg Config, pr
 	if cfg.RepairTimeout <= 0 || cfg.RepairBuffer <= 0 {
 		panic("core: repair timeout and buffer must be positive")
 	}
+	bound, err := tables.ParseConfig(cfg.TableCapacity, cfg.TablePolicy)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
 	b := &Bridge{
 		cfg:     cfg,
-		table:   NewLockTable(cfg.LockTimeout, cfg.LearnedTimeout),
+		table:   NewBoundedLockTable(cfg.LockTimeout, cfg.LearnedTimeout, bound),
 		repairs: make(map[uint64]*repair),
 	}
 	if proto == nil {

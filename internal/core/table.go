@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/layers"
 	"repro/internal/netsim"
+	"repro/internal/tables"
 )
 
 // EntryState is the state of a locking-table entry.
@@ -67,6 +68,7 @@ type tableEntry struct {
 	Entry
 	gen uint32
 	ps  *portState
+	th  tables.Handle // recency-tracker handle; 0 when untracked
 }
 
 // portState is the per-port side table backing constant-time flushes.
@@ -84,12 +86,26 @@ type portState struct {
 // an 8-byte integer key hashes faster than a [6]byte array. Expiry is
 // lazy (checked on access) and link failures are handled by per-port
 // generation counters, so no operation on the hot path scans the table.
+//
+// Production bounds (DESIGN.md §12): the table may be capacity-bounded
+// with an LRU or clock eviction policy (internal/tables). The bound counts
+// map entries — live bindings and flushed-generation corpses alike — so it
+// bounds actual memory, not just Len(). Corpses and expired entries are
+// additionally reclaimed by an amortized sweep (one full pass per learned
+// timeout, proxyCache-style) so even the unbounded configuration cannot
+// leak under churn.
 type LockTable struct {
 	lockTimeout    time.Duration
 	learnedTimeout time.Duration
+	capacity       int
+	tracker        *tables.Tracker[uint64] // nil for the timeout baseline
 	entries        map[uint64]tableEntry
 	ports          map[*netsim.Port]*portState
 	resident       int // entries in the map whose port generation is current
+
+	evictions uint64        // capacity evictions of live entries (not corpse reclaim)
+	peak      int           // high-water mark of len(entries)
+	nextSweep time.Duration // next amortized FlushExpired deadline
 
 	// One-slot cache for the port side table: a bridge stores runs of
 	// entries against the same handful of ports, so this turns the
@@ -98,19 +114,34 @@ type LockTable struct {
 	lastPS   *portState
 }
 
-// NewLockTable builds an empty table with the two ARP-Path timeouts: the
-// short race window for locked entries and the long lifetime for
-// confirmed (learned) entries.
+// NewLockTable builds an empty unbounded table with the two ARP-Path
+// timeouts: the short race window for locked entries and the long lifetime
+// for confirmed (learned) entries.
 func NewLockTable(lockTimeout, learnedTimeout time.Duration) *LockTable {
+	return NewBoundedLockTable(lockTimeout, learnedTimeout, tables.Config{})
+}
+
+// NewBoundedLockTable builds an empty table with a capacity bound and
+// eviction policy on top of the timeouts. The zero Config is the unbounded
+// timeout baseline (exactly NewLockTable).
+func NewBoundedLockTable(lockTimeout, learnedTimeout time.Duration, bound tables.Config) *LockTable {
 	if lockTimeout <= 0 || learnedTimeout <= 0 {
 		panic("core: timeouts must be positive")
 	}
-	return &LockTable{
+	if err := bound.Validate(); err != nil {
+		panic("core: " + err.Error())
+	}
+	t := &LockTable{
 		lockTimeout:    lockTimeout,
 		learnedTimeout: learnedTimeout,
+		capacity:       bound.Capacity,
 		entries:        make(map[uint64]tableEntry),
 		ports:          make(map[*netsim.Port]*portState),
 	}
+	if bound.Tracked() {
+		t.tracker = tables.NewTracker[uint64](bound.Policy)
+	}
+	return t
 }
 
 func (t *LockTable) port(p *netsim.Port) *portState {
@@ -138,20 +169,87 @@ func (t *LockTable) evict(key uint64, e tableEntry) {
 		e.ps.live--
 		t.resident--
 	}
+	if t.tracker != nil {
+		t.tracker.Remove(e.th)
+	}
 	delete(t.entries, key)
 }
 
+// maybeSweep runs the amortized corpse sweep: at most one full
+// FlushExpired per learned timeout, charged to the write that crossed the
+// deadline (proxyCache's discipline). Callers must invoke it before
+// snapshotting the previous entry — the sweep may evict the very key about
+// to be overwritten.
+func (t *LockTable) maybeSweep(now time.Duration) {
+	if now >= t.nextSweep {
+		t.FlushExpired(now)
+		t.nextSweep = now + t.learnedTimeout
+	}
+}
+
+// makeRoom enforces the capacity bound before a new key is inserted.
+// Victims come from the recency tracker in deterministic order; dead
+// entries (corpses, expired) are reclaimed for free, live unguarded
+// entries are force-evicted (counted), and entries inside their §2.1.1
+// race window are never evicted — moving a binding mid-race would reopen
+// the loop/duplication hazards the lock exists to prevent. Guarded
+// rejections are budgeted (tables.RejectBudget): when the budget runs out
+// the table admits over capacity, keeping each insert O(1) even when open
+// race windows dominate the table; the overshoot is bounded by the number
+// of concurrently open windows.
+func (t *LockTable) makeRoom(now time.Duration) {
+	if t.tracker == nil || t.capacity <= 0 {
+		return
+	}
+	for rejects := tables.RejectBudget; len(t.entries) >= t.capacity; {
+		h, ok := t.tracker.Victim()
+		if !ok {
+			return
+		}
+		key := t.tracker.Key(h)
+		e := t.entries[key]
+		switch {
+		case t.dead(e, now):
+			t.evict(key, e)
+		case !e.Guarded(now):
+			t.evictions++
+			t.evict(key, e)
+		default:
+			t.tracker.Reject(h)
+			if rejects--; rejects <= 0 {
+				return
+			}
+		}
+	}
+}
+
 // store writes e under key given the previous entry (old, hadOld) from a
-// lookup the caller already paid for, maintaining the residency counters.
-func (t *LockTable) store(key uint64, old tableEntry, hadOld bool, e Entry) {
+// lookup the caller already paid for, maintaining the residency counters,
+// the recency tracker and the capacity bound.
+func (t *LockTable) store(key uint64, old tableEntry, hadOld bool, e Entry, now time.Duration) {
 	if hadOld && old.gen == old.ps.gen {
 		old.ps.live--
 		t.resident--
 	}
+	if !hadOld && t.capacity > 0 && len(t.entries) >= t.capacity {
+		t.makeRoom(now)
+	}
 	st := t.port(e.Port)
 	st.live++
 	t.resident++
-	t.entries[key] = tableEntry{Entry: e, gen: st.gen, ps: st}
+	ne := tableEntry{Entry: e, gen: st.gen, ps: st}
+	if t.tracker != nil {
+		if hadOld {
+			ne.th = old.th
+			t.tracker.Touch(ne.th)
+		} else {
+			ne.th = t.tracker.Insert(key)
+		}
+	}
+	t.entries[key] = ne
+	if len(t.entries) > t.peak {
+		t.peak = len(t.entries)
+	}
 }
 
 // GetKey returns the live entry for a packed key, evicting it lazily if
@@ -164,6 +262,9 @@ func (t *LockTable) GetKey(key uint64, now time.Duration) (Entry, bool) {
 	if t.dead(e, now) {
 		t.evict(key, e)
 		return Entry{}, false
+	}
+	if t.tracker != nil {
+		t.tracker.Touch(e.th)
 	}
 	return e.Entry, true
 }
@@ -179,13 +280,14 @@ func (t *LockTable) LockKey(key uint64, port *netsim.Port, now time.Duration) {
 	if layers.KeyIsMulticast(key) || key == 0 {
 		return
 	}
+	t.maybeSweep(now)
 	old, hadOld := t.entries[key]
 	t.store(key, old, hadOld, Entry{
 		Port:        port,
 		State:       StateLocked,
 		Expires:     now + t.lockTimeout,
 		LockedUntil: now + t.lockTimeout,
-	})
+	}, now)
 }
 
 // Lock binds mac to port in the locked state, starting (or restarting)
@@ -201,6 +303,7 @@ func (t *LockTable) LearnKey(key uint64, port *netsim.Port, now time.Duration) {
 	if layers.KeyIsMulticast(key) || key == 0 {
 		return
 	}
+	t.maybeSweep(now)
 	old, hadOld := t.entries[key]
 	lockedUntil := time.Duration(0)
 	if hadOld && old.Port == port && !t.dead(old, now) {
@@ -211,7 +314,7 @@ func (t *LockTable) LearnKey(key uint64, port *netsim.Port, now time.Duration) {
 		State:       StateLearned,
 		Expires:     now + t.learnedTimeout,
 		LockedUntil: lockedUntil,
-	})
+	}, now)
 }
 
 // Learn binds mac to port in the learned state (path confirmed).
@@ -240,6 +343,9 @@ func (t *LockTable) GuardKey(key uint64, now time.Duration) {
 	if e.Expires < e.LockedUntil {
 		e.Expires = e.LockedUntil
 	}
+	if t.tracker != nil {
+		t.tracker.Touch(e.th)
+	}
 	t.entries[key] = e
 }
 
@@ -264,6 +370,9 @@ func (t *LockTable) RefreshKey(key uint64, now time.Duration) {
 		e.Expires = now + t.lockTimeout
 	case StateLearned:
 		e.Expires = now + t.learnedTimeout
+	}
+	if t.tracker != nil {
+		t.tracker.Touch(e.th)
 	}
 	// Same port, same generation: rewrite in place, counters unchanged.
 	t.entries[key] = e
@@ -303,24 +412,58 @@ func (t *LockTable) FlushPort(port *netsim.Port) int {
 // ones that have not been touched since their deadline.
 func (t *LockTable) Len() int { return t.resident }
 
+// Entries returns the number of map entries including flushed-generation
+// corpses awaiting reclamation: the table's actual memory footprint, the
+// quantity the capacity bound and the leak regression tests are about.
+func (t *LockTable) Entries() int { return len(t.entries) }
+
+// PortStates returns the number of per-port side-table records, live and
+// idle. Idle records are reclaimed by FlushExpired.
+func (t *LockTable) PortStates() int { return len(t.ports) }
+
+// Evictions returns the cumulative count of live entries force-evicted by
+// the capacity bound (corpse reclamation is not an eviction).
+func (t *LockTable) Evictions() uint64 { return t.evictions }
+
+// PeakEntries returns the high-water mark of Entries() over the table's
+// lifetime: the occupancy figure the eviction-pressure experiment plots.
+func (t *LockTable) PeakEntries() int { return t.peak }
+
 // Reset drops every entry and every port generation: the table is as
 // empty as at construction. This is total state loss (a bridge restart),
-// not a link event — use FlushPort for those.
+// not a link event — use FlushPort for those. Lifetime statistics
+// (evictions, peak occupancy) survive.
 func (t *LockTable) Reset() {
 	clear(t.entries)
 	clear(t.ports)
 	t.resident = 0
+	t.nextSweep = 0
 	t.lastPort = nil
 	t.lastPS = nil
+	if t.tracker != nil {
+		t.tracker.Reset()
+	}
 }
 
-// FlushExpired sweeps all expired and flushed entries eagerly. The
-// dataplane never calls this; it bounds memory for long-lived tables and
-// gives experiments exact counts.
+// FlushExpired sweeps all expired and flushed entries eagerly, then
+// reclaims port-state records with no surviving entries (after the sweep,
+// a zero live count proves no entry references the record — everything
+// left is live-generation). The dataplane never calls this directly; the
+// amortized sweep does, bounding memory for long-lived tables, and
+// experiments call it for exact counts.
 func (t *LockTable) FlushExpired(now time.Duration) {
 	for key, e := range t.entries {
 		if t.dead(e, now) {
 			t.evict(key, e)
+		}
+	}
+	for p, st := range t.ports {
+		if st.live == 0 {
+			if t.lastPort == p {
+				t.lastPort = nil
+				t.lastPS = nil
+			}
+			delete(t.ports, p)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/layers"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/tables"
 )
 
 // repairWheelTick mirrors core's repair-timer granularity.
@@ -30,6 +31,13 @@ type Config struct {
 	RepairTimeout time.Duration
 	// RepairBuffer caps buffered frames per missing pair.
 	RepairBuffer int
+	// PairCapacity bounds the pair table (0 = unbounded); the durable
+	// edge host table is naturally bounded by the attached stations and
+	// stays unbounded. See DESIGN.md §12.
+	PairCapacity int
+	// PairPolicy is the pair-table eviction policy: "lru" or "clock"
+	// ("" / "timeout" is the unbounded baseline).
+	PairPolicy string
 }
 
 // DefaultConfig matches ARP-Path's timing so the variants compare like
@@ -117,10 +125,16 @@ func New(net *netsim.Network, name string, numID int, cfg Config) *Bridge {
 	if cfg.RepairTimeout <= 0 || cfg.RepairBuffer <= 0 {
 		panic("flowpath: repair timeout and buffer must be positive")
 	}
+	bound, err := tables.ParseConfig(cfg.PairCapacity, cfg.PairPolicy)
+	if err != nil {
+		panic("flowpath: " + err.Error())
+	}
 	b := &Bridge{
-		cfg:     cfg,
-		hosts:   core.NewLockTable(cfg.LockTimeout, cfg.HostTimeout),
-		pairs:   NewPairTable(cfg.LockTimeout, cfg.PairTimeout),
+		cfg:   cfg,
+		hosts: core.NewLockTable(cfg.LockTimeout, cfg.HostTimeout),
+		// Pair keys are packed MACs in both halves: the junk-key guard
+		// applies (multicast or zero halves never pin a slot).
+		pairs:   NewBoundedPairTable(cfg.LockTimeout, cfg.PairTimeout, bound, true),
 		repairs: make(map[PairKey]*pairRepair),
 	}
 	b.Chassis = bridge.NewChassis(net, name, numID, b)

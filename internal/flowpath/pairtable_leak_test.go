@@ -1,0 +1,150 @@
+package flowpath
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	hostpkg "repro/internal/host"
+	"repro/internal/layers"
+	"repro/internal/netsim"
+	"repro/internal/tables"
+)
+
+// leakPorts returns n distinct live ports (one hub host cabled to n
+// peers; the hub's end of each link is the port).
+func leakPorts(n int) []*netsim.Port {
+	net := netsim.NewNetwork(1)
+	hub := hostpkg.New(net, "hub", 1)
+	ports := make([]*netsim.Port, n)
+	for i := range ports {
+		peer := hostpkg.New(net, fmt.Sprintf("p%d", i+1), i+2)
+		ports[i] = net.Connect(hub, peer, netsim.DefaultLinkConfig()).A()
+	}
+	return ports
+}
+
+// TestPairTableCorpseSweepBoundsMap is the regression test for the
+// table-leak bug: before PairTable had FlushExpired and the amortized
+// sweep, a TCP-Path conversation mix of distinct connections plus
+// FlushPort churn kept Len() honest while len(entries) grew without
+// bound — every generation-killed and expired entry stayed resident as a
+// map corpse forever. The sweep must keep the map itself (Entries(), not
+// just Len()) bounded by the working set.
+func TestPairTableCorpseSweepBoundsMap(t *testing.T) {
+	ports := leakPorts(2)
+	// Short confirmed lifetime so expiry churns quickly; the sweep period
+	// equals it.
+	const lifetime = 10 * time.Millisecond
+	tb := NewPairTable(time.Millisecond, lifetime)
+
+	now := time.Duration(0)
+	maxEntries := 0
+	for i := 0; i < 50_000; i++ {
+		// Each iteration is a distinct connection (fresh key), as under
+		// million-conversation churn.
+		k := PairKey{Hi: uint64(i + 1), Lo: uint64(i) << 32}
+		tb.Learn(k, ports[i%2], now)
+		if i%100 == 99 {
+			// Link flap: generation-kill everything on one port. The
+			// corpses this creates are exactly what leaked.
+			tb.FlushPort(ports[0])
+		}
+		now += 100 * time.Microsecond
+		if tb.Entries() > maxEntries {
+			maxEntries = tb.Entries()
+		}
+	}
+	// The working set is at most lifetime/spacing = 100 live entries plus
+	// one sweep period of corpses — far below the 50k keys inserted. Give
+	// generous slack; the pre-fix behaviour was ~50k.
+	if maxEntries > 1000 {
+		t.Fatalf("map grew to %d entries under churn (want bounded ≈ working set); corpses are leaking", maxEntries)
+	}
+	if tb.Len() > tb.Entries() {
+		t.Fatalf("resident %d exceeds map size %d", tb.Len(), tb.Entries())
+	}
+}
+
+// TestPairTablePortStateReclaim is the side-table leak regression: the
+// per-port generation records must be reclaimed once no live entry
+// references them, both for ports that vanish from the workload and
+// across repeated link flaps.
+func TestPairTablePortStateReclaim(t *testing.T) {
+	const n = 64
+	ports := leakPorts(n)
+	tb := NewPairTable(time.Millisecond, 10*time.Millisecond)
+
+	// One entry per port, then let everything expire: a full sweep must
+	// drop every port record along with the corpses.
+	for i, p := range ports {
+		tb.Learn(PairKey{Hi: uint64(i + 1), Lo: 1}, p, 0)
+	}
+	if got := tb.PortStates(); got != n {
+		t.Fatalf("PortStates = %d, want %d", got, n)
+	}
+	tb.FlushExpired(time.Second)
+	if got := tb.PortStates(); got != 0 {
+		t.Fatalf("PortStates = %d after all entries expired, want 0 (port records leak)", got)
+	}
+
+	// Repeated flaps on one port: flush, re-learn, flush, ... The ports
+	// map must stay at one record, not accumulate generations.
+	for flap := 0; flap < 100; flap++ {
+		tb.Learn(PairKey{Hi: 7, Lo: uint64(flap)}, ports[0], time.Second)
+		tb.FlushPort(ports[0])
+	}
+	tb.FlushExpired(2 * time.Second)
+	if got := tb.PortStates(); got != 0 {
+		t.Fatalf("PortStates = %d after 100 flaps and a sweep, want 0", got)
+	}
+	// The one-slot port cache must not resurrect the reclaimed record.
+	if tb.lastPS != nil || tb.lastPort != nil {
+		t.Fatal("port cache still points at a reclaimed record")
+	}
+	tb.Learn(PairKey{Hi: 8, Lo: 8}, ports[0], 3*time.Second)
+	if e, ok := tb.Get(PairKey{Hi: 8, Lo: 8}, 3*time.Second); !ok || e.Port != ports[0] {
+		t.Fatal("learn after port-state reclaim failed")
+	}
+}
+
+// TestPairTableJunkKeyGuard: MAC-keyed pair tables must reject the same
+// halves LockTable.LockKey rejects — multicast/broadcast and the zero
+// MAC — while tuple-keyed tables (TCP-Path connections) accept zero
+// halves as legal encodings.
+func TestPairTableJunkKeyGuard(t *testing.T) {
+	ports := leakPorts(1)
+	bcast := layers.BroadcastMAC.Uint64()
+	mcast := layers.MAC{0x01, 0x00, 0x5E, 0, 0, 1}.Uint64()
+	good := layers.HostMAC(1).Uint64()
+
+	macTab := NewBoundedPairTable(time.Millisecond, time.Second, tables.Config{}, true)
+	for _, k := range []PairKey{
+		{Hi: bcast, Lo: good}, // broadcast source half
+		{Hi: good, Lo: bcast}, // broadcast destination half
+		{Hi: mcast, Lo: good},
+		{Hi: good, Lo: mcast},
+		{Hi: 0, Lo: good}, // zero MAC halves
+		{Hi: good, Lo: 0},
+	} {
+		macTab.Lock(k, ports[0], 0)
+		macTab.Learn(k, ports[0], 0)
+		if _, ok := macTab.Get(k, 0); ok {
+			t.Fatalf("junk pair %x/%x was admitted to a MAC-keyed table", k.Hi, k.Lo)
+		}
+	}
+	if macTab.Len() != 0 || macTab.Entries() != 0 {
+		t.Fatalf("junk keys pinned %d entries (%d resident)", macTab.Entries(), macTab.Len())
+	}
+	macTab.Learn(PairKey{Hi: good, Lo: layers.HostMAC(2).Uint64()}, ports[0], 0)
+	if macTab.Len() != 1 {
+		t.Fatal("legitimate MAC pair rejected")
+	}
+
+	// Tuple-keyed (TCP-Path): zero halves are legal 4-tuple encodings.
+	connTab := NewBoundedPairTable(time.Millisecond, time.Second, tables.Config{}, false)
+	connTab.Learn(PairKey{Hi: 0, Lo: 443}, ports[0], 0)
+	if _, ok := connTab.Get(PairKey{Hi: 0, Lo: 443}, 0); !ok {
+		t.Fatal("tuple-keyed table rejected a zero half")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/tables"
 	"repro/internal/topo"
 )
 
@@ -26,6 +27,8 @@ type flowConfigJSON struct {
 	HostTimeout   topo.Duration `json:"host_timeout,omitempty"`
 	RepairTimeout topo.Duration `json:"repair_timeout,omitempty"`
 	RepairBuffer  int           `json:"repair_buffer,omitempty"`
+	PairCapacity  int           `json:"pair_capacity,omitempty"`
+	PairPolicy    string        `json:"pair_policy,omitempty"`
 }
 
 // tcpConfigJSON is the spec-file form of TCPConfig. The embedded
@@ -35,6 +38,8 @@ type flowConfigJSON struct {
 type tcpConfigJSON struct {
 	ConnLockTimeout topo.Duration `json:"conn_lock_timeout,omitempty"`
 	ConnTimeout     topo.Duration `json:"conn_timeout,omitempty"`
+	ConnCapacity    int           `json:"conn_capacity,omitempty"`
+	ConnPolicy      string        `json:"conn_policy,omitempty"`
 }
 
 // strictUnmarshal decodes JSON rejecting unknown fields (the registry's
@@ -70,12 +75,17 @@ func init() {
 					return nil, err
 				}
 			}
+			if _, err := tables.ParseConfig(j.PairCapacity, j.PairPolicy); err != nil {
+				return nil, err
+			}
 			return &Config{
 				LockTimeout:   j.LockTimeout.D(),
 				PairTimeout:   j.PairTimeout.D(),
 				HostTimeout:   j.HostTimeout.D(),
 				RepairTimeout: j.RepairTimeout.D(),
 				RepairBuffer:  j.RepairBuffer,
+				PairCapacity:  j.PairCapacity,
+				PairPolicy:    j.PairPolicy,
 			}, nil
 		},
 		EncodeConfig: func(cfg any) ([]byte, error) {
@@ -86,6 +96,8 @@ func init() {
 				HostTimeout:   topo.Duration(c.HostTimeout),
 				RepairTimeout: topo.Duration(c.RepairTimeout),
 				RepairBuffer:  c.RepairBuffer,
+				PairCapacity:  c.PairCapacity,
+				PairPolicy:    c.PairPolicy,
 			})
 		},
 	})
@@ -108,10 +120,15 @@ func init() {
 					return nil, err
 				}
 			}
+			if _, err := tables.ParseConfig(j.ConnCapacity, j.ConnPolicy); err != nil {
+				return nil, err
+			}
 			return &TCPConfig{
 				ARPPath:         core.Config{},
 				ConnLockTimeout: j.ConnLockTimeout.D(),
 				ConnTimeout:     j.ConnTimeout.D(),
+				ConnCapacity:    j.ConnCapacity,
+				ConnPolicy:      j.ConnPolicy,
 			}, nil
 		},
 		EncodeConfig: func(cfg any) ([]byte, error) {
@@ -119,6 +136,8 @@ func init() {
 			return json.Marshal(tcpConfigJSON{
 				ConnLockTimeout: topo.Duration(c.ConnLockTimeout),
 				ConnTimeout:     topo.Duration(c.ConnTimeout),
+				ConnCapacity:    c.ConnCapacity,
+				ConnPolicy:      c.ConnPolicy,
 			})
 		},
 	})

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/layers"
 	"repro/internal/netsim"
+	"repro/internal/tables"
 )
 
 // TCPConfig tunes a TCP-Path bridge: the embedded ARP-Path config for the
@@ -21,6 +22,13 @@ type TCPConfig struct {
 	// ConnTimeout is the lifetime of confirmed connection entries;
 	// segments refresh it.
 	ConnTimeout time.Duration
+	// ConnCapacity bounds the connection table (0 = unbounded). Per-
+	// connection keys are where state grows fastest in the All-Path
+	// family, so this is the bound that bites first. See DESIGN.md §12.
+	ConnCapacity int
+	// ConnPolicy is the connection-table eviction policy: "lru" or
+	// "clock" ("" / "timeout" is the unbounded baseline).
+	ConnPolicy string
 }
 
 // DefaultTCPConfig matches ARP-Path's timing.
@@ -77,9 +85,15 @@ func NewTCPPath(net *netsim.Network, name string, numID int, cfg TCPConfig) *TCP
 	if cfg.ConnLockTimeout <= 0 || cfg.ConnTimeout <= 0 {
 		panic("flowpath: connection timeouts must be positive")
 	}
+	bound, err := tables.ParseConfig(cfg.ConnCapacity, cfg.ConnPolicy)
+	if err != nil {
+		panic("flowpath: " + err.Error())
+	}
 	t := &TCPPath{
-		cfg:   cfg,
-		conns: NewPairTable(cfg.ConnLockTimeout, cfg.ConnTimeout),
+		cfg: cfg,
+		// Connection keys pack IPs and TCP ports, not MACs: no junk-key
+		// guard (a zero half is a legal tuple encoding).
+		conns: NewBoundedPairTable(cfg.ConnLockTimeout, cfg.ConnTimeout, bound, false),
 	}
 	// The chassis dispatches to t; t consumes TCP segments and delegates
 	// the rest to the embedded ARP-Path protocol.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bridge"
 	"repro/internal/netsim"
+	"repro/internal/tables"
 )
 
 // Config tunes a learning switch. It exists mostly so the protocol
@@ -13,6 +14,12 @@ import (
 type Config struct {
 	// Aging is the filtering-database aging time.
 	Aging time.Duration
+	// TableCapacity bounds the filtering database (0 = unbounded). A
+	// bound requires TablePolicy. See DESIGN.md §12.
+	TableCapacity int
+	// TablePolicy selects the eviction policy for a bounded table:
+	// "lru" or "clock" ("" / "timeout" is the unbounded baseline).
+	TablePolicy string
 }
 
 // DefaultConfig returns the standard aging time.
@@ -52,9 +59,13 @@ func New(net *netsim.Network, name string, numID int) *Switch {
 // NewWithConfig creates a learning switch with an explicit configuration.
 func NewWithConfig(net *netsim.Network, name string, numID int, cfg Config) *Switch {
 	cfg = cfg.WithDefaults()
+	bound, err := tables.ParseConfig(cfg.TableCapacity, cfg.TablePolicy)
+	if err != nil {
+		panic("learning: " + err.Error())
+	}
 	s := &Switch{}
 	s.Chassis = bridge.NewChassis(net, name, numID, s)
-	s.fib = NewTable(cfg.Aging)
+	s.fib = NewBoundedTable(cfg.Aging, bound)
 	return s
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/layers"
 	"repro/internal/netsim"
+	"repro/internal/tables"
 )
 
 // DefaultAging matches 802.1D's default filtering-database aging time.
@@ -28,6 +29,7 @@ type tableEntry struct {
 	Entry
 	gen uint32
 	ps  *portState
+	th  tables.Handle // recency-tracker handle; 0 when untracked
 }
 
 // portState backs the O(1) generation-based FlushPort.
@@ -41,11 +43,22 @@ type portState struct {
 // Aging is lazy: expired entries are dropped when touched. Port flushes
 // are O(1) via per-port generation counters, the same design as
 // core.LockTable.
+//
+// Like the ARP-Path tables it may be capacity-bounded with LRU or clock
+// eviction (DESIGN.md §12); a learning switch has no race windows, so
+// every victim is evictable. An amortized sweep (one pass per aging
+// period) reclaims corpses and idle port-state records.
 type Table struct {
 	aging    time.Duration
+	capacity int
+	tracker  *tables.Tracker[uint64]
 	entries  map[uint64]tableEntry
 	ports    map[*netsim.Port]*portState
 	resident int // entries in the map whose port generation is current
+
+	evictions uint64
+	peak      int
+	nextSweep time.Duration
 
 	// One-slot cache for the port side table (switches learn runs of
 	// entries against the same ingress port).
@@ -53,16 +66,31 @@ type Table struct {
 	lastPS   *portState
 }
 
-// NewTable returns an empty table with the given aging time.
+// NewTable returns an empty unbounded table with the given aging time.
 func NewTable(aging time.Duration) *Table {
+	return NewBoundedTable(aging, tables.Config{})
+}
+
+// NewBoundedTable returns an empty table with a capacity bound and
+// eviction policy on top of aging. The zero Config is the unbounded
+// aging-only baseline.
+func NewBoundedTable(aging time.Duration, bound tables.Config) *Table {
 	if aging <= 0 {
 		aging = DefaultAging
 	}
-	return &Table{
-		aging:   aging,
-		entries: make(map[uint64]tableEntry),
-		ports:   make(map[*netsim.Port]*portState),
+	if err := bound.Validate(); err != nil {
+		panic("learning: " + err.Error())
 	}
+	t := &Table{
+		aging:    aging,
+		capacity: bound.Capacity,
+		entries:  make(map[uint64]tableEntry),
+		ports:    make(map[*netsim.Port]*portState),
+	}
+	if bound.Tracked() {
+		t.tracker = tables.NewTracker[uint64](bound.Policy)
+	}
+	return t
 }
 
 // Aging returns the current aging time.
@@ -103,7 +131,40 @@ func (t *Table) drop(key uint64, e tableEntry) {
 		e.ps.live--
 		t.resident--
 	}
+	if t.tracker != nil {
+		t.tracker.Remove(e.th)
+	}
 	delete(t.entries, key)
+}
+
+// maybeSweep runs the amortized corpse sweep: at most one FlushExpired per
+// aging period, charged to the learn that crossed the deadline.
+func (t *Table) maybeSweep(now time.Duration) {
+	if now >= t.nextSweep {
+		t.FlushExpired(now)
+		t.nextSweep = now + t.aging
+	}
+}
+
+// makeRoom enforces the capacity bound before a new key insert. Dead
+// victims are reclaimed for free; live ones are evicted in tracker order
+// (a learning table has no race windows, so nothing is exempt).
+func (t *Table) makeRoom(now time.Duration) {
+	if t.tracker == nil || t.capacity <= 0 {
+		return
+	}
+	for len(t.entries) >= t.capacity {
+		h, ok := t.tracker.Victim()
+		if !ok {
+			return
+		}
+		key := t.tracker.Key(h)
+		e := t.entries[key]
+		if !t.dead(e, now) {
+			t.evictions++
+		}
+		t.drop(key, e)
+	}
 }
 
 // LearnKey binds a packed key to port, refreshing the expiry. Multicast
@@ -112,17 +173,34 @@ func (t *Table) LearnKey(key uint64, port *netsim.Port, now time.Duration) {
 	if layers.KeyIsMulticast(key) || key == 0 {
 		return
 	}
-	if old, ok := t.entries[key]; ok && old.gen == old.ps.gen {
+	t.maybeSweep(now)
+	old, hadOld := t.entries[key]
+	if hadOld && old.gen == old.ps.gen {
 		old.ps.live--
 		t.resident--
+	}
+	if !hadOld && t.capacity > 0 && len(t.entries) >= t.capacity {
+		t.makeRoom(now)
 	}
 	st := t.port(port)
 	st.live++
 	t.resident++
-	t.entries[key] = tableEntry{
+	ne := tableEntry{
 		Entry: Entry{Port: port, Expires: now + t.aging},
 		gen:   st.gen,
 		ps:    st,
+	}
+	if t.tracker != nil {
+		if hadOld {
+			ne.th = old.th
+			t.tracker.Touch(ne.th)
+		} else {
+			ne.th = t.tracker.Insert(key)
+		}
+	}
+	t.entries[key] = ne
+	if len(t.entries) > t.peak {
+		t.peak = len(t.entries)
 	}
 }
 
@@ -141,6 +219,9 @@ func (t *Table) LookupKey(key uint64, now time.Duration) (*netsim.Port, bool) {
 		t.drop(key, e)
 		return nil, false
 	}
+	if t.tracker != nil {
+		t.tracker.Touch(e.th)
+	}
 	return e.Port, true
 }
 
@@ -152,6 +233,20 @@ func (t *Table) Lookup(mac layers.MAC, now time.Duration) (*netsim.Port, bool) {
 // Len returns the number of live-generation entries, including any whose
 // deadline passed but which have not been touched since.
 func (t *Table) Len() int { return t.resident }
+
+// Entries returns the number of map entries including flushed-generation
+// corpses: actual memory, the leak-regression quantity.
+func (t *Table) Entries() int { return len(t.entries) }
+
+// PortStates returns the number of per-port side-table records.
+func (t *Table) PortStates() int { return len(t.ports) }
+
+// Evictions returns the cumulative count of live entries force-evicted by
+// the capacity bound.
+func (t *Table) Evictions() uint64 { return t.evictions }
+
+// PeakEntries returns the high-water mark of Entries().
+func (t *Table) PeakEntries() int { return t.peak }
 
 // FlushPort drops every binding pointing at port (used on link failure)
 // in O(1) by advancing the port's generation.
@@ -170,14 +265,28 @@ func (t *Table) FlushAll() {
 		st.live = 0
 	}
 	t.resident = 0
+	if t.tracker != nil {
+		t.tracker.Reset()
+	}
 }
 
 // FlushExpired removes every entry at or past its deadline, plus any
-// corpses left by FlushPort.
+// corpses left by FlushPort, then reclaims port-state records with no
+// surviving entries (post-sweep a zero live count proves nothing
+// references the record).
 func (t *Table) FlushExpired(now time.Duration) {
 	for key, e := range t.entries {
 		if t.dead(e, now) {
 			t.drop(key, e)
+		}
+	}
+	for p, st := range t.ports {
+		if st.live == 0 {
+			if t.lastPort == p {
+				t.lastPort = nil
+				t.lastPS = nil
+			}
+			delete(t.ports, p)
 		}
 	}
 }

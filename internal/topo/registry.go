@@ -11,6 +11,7 @@ import (
 	"repro/internal/learning"
 	"repro/internal/netsim"
 	"repro/internal/stp"
+	"repro/internal/tables"
 )
 
 // Definition describes a bridging protocol to the builder. Registering one
@@ -109,6 +110,8 @@ type arpPathConfigJSON struct {
 	Proxy          bool     `json:"proxy,omitempty"`
 	ProxyTimeout   Duration `json:"proxy_timeout,omitempty"`
 	DisableRepair  bool     `json:"disable_repair,omitempty"`
+	TableCapacity  int      `json:"table_capacity,omitempty"`
+	TablePolicy    string   `json:"table_policy,omitempty"`
 }
 
 // stpTimersJSON is the spec-file form of stp.Timers.
@@ -122,7 +125,9 @@ type stpTimersJSON struct {
 
 // learningConfigJSON is the spec-file form of learning.Config.
 type learningConfigJSON struct {
-	Aging Duration `json:"aging,omitempty"`
+	Aging         Duration `json:"aging,omitempty"`
+	TableCapacity int      `json:"table_capacity,omitempty"`
+	TablePolicy   string   `json:"table_policy,omitempty"`
 }
 
 func init() {
@@ -144,6 +149,9 @@ func init() {
 					return nil, err
 				}
 			}
+			if _, err := tables.ParseConfig(j.TableCapacity, j.TablePolicy); err != nil {
+				return nil, err
+			}
 			return &core.Config{
 				LockTimeout:    j.LockTimeout.D(),
 				LearnedTimeout: j.LearnedTimeout.D(),
@@ -152,6 +160,8 @@ func init() {
 				Proxy:          j.Proxy,
 				ProxyTimeout:   j.ProxyTimeout.D(),
 				DisableRepair:  j.DisableRepair,
+				TableCapacity:  j.TableCapacity,
+				TablePolicy:    j.TablePolicy,
 			}, nil
 		},
 		EncodeConfig: func(cfg any) ([]byte, error) {
@@ -164,6 +174,8 @@ func init() {
 				Proxy:          c.Proxy,
 				ProxyTimeout:   Duration(c.ProxyTimeout),
 				DisableRepair:  c.DisableRepair,
+				TableCapacity:  c.TableCapacity,
+				TablePolicy:    c.TablePolicy,
 			})
 		},
 	})
@@ -228,10 +240,22 @@ func init() {
 					return nil, err
 				}
 			}
-			return &learning.Config{Aging: j.Aging.D()}, nil
+			if _, err := tables.ParseConfig(j.TableCapacity, j.TablePolicy); err != nil {
+				return nil, err
+			}
+			return &learning.Config{
+				Aging:         j.Aging.D(),
+				TableCapacity: j.TableCapacity,
+				TablePolicy:   j.TablePolicy,
+			}, nil
 		},
 		EncodeConfig: func(cfg any) ([]byte, error) {
-			return json.Marshal(learningConfigJSON{Aging: Duration(cfg.(*learning.Config).Aging)})
+			c := cfg.(*learning.Config)
+			return json.Marshal(learningConfigJSON{
+				Aging:         Duration(c.Aging),
+				TableCapacity: c.TableCapacity,
+				TablePolicy:   c.TablePolicy,
+			})
 		},
 	})
 }

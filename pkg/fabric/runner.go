@@ -144,7 +144,7 @@ func (r *Runner) Run() (res *Result, err error) {
 		err = r.runFigure2Demo(spec, out, res)
 	case "path-repair":
 		err = r.runPathRepair(spec, out, res)
-	case "properties", "load", "proxy", "repair", "lockwindow", "tablesize", "forward", "scale", "allpath", "all":
+	case "properties", "load", "proxy", "repair", "lockwindow", "tablesize", "forward", "scale", "allpath", "tables", "all":
 		err = r.runBench(spec, out, errw, res)
 	case "sweep":
 		err = r.runSweep(spec, out, jobs, res)

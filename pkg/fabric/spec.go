@@ -112,9 +112,10 @@ type LinkSpec struct {
 //   - "figure2-demo" — the ARP-Path vs STP latency demo (arpvstp)
 //   - "path-repair" — streaming under successive failures (pathrepair)
 //   - "properties", "load", "proxy", "repair", "lockwindow",
-//     "tablesize", "forward", "scale", "allpath", "all" — the evaluation
-//     tables (fabricbench); "allpath" is the Flow-Path/TCP-Path
-//     comparative experiment over the same matrices
+//     "tablesize", "forward", "scale", "allpath", "tables", "all" — the
+//     evaluation tables (fabricbench); "allpath" is the Flow-Path/
+//     TCP-Path comparative experiment over the same matrices, "tables"
+//     the eviction-pressure capacity sweep
 //   - "sweep" — the adversarial scenario sweep (scenario)
 type WorkloadSpec struct {
 	Kind string `json:"kind,omitempty"`
@@ -147,6 +148,9 @@ type WorkloadSpec struct {
 	FlowBytes int `json:"flow_bytes,omitempty"`
 	// Arrival is the mean spacing of the seeded flow arrival schedule.
 	Arrival Duration `json:"arrival,omitempty"`
+	// Conversations is the tables experiment's distinct host-conversation
+	// count (synthetic edge-host multiplexing; 0 = 100k).
+	Conversations int `json:"conversations,omitempty"`
 }
 
 // ScenarioSpec parameterizes the adversarial sweep. The protocol under
@@ -437,6 +441,12 @@ func (w WorkloadSpec) withDefaults() WorkloadSpec {
 		}
 		if w.Flows == 0 {
 			w.Flows = 24
+		}
+	case "tables":
+		// The eviction-pressure experiment sweeps capacities itself; the
+		// knob is how many distinct conversations churn the tables.
+		if w.Conversations == 0 {
+			w.Conversations = 100_000
 		}
 	}
 	return w

@@ -64,6 +64,15 @@ func (r *Runner) runBench(spec Spec, out, errw io.Writer, res *Result) error {
 		}
 		res.BenchJSON = bench
 		r.emit(out, res, experiments.AllPathTable(rs))
+	case "tables":
+		tcfg := experiments.DefaultTablesConfig(seed, spec.Workload.Conversations)
+		rs := experiments.RunTables(tcfg)
+		bench, err := experiments.TablesJSON(rs)
+		if err != nil {
+			return err
+		}
+		res.BenchJSON = bench
+		r.emit(out, res, experiments.TablesTable(rs))
 	case "all":
 		r.emit(out, res, experiments.T1Table(experiments.RunT1Properties(seed, 6)))
 		ap := experiments.RunT2Load(seed, topo.ARPPath)

@@ -10,6 +10,13 @@ package repro
 import (
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/flowpath"
+	hostpkg "repro/internal/host"
+	"repro/internal/learning"
+	"repro/internal/netsim"
+	"repro/internal/tables"
 )
 
 func TestSteadyStateForwardingDoesNotAllocate(t *testing.T) {
@@ -43,6 +50,70 @@ func TestSteadyStateForwardingDoesNotAllocate(t *testing.T) {
 			// AllocsPerRun executes runs+1 iterations.
 			if got := built.Host("H2").Stats().FramesRx - rx0; got != runs+1 {
 				t.Fatalf("delivered %d frames, want %d", got, runs+1)
+			}
+		})
+	}
+}
+
+// TestBoundedTableChurnDoesNotAllocate extends the gate to the bounded
+// forwarding tables (DESIGN.md §12): steady-state churn — a fresh key
+// into a full table, forcing an eviction and recycling a tracker node —
+// must not allocate in any of the three tables, under either policy. The
+// tracker's slice-arena free list and the map's delete-then-insert
+// balance are what make a million-conversation run flat.
+func TestBoundedTableChurnDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the gate runs in the non-race job")
+	}
+	net := netsim.NewNetwork(1)
+	a, b := hostpkg.New(net, "a", 1), hostpkg.New(net, "b", 2)
+	port := net.Connect(a, b, netsim.DefaultLinkConfig()).A()
+
+	for _, policy := range []tables.Policy{tables.PolicyLRU, tables.PolicyClock} {
+		bound := tables.Config{Capacity: 512, Policy: policy}
+		t.Run("LockTable/"+policy.String(), func(t *testing.T) {
+			tb := core.NewBoundedLockTable(time.Millisecond, time.Hour, bound)
+			now, key := 10*time.Millisecond, uint64(1)<<32
+			churn := func() {
+				key++
+				now += 2 * time.Millisecond
+				tb.LearnKey(key, port, now)
+			}
+			for i := 0; i < 2048; i++ {
+				churn() // fill past capacity, warm the arena
+			}
+			if allocs := testing.AllocsPerRun(2000, churn); allocs != 0 {
+				t.Fatalf("bounded LockTable churn allocates %.2f/op, want 0", allocs)
+			}
+		})
+		t.Run("PairTable/"+policy.String(), func(t *testing.T) {
+			tb := flowpath.NewBoundedPairTable(time.Millisecond, time.Hour, bound, false)
+			now, key := 10*time.Millisecond, uint64(1)<<32
+			churn := func() {
+				key++
+				now += 2 * time.Millisecond
+				tb.Learn(flowpath.PairKey{Hi: key, Lo: key ^ 0xFFFF}, port, now)
+			}
+			for i := 0; i < 2048; i++ {
+				churn()
+			}
+			if allocs := testing.AllocsPerRun(2000, churn); allocs != 0 {
+				t.Fatalf("bounded PairTable churn allocates %.2f/op, want 0", allocs)
+			}
+		})
+		t.Run("LearningTable/"+policy.String(), func(t *testing.T) {
+			tb := learning.NewBoundedTable(time.Hour, bound)
+			now, key := 10*time.Millisecond, uint64(1)<<32
+			churn := func() {
+				key++
+				now += 2 * time.Millisecond
+				tb.LearnKey(key, port, now)
+			}
+			for i := 0; i < 2048; i++ {
+				churn()
+			}
+			if allocs := testing.AllocsPerRun(2000, churn); allocs != 0 {
+				t.Fatalf("bounded learning.Table churn allocates %.2f/op, want 0", allocs)
 			}
 		})
 	}
