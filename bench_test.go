@@ -202,7 +202,18 @@ func BenchmarkTableStateSize(b *testing.B) {
 // IP protocol, so H2 counts and drops it without replying).
 func establishedLine(b testing.TB, n int) (*topo.Built, []byte) {
 	b.Helper()
-	built := topo.Line(topo.DefaultOptions(topo.ARPPath, 1), n)
+	return establishedLineSharded(b, n, 1)
+}
+
+// establishedLineSharded is establishedLine on a partitioned fabric: the
+// line is split across the given number of engine shards, so steady-state
+// forwarding exercises the parallel coordinator's windows and the
+// cross-shard exchange on every frame.
+func establishedLineSharded(b testing.TB, n, shards int) (*topo.Built, []byte) {
+	b.Helper()
+	opts := topo.DefaultOptions(topo.ARPPath, 1)
+	opts.Shards = shards
+	built := topo.Line(opts, n)
 	h1, h2 := built.Host("H1"), built.Host("H2")
 	ok := false
 	built.Engine.At(built.Now(), func() {

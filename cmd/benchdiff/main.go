@@ -11,12 +11,15 @@
 // records, so the same binary gates every BENCH_*.json the repo
 // produces:
 //
-//   - scale (BENCH_scale.json): records pair by (bridges, shards);
-//     events and delivered must match exactly, events_per_sec is
-//     tolerance-gated (regressions only — improvements pass silently).
-//     The committed baseline was recorded on a multi-core box; when
-//     GOMAXPROCS==1 only shards==1 throughput is compared and the rest
-//     is reported as skipped (deterministic columns still compare).
+//   - scale (BENCH_scale.json): records pair by (bridges, shards,
+//     gomaxprocs); events, delivered and the coordination counters
+//     (windows, barriers, exchanged) must match exactly, events_per_sec
+//     is tolerance-gated (regressions only — improvements pass
+//     silently). When GOMAXPROCS==1 only shards==1 throughput is
+//     compared and the rest is reported as skipped (deterministic
+//     columns still compare). Current-side records at GOMAXPROCS values
+//     the baseline lacks are simply unpaired — a 1-core-recorded
+//     baseline coexists with a multi-core matrix.
 //   - allpath (BENCH_allpath.json): records pair by (pattern,
 //     protocol); every retained column is deterministic and must match
 //     exactly.
@@ -24,10 +27,21 @@
 //     capacity); every retained column is deterministic and must match
 //     exactly.
 //
-// Machine-dependent fields (gomaxprocs, wall_ns, lookahead_ns,
+// Machine-dependent fields (wall_ns, wake_ns, lookahead_ns,
 // frames_per_sec) are never compared. A deterministic mismatch means
 // the workload itself changed, which requires re-recording the
 // baseline.
+//
+// A second mode gates the multi-core speedup claim against the current
+// artifact alone:
+//
+//	benchdiff -speedup -current BENCH_scale.json [-min-speedup 2.0] [-speedup-shards 4]
+//
+// For every (bridges, gomaxprocs) group with gomaxprocs >= the target
+// shard count, the wall clock at shards=1 must be at least min-speedup
+// times the wall clock at the target shard count. Groups below the
+// GOMAXPROCS threshold — and artifacts that have none, i.e. single-core
+// runners — skip cleanly with exit 0.
 package main
 
 import (
@@ -57,7 +71,7 @@ var schemas = []schema{
 	{name: "tables", keys: []string{"variant", "policy", "capacity"}},
 	{name: "allpath", keys: []string{"pattern", "protocol"}},
 	{
-		name: "scale", keys: []string{"bridges", "shards"},
+		name: "scale", keys: []string{"bridges", "shards", "gomaxprocs"},
 		tolerant:       map[string]bool{"events_per_sec": true},
 		skipMultiShard: true,
 	},
@@ -65,8 +79,9 @@ var schemas = []schema{
 
 // ignored fields are machine- or environment-dependent in every schema.
 var ignored = map[string]bool{
-	"gomaxprocs":     true,
+	"gomaxprocs":     true, // pairing key in scale; machine detail elsewhere
 	"wall_ns":        true,
+	"wake_ns":        true,
 	"lookahead_ns":   true,
 	"frames_per_sec": true,
 }
@@ -120,11 +135,80 @@ func (s schema) pairKey(r record) string {
 	return strings.Join(parts, " ")
 }
 
+// runSpeedupGate asserts the multi-core wall-clock claim on one scale
+// artifact: within every (bridges, gomaxprocs) group whose gomaxprocs can
+// actually exercise atShards workers, shards=1 wall clock must be at
+// least minSpeedup times the shards=atShards wall clock. Exits 0 with a
+// skip notice when no group qualifies (single-core matrix).
+func runSpeedupGate(path string, minSpeedup float64, atShards int) {
+	rs, err := load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	num := func(r record, k string) float64 { v, _ := r[k].(float64); return v }
+	type group struct{ wall1, wallK float64 }
+	groups := make(map[string]*group)
+	for _, r := range rs {
+		gmp := int(num(r, "gomaxprocs"))
+		if gmp < atShards {
+			continue
+		}
+		key := fmt.Sprintf("bridges=%v gomaxprocs=%d", r["bridges"], gmp)
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+		}
+		switch int(num(r, "shards")) {
+		case 1:
+			g.wall1 = num(r, "wall_ns")
+		case atShards:
+			g.wallK = num(r, "wall_ns")
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k, g := range groups {
+		if g.wall1 > 0 && g.wallK > 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		fmt.Printf("benchdiff: skip speedup gate: %s has no GOMAXPROCS>=%d shard-1/shard-%d pairs (single-core matrix)\n",
+			path, atShards, atShards)
+		return
+	}
+	sort.Strings(keys)
+	failed := false
+	for _, k := range keys {
+		g := groups[k]
+		speedup := g.wall1 / g.wallK
+		verdict := "ok"
+		if speedup < minSpeedup {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("benchdiff: %s %s: %d-shard speedup %.2fx (want >= %.2fx; wall %.0fms -> %.0fms)\n",
+			verdict, k, atShards, speedup, minSpeedup, g.wall1/1e6, g.wallK/1e6)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
 func main() {
 	baseline := flag.String("baseline", "bench/BENCH_scale.json", "committed baseline artifact")
 	current := flag.String("current", "BENCH_scale.json", "freshly produced artifact")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional throughput regression")
+	speedup := flag.Bool("speedup", false, "gate multi-core speedup within -current instead of diffing against -baseline")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "required shards-1 / shards-N wall-clock ratio for -speedup")
+	speedupShards := flag.Int("speedup-shards", 4, "shard count whose speedup -speedup asserts")
 	flag.Parse()
+
+	if *speedup {
+		runSpeedupGate(*current, *minSpeedup, *speedupShards)
+		return
+	}
 
 	base, err := load(*baseline)
 	if err != nil {

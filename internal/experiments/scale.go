@@ -60,6 +60,13 @@ type ScaleResult struct {
 	Wall                  time.Duration
 	EventsPerSec          float64
 	FramesPerSec          float64 // delivered datagrams per wall second
+	// Coordination overhead over the traffic phase (zero unsharded).
+	// Windows, Barriers and Exchanged are deterministic for a given
+	// (seed, shards); WakeNS is wall clock, like Wall.
+	Windows   uint64 // parallel windows the coordinator dispatched
+	Barriers  uint64 // control events run with all shards paused
+	Exchanged uint64 // cross-shard arrivals moved between engines
+	WakeNS    int64  // total worker wake latency
 }
 
 // RunScale executes one scaling run.
@@ -118,10 +125,12 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 	}
 
 	eventsBefore := built.Network.Processed()
+	coordBefore := built.Network.CoordStats()
 	start := time.Now()
 	built.RunFor(cfg.Window + 10*time.Millisecond)
 	built.Run()
 	wall := time.Since(start)
+	coord := built.Network.CoordStats()
 
 	res := &ScaleResult{
 		Config:    cfg,
@@ -132,6 +141,10 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 		Offered:   offered,
 		Events:    built.Network.Processed() - eventsBefore,
 		Wall:      wall,
+		Windows:   coord.Windows - coordBefore.Windows,
+		Barriers:  coord.Barriers - coordBefore.Barriers,
+		Exchanged: coord.Exchanged - coordBefore.Exchanged,
+		WakeNS:    coord.WakeNS - coordBefore.WakeNS,
 	}
 	for _, s := range sinks {
 		res.Delivered += s.Count()
@@ -167,6 +180,7 @@ func ScaleTable(rs []*ScaleResult) *metrics.Table {
 // ScaleBenchLine renders one run's wall-clock figures for stderr / bench
 // artifacts.
 func ScaleBenchLine(r *ScaleResult) string {
-	return fmt.Sprintf("scale: bridges=%d shards=%d lookahead=%v wall=%v events/s=%.0f frames/s=%.0f",
-		r.Bridges, r.Config.Shards, r.Lookahead, r.Wall.Round(time.Millisecond), r.EventsPerSec, r.FramesPerSec)
+	return fmt.Sprintf("scale: bridges=%d shards=%d lookahead=%v wall=%v events/s=%.0f frames/s=%.0f windows=%d barriers=%d exchanged=%d",
+		r.Bridges, r.Config.Shards, r.Lookahead, r.Wall.Round(time.Millisecond), r.EventsPerSec, r.FramesPerSec,
+		r.Windows, r.Barriers, r.Exchanged)
 }

@@ -347,6 +347,25 @@ func (n *Network) Barriers() uint64 {
 	return n.co.barriers
 }
 
+// CoordStats returns the coordinator's cumulative overhead counters —
+// windows dispatched, barriers, cross-shard arrivals exchanged, worker
+// wake-ups and total wake latency. Zero-valued on an unsharded network.
+// Windows/Barriers/Exchanged are deterministic for a given workload and
+// shard count; WakeNS is wall clock. Call it between runs only.
+func (n *Network) CoordStats() CoordStats {
+	if n.co == nil {
+		return CoordStats{}
+	}
+	s := CoordStats{Windows: n.co.windows, Barriers: n.co.barriers}
+	for i := range n.co.wstats {
+		w := &n.co.wstats[i]
+		s.Exchanged += w.exchanged
+		s.Wakes += w.wakes
+		s.WakeNS += w.wakeNS
+	}
+	return s
+}
+
 // PortStats counts traffic through one port.
 type PortStats struct {
 	TxFrames, TxBytes uint64

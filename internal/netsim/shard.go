@@ -1,9 +1,9 @@
 package netsim
 
 // This file is the parallel half of the simulator: a conservative
-// discrete-event coordinator that runs a partitioned fabric on one worker
-// goroutine per shard while preserving, bit for bit, the event order of
-// the single-engine run (DESIGN.md §8).
+// discrete-event coordinator that runs a partitioned fabric on one
+// persistent worker goroutine per shard while preserving, bit for bit,
+// the event order of the single-engine run (DESIGN.md §8).
 //
 // The synchronization protocol is a null-message-free window barrier. Let
 // L (the lookahead) be the minimum latency — serialization of a minimum
@@ -11,11 +11,21 @@ package netsim
 // different shards. If the earliest pending event anywhere sits at time T,
 // then no shard can receive a cross-shard arrival before T+L (a send at
 // s ≥ T arrives strictly after s+L), so every shard may run all events in
-// [T, T+L) without looking up. After the window, the shards' outboxes are
-// exchanged: each cross-shard arrival was stamped by the *sending* link
-// direction with the key it would have carried in the unsharded run, so
-// where it sorts in the destination heap does not depend on when the
-// exchange happened to deliver it.
+// [T, T+L) without looking up. Windows are delimited by an epoch/countdown
+// barrier on a single mutex: the coordinator publishes per-shard bounds,
+// bumps the epoch and broadcasts; each parked worker wakes once, runs its
+// window, decrements the countdown and the last one signals the
+// coordinator. One wake plus one arrive per shard per window — no channel
+// churn, no per-window goroutines.
+//
+// Cross-shard arrivals are double-buffered: during window n every sender
+// appends into the fill-side outbox matrix out[fill][from][to], and at the
+// start of window n+1 each destination shard drains its own inbox column
+// of the other buffer — written only during the previous window, so the
+// drain needs no lock and never contends with in-window sends. Each
+// arrival was stamped by the *sending* link direction with the key it
+// would have carried in the unsharded run, so where it sorts in the
+// destination heap does not depend on when the exchange delivered it.
 //
 // Driver events — fault injection, experiment phases, anything scheduled
 // on the control engine — execute as barriers: all shards drain below the
@@ -63,21 +73,96 @@ type tapShard struct {
 	arena []byte
 }
 
+// Tap flushing is amortized: buffered records are merged out every
+// tapFlushWindows parallel windows, before every barrier (whose inline
+// emissions must land after everything the windows produced), and
+// whenever a shard's buffer grows past the backlog bounds.
+const (
+	tapFlushWindows = 32
+	tapFlushRecs    = 1 << 13
+	tapFlushBytes   = 1 << 20
+)
+
+// laEdge is one finite lookahead constraint into a shard: events pending
+// in shard from cap the window at their timestamp plus d.
+type laEdge struct {
+	from int
+	d    time.Duration
+}
+
+// workerStats is one shard worker's counter block, padded so concurrent
+// workers never share a cache line.
+type workerStats struct {
+	exchanged uint64 // cross-shard arrivals this worker drained
+	wakes     uint64 // windows this worker ran
+	wakeNS    int64  // total dispatch→running latency
+	_         [5]uint64
+}
+
+// CoordStats reports the coordinator's per-run overhead counters.
+// Windows, Barriers and Exchanged are deterministic functions of the
+// workload and the shard count; WakeNS is wall-clock (machine-dependent).
+// Read it between runs — never from driver code racing a window.
+type CoordStats struct {
+	Windows   uint64 // parallel windows dispatched
+	Barriers  uint64 // control-engine events run with all shards paused
+	Exchanged uint64 // cross-shard arrivals moved between engines
+	Wakes     uint64 // worker wake-ups (≈ Windows × shards)
+	WakeNS    int64  // total worker wake latency, summed over wakes
+}
+
+// workerSync is the epoch/countdown barrier the persistent workers park
+// on. One mutex guards everything; it is also the happens-before edge for
+// all coordinator↔worker shared state (bounds, outboxes, cached next
+// keys, tap buffers): the coordinator only touches that state while
+// remaining == 0, workers only inside a window.
+type workerSync struct {
+	mu        sync.Mutex
+	wake      sync.Cond // workers wait here for an epoch bump
+	done      sync.Cond // the coordinator waits here for the countdown
+	epoch     uint64
+	remaining int
+	stop      bool
+	running   int // workers spawned and not yet exited
+}
+
 // coordinator drives a partitioned network.
 type coordinator struct {
 	net       *Network
 	shards    []*sim.Engine
 	shardOf   map[Node]int
 	lookahead time.Duration     // global minimum (reporting; la drives the windows)
-	la        [][]time.Duration // la[from][to]: min latency over boundary links from→to (maxInt64 = none)
-	barriers  uint64            // root events executed with all shards paused
-	out       [][][]remoteRec   // [from][to] outboxes, written only by `from`'s worker
-	tap       []tapShard        // per-shard tap buffers, written only by that shard's worker
+	la        [][]time.Duration // la[from][to]: min latency over boundary paths from→to (maxInt64 = none)
+	laIn      [][]laEdge        // laIn[s]: the finite rows of la[·][s], hoisted off the window loop
+
+	// Double-buffered outbox matrices: senders append to out[fill] during
+	// a window, destinations drain their column of out[fill^1] at window
+	// start. outMin mirrors the matrices with each cell's smallest key so
+	// the coordinator can fold undrained arrivals into its pending minima
+	// without touching the records.
+	out    [2][][][]remoteRec
+	outMin [2][][]evKey
+	fill   int
+
+	tap      []tapShard // per-shard tap buffers, written only by that shard's worker
+	mergeIdx []int      // flushTapsBelow merge cursors (reused across calls)
+
+	bounds    []evKey // per-shard window bounds, published before each epoch bump
+	next      []evKey // cached engine next keys: worker-written at window end
+	nextValid bool    // false when engines were scheduled into outside a window
+	pend      []evKey // scratch: next folded with the fill-side outbox minima
+
+	wg        workerSync
+	wstats    []workerStats
+	wakeStamp time.Time // dispatch instant of the current window
+
+	windows  uint64 // parallel windows dispatched
+	barriers uint64 // root events executed with all shards paused
 
 	// inWindow is true while shard workers are executing a parallel
-	// window. Written only while every worker is idle (the window channel
-	// send/receive pairs are the synchronization edges), read by workers
-	// inside the window to route tap emissions into the shard buffers.
+	// window. Written only while every worker is parked (the barrier
+	// mutex provides the synchronization edges), read by workers inside
+	// the window to route tap emissions into the shard buffers.
 	inWindow bool
 
 	mu       sync.Mutex
@@ -110,14 +195,28 @@ func (n *Network) Partition(k int, shardOf func(Node) int) {
 		shards[i] = e
 	}
 	co := &coordinator{
-		net:     n,
-		shards:  shards,
-		shardOf: make(map[Node]int, len(n.nodes)),
-		tap:     make([]tapShard, k),
+		net:      n,
+		shards:   shards,
+		shardOf:  make(map[Node]int, len(n.nodes)),
+		tap:      make([]tapShard, k),
+		mergeIdx: make([]int, k),
+		bounds:   make([]evKey, k),
+		next:     make([]evKey, k),
+		pend:     make([]evKey, k),
+		wstats:   make([]workerStats, k),
 	}
-	co.out = make([][][]remoteRec, k)
-	for i := range co.out {
-		co.out[i] = make([][]remoteRec, k)
+	co.wg.wake.L = &co.wg.mu
+	co.wg.done.L = &co.wg.mu
+	for b := range co.out {
+		co.out[b] = make([][][]remoteRec, k)
+		co.outMin[b] = make([][]evKey, k)
+		for i := 0; i < k; i++ {
+			co.out[b][i] = make([][]remoteRec, k)
+			co.outMin[b][i] = make([]evKey, k)
+			for j := 0; j < k; j++ {
+				co.outMin[b][i][j] = maxKey
+			}
+		}
 	}
 	for _, node := range n.nodes {
 		s := shardOf(node)
@@ -192,6 +291,16 @@ func (n *Network) Partition(k int, shardOf func(Node) int) {
 			}
 		}
 	}
+	// The window loop only ever walks the finite constraints into each
+	// shard, so hoist them out of the matrix once.
+	co.laIn = make([][]laEdge, k)
+	for s := 0; s < k; s++ {
+		for t := 0; t < k; t++ {
+			if co.la[t][s] != inf {
+				co.laIn[s] = append(co.laIn[s], laEdge{from: t, d: co.la[t][s]})
+			}
+		}
+	}
 	n.co = co
 }
 
@@ -225,35 +334,61 @@ func (n *Network) Processed() uint64 {
 	return total
 }
 
-// ship queues one cross-shard arrival; called by the sending shard's
-// worker during a window, drained by exchange between windows.
+// ship queues one cross-shard arrival into the fill-side outbox; called by
+// the sending shard's worker during a window (or by a barrier event),
+// drained by the destination's worker at the start of the next window.
 func (co *coordinator) ship(from, to int, rec remoteRec) {
-	co.out[from][to] = append(co.out[from][to], rec)
+	f := co.fill
+	co.out[f][from][to] = append(co.out[f][from][to], rec)
+	if k := (evKey{rec.at, rec.owner, rec.oseq}); keyLess(k, co.outMin[f][from][to]) {
+		co.outMin[f][from][to] = k
+	}
 }
 
-// exchange injects every outbox record into its destination shard and
-// reports how many moved. Runs between windows, all workers paused.
-func (co *coordinator) exchange() int {
-	n := 0
-	for from := range co.out {
-		for to := range co.out[from] {
-			recs := co.out[from][to]
-			for i := range recs {
-				rec := &recs[i]
-				rf := remoteFlightPool.Get().(*remoteFlight)
-				rf.eng = co.shards[to]
-				rf.link = rec.link
-				rf.from = rec.link.ports[rec.side]
-				rf.frame = rec.frame
-				rf.epoch = rec.epoch
-				co.shards[to].ScheduleKeyed(rec.at, rec.owner, rec.oseq, rf, 0)
-				recs[i] = remoteRec{}
-				n++
-			}
-			co.out[from][to] = recs[:0]
+// inject materializes one outbox record as a keyed event on its
+// destination engine and clears the record (frame ownership transfers).
+func (co *coordinator) inject(to int, rec *remoteRec) {
+	rf := remoteFlightPool.Get().(*remoteFlight)
+	rf.eng = co.shards[to]
+	rf.link = rec.link
+	rf.from = rec.link.ports[rec.side]
+	rf.frame = rec.frame
+	rf.epoch = rec.epoch
+	co.shards[to].ScheduleKeyed(rec.at, rec.owner, rec.oseq, rf, 0)
+	*rec = remoteRec{}
+}
+
+// drainInbox injects everything buffered for shard s in outbox buffer buf
+// and reports how many records moved. During a window only shard s's own
+// worker touches column s of the drain-side buffer, so no lock is needed.
+func (co *coordinator) drainInbox(buf, s int) uint64 {
+	var n uint64
+	for from := range co.out[buf] {
+		cell := co.out[buf][from][s]
+		if len(cell) == 0 {
+			continue
 		}
+		for i := range cell {
+			co.inject(s, &cell[i])
+		}
+		n += uint64(len(cell))
+		co.out[buf][from][s] = cell[:0]
+		co.outMin[buf][from][s] = maxKey
 	}
 	return n
+}
+
+// drainOutboxes serially injects every buffered record from both outbox
+// buffers, restoring the invariant that run() returns with empty
+// outboxes. Safe whenever the workers are parked; the records' keys all
+// sit above the bounded horizon (that is what made returning legal).
+func (co *coordinator) drainOutboxes() {
+	for buf := 0; buf < 2; buf++ {
+		for s := range co.shards {
+			co.wstats[s].exchanged += co.drainInbox(buf, s)
+		}
+	}
+	co.nextValid = false
 }
 
 // buffer records a tap observation in the emitting shard's buffer, frame
@@ -274,6 +409,17 @@ func (co *coordinator) buffer(e *sim.Engine, ev TapEvent) {
 // flushTaps drains every buffered tap observation (end of a run).
 func (co *coordinator) flushTaps() { co.flushTapsBelow(maxKey) }
 
+// tapBacklogged reports whether any shard's tap buffer has outgrown the
+// backlog bounds and should flush ahead of the periodic schedule.
+func (co *coordinator) tapBacklogged() bool {
+	for s := range co.tap {
+		if len(co.tap[s].recs) >= tapFlushRecs || len(co.tap[s].arena) >= tapFlushBytes {
+			return true
+		}
+	}
+	return false
+}
+
 // flushTapsBelow merges the per-shard tap buffers up to (strictly below)
 // the watermark key and delivers them to the registered taps, keeping
 // later records buffered. Within a shard the buffer is already key-sorted
@@ -287,7 +433,10 @@ func (co *coordinator) flushTaps() { co.flushTapsBelow(maxKey) }
 // may already have executed — and buffered taps for — events keyed after
 // another shard's next pending event. Flushing only below the minimum
 // pending key everywhere keeps the delivered stream in global key order;
-// the tails stay buffered until the lagging shards catch up.
+// the tails stay buffered until the lagging shards catch up. Flushes are
+// amortized (every tapFlushWindows windows, before barriers, on backlog):
+// the watermark argument is exactly why batching windows up changes
+// nothing in the delivered order.
 func (co *coordinator) flushTapsBelow(watermark evKey) {
 	if len(co.net.taps) == 0 {
 		for s := range co.tap {
@@ -296,7 +445,10 @@ func (co *coordinator) flushTapsBelow(watermark evKey) {
 		}
 		return
 	}
-	idx := make([]int, len(co.tap))
+	idx := co.mergeIdx
+	for s := range idx {
+		idx[s] = 0
+	}
 	for {
 		best := -1
 		for s := range co.tap {
@@ -355,6 +507,15 @@ func (co *coordinator) noteWorkerPanic(r any) {
 	co.mu.Unlock()
 }
 
+// takePanic reads the first worker panic, if any, with the happens-before
+// edge the recording worker established through co.mu.
+func (co *coordinator) takePanic() any {
+	co.mu.Lock()
+	p := co.panicked
+	co.mu.Unlock()
+	return p
+}
+
 // evKey is a full event ordering key: the coordinator compares them
 // lexicographically to decide barriers and per-shard window bounds.
 type evKey struct {
@@ -376,6 +537,112 @@ func keyLess(a, b evKey) bool {
 // maxKey sorts after every real event key.
 var maxKey = evKey{at: time.Duration(math.MaxInt64), owner: math.MaxUint64, oseq: math.MaxUint64}
 
+// engineNextKey reads an engine's earliest pending key as an evKey.
+func engineNextKey(e *sim.Engine) evKey {
+	if at, owner, oseq, ok := e.NextKey(); ok {
+		return evKey{at, owner, oseq}
+	}
+	return maxKey
+}
+
+// startWorkers spawns the persistent shard workers for one run. The epoch
+// baseline is captured under the barrier mutex before any spawn so a
+// worker scheduled late can never mistake the first dispatch for one it
+// already ran.
+func (co *coordinator) startWorkers() {
+	g := &co.wg
+	g.mu.Lock()
+	base := g.epoch
+	g.running = len(co.shards)
+	g.mu.Unlock()
+	for s := range co.shards {
+		go co.worker(s, base)
+	}
+}
+
+// stopWorkers tears the persistent workers down at the end of a run and
+// waits for the last one to exit, so no parked goroutine outlives the
+// run (a parked pool would pin the Network — blocked goroutines never
+// collect).
+func (co *coordinator) stopWorkers() {
+	g := &co.wg
+	g.mu.Lock()
+	g.stop = true
+	g.wake.Broadcast()
+	for g.running > 0 {
+		g.done.Wait()
+	}
+	g.stop = false
+	g.mu.Unlock()
+}
+
+// dispatchWindow runs one epoch of the barrier: wake every worker, wait
+// for the countdown. Bounds and the fill swap were published before the
+// epoch bump; the mutex carries them to the workers.
+func (co *coordinator) dispatchWindow() {
+	g := &co.wg
+	g.mu.Lock()
+	g.remaining = len(co.shards)
+	co.wakeStamp = time.Now()
+	g.epoch++
+	g.wake.Broadcast()
+	for g.remaining > 0 {
+		g.done.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// worker is one shard's persistent loop: park on the barrier, run the
+// published window, arrive, repeat until stopped.
+func (co *coordinator) worker(s int, seen uint64) {
+	g := &co.wg
+	g.mu.Lock()
+	for {
+		for g.epoch == seen && !g.stop {
+			g.wake.Wait()
+		}
+		if g.stop {
+			g.running--
+			if g.running == 0 {
+				g.done.Signal()
+			}
+			g.mu.Unlock()
+			return
+		}
+		seen = g.epoch
+		bound := co.bounds[s]
+		stamp := co.wakeStamp
+		g.mu.Unlock()
+
+		co.runShardWindow(s, bound, stamp)
+
+		g.mu.Lock()
+		g.remaining--
+		if g.remaining == 0 {
+			g.done.Signal()
+		}
+	}
+}
+
+// runShardWindow is one worker's window body: drain the shard's inbox
+// column from the previous window, run the engine up to the bound, cache
+// the next pending key for the coordinator. Panics are recorded and
+// re-raised on the coordinator goroutine after the window.
+func (co *coordinator) runShardWindow(s int, bound evKey, stamp time.Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			co.noteWorkerPanic(r)
+		}
+	}()
+	w := &co.wstats[s]
+	w.wakes++
+	w.wakeNS += int64(time.Since(stamp))
+	w.exchanged += co.drainInbox(co.fill^1, s)
+	e := co.shards[s]
+	e.RunWindowKey(bound.at, bound.owner, bound.oseq)
+	co.next[s] = engineNextKey(e)
+}
+
 // run is the coordinator's main loop: alternate parallel lookahead windows
 // with root-event barriers until the horizon (bounded) or quiescence.
 // When bounded, events at exactly `until` run too and every clock ends at
@@ -386,52 +653,32 @@ var maxKey = evKey{at: time.Duration(math.MaxInt64), owner: math.MaxUint64, oseq
 // events at the same timestamp with smaller keys run inside the preceding
 // window, so the global execution order is the single-engine key order
 // whatever the event's venue. Windows are bounded per shard pair: shard s
-// may run to min over senders t of (t's earliest event + la[t][s]) — one
-// short boundary link only throttles its own two shards.
+// may run to min over senders t of (t's earliest pending key + la[t][s])
+// — one short boundary link only throttles its own two shards. "Pending"
+// folds the engines' cached next keys with the minima of the undrained
+// outboxes, so the coordinator never has to serialize an exchange to
+// reason about what is coming.
 func (co *coordinator) run(until time.Duration, bounded bool) {
 	defer co.flushTaps()
 	root := co.net.Engine
 	k := len(co.shards)
 
-	// Workers for the duration of this run — one per shard, window bounds
-	// in, completions out — spawned lazily at the first parallel window,
-	// so barrier-only calls (driver code slicing time in small steps) pay
-	// no goroutine churn. They are not kept across run() calls: a parked
-	// pool would outlive the Network (blocked goroutines never collect),
-	// and the spawn cost is microseconds against any window-bearing run.
-	var bounds []chan evKey
-	var done chan struct{}
-	startWorkers := func() {
-		bounds = make([]chan evKey, k)
-		done = make(chan struct{}, k)
-		for s := 0; s < k; s++ {
-			bounds[s] = make(chan evKey, 1)
-			go func(s int) {
-				for b := range bounds[s] {
-					func() {
-						defer func() {
-							if r := recover(); r != nil {
-								co.noteWorkerPanic(r)
-							}
-						}()
-						co.shards[s].RunWindowKey(b.at, b.owner, b.oseq)
-					}()
-					done <- struct{}{}
-				}
-			}(s)
-		}
-	}
+	// Workers persist for the duration of this run, spawned lazily at the
+	// first parallel window so barrier-only calls (driver code slicing
+	// time in small steps) pay no goroutine churn.
+	started := false
 	defer func() {
-		for s := range bounds {
-			close(bounds[s])
+		if started {
+			co.stopWorkers()
 		}
 	}()
 
 	startProcessed := co.net.Processed()
 	limit := root.EventLimit()
-	next := make([]evKey, k) // per-shard next event key this iteration
+	tracing := len(co.net.taps) > 0
+	flushIn := tapFlushWindows
+	co.nextValid = false
 	for {
-		co.exchange()
 		// Runaway-loop backstop, checked every iteration so both code
 		// paths — parallel windows and root-event barriers — are covered;
 		// a self-rescheduling driver event must panic here exactly like
@@ -445,34 +692,55 @@ func (co *coordinator) run(until time.Duration, bounded bool) {
 		if rootOK {
 			rootKey = evKey{rootAt, rootOwner, rootSeq}
 		}
+
+		// Per-shard pending minima: the workers cached each engine's next
+		// key at the end of the last window; anything scheduled outside a
+		// window (barriers, driver code before the run) invalidates the
+		// cache and is recomputed here, serially, once.
+		if !co.nextValid {
+			for s, e := range co.shards {
+				co.next[s] = engineNextKey(e)
+			}
+			co.nextValid = true
+		}
+		pend := co.pend
+		copy(pend, co.next)
+		for from := 0; from < k; from++ {
+			mins := co.outMin[co.fill][from]
+			for to := 0; to < k; to++ {
+				if keyLess(mins[to], pend[to]) {
+					pend[to] = mins[to]
+				}
+			}
+		}
 		minShard := maxKey
-		minT := time.Duration(math.MaxInt64)
-		for s, e := range co.shards {
-			next[s] = maxKey
-			if at, owner, oseq, ok := e.NextKey(); ok {
-				next[s] = evKey{at, owner, oseq}
-				if keyLess(next[s], minShard) {
-					minShard = next[s]
-				}
-				if at < minT {
-					minT = at
-				}
+		for s := 0; s < k; s++ {
+			if keyLess(pend[s], minShard) {
+				minShard = pend[s]
 			}
 		}
 		shardOK := minShard != maxKey
 
 		// Everything keyed below both the pending barrier and every
-		// shard's next event is final: no later execution, injection or
-		// inline barrier emission can carry a smaller key (arrivals land
-		// strictly after their sender's pending events), so the buffered
-		// taps below that watermark flush now, in global key order.
-		watermark := minShard
-		if keyLess(rootKey, watermark) {
-			watermark = rootKey
+		// shard's pending minimum is final: no later execution, injection
+		// or inline barrier emission can carry a smaller key (arrivals
+		// land strictly after their sender's pending events), so the
+		// buffered taps below that watermark may flush, in global key
+		// order. Flushing is amortized; a barrier forces it because the
+		// barrier's own inline emissions must come after the buffers.
+		barrierNext := rootOK && keyLess(rootKey, minShard)
+		if tracing && (barrierNext || flushIn <= 0 || co.tapBacklogged()) {
+			watermark := minShard
+			if keyLess(rootKey, watermark) {
+				watermark = rootKey
+			}
+			co.flushTapsBelow(watermark)
+			flushIn = tapFlushWindows
 		}
-		co.flushTapsBelow(watermark)
 
 		if !rootOK && !shardOK {
+			// Quiescent: pending minima cover the outboxes, so they are
+			// empty too.
 			if bounded {
 				co.setAllNow(until)
 			} else {
@@ -480,39 +748,44 @@ func (co *coordinator) run(until time.Duration, bounded bool) {
 			}
 			return
 		}
-		earliest := minT
+		earliest := minShard.at
 		if rootOK && rootKey.at < earliest {
 			earliest = rootKey.at
 		}
 		if bounded && earliest > until {
+			co.drainOutboxes()
 			co.setAllNow(until)
 			return
 		}
 
-		if rootOK && keyLess(rootKey, minShard) {
+		if barrierNext {
 			// Barrier: no shard event keyed before the root event is
 			// pending anywhere, so line every clock up on its timestamp
 			// and run it alone. Root events at one instant run in key
 			// order; anything they schedule re-enters the loop. Taps the
 			// barrier emits deliver inline (emit), in program order,
-			// after everything the windows already flushed.
+			// after everything already flushed.
 			co.setAllNow(rootKey.at)
 			co.barriers++
 			root.Step()
+			// The barrier may have scheduled onto shard engines
+			// (ScheduleScoped, port flaps): recompute the cached keys.
+			co.nextValid = false
 			continue
 		}
 
 		// Parallel window: shard s may run everything keyed strictly below
 		// its own bound. Any future arrival into s traces back to an event
-		// currently pending in some shard t (exchanges only happen between
-		// windows, so an idle shard cannot wake up and send mid-window)
-		// and crosses boundary paths costing at least la[t][s] — the
-		// closed matrix, t = s included via its cheapest round trip. The
-		// pending root event, if any, caps every shard key-exactly.
-		if bounds == nil {
-			startWorkers()
+		// currently pending in some shard t — in its heap or still in an
+		// outbox (exchanges happen at window start, so an idle shard
+		// cannot wake up and send mid-window) — and crosses boundary paths
+		// costing at least la[t][s], the closed matrix, t = s included via
+		// its cheapest round trip. The pending root event, if any, caps
+		// every shard key-exactly.
+		if !started {
+			co.startWorkers()
+			started = true
 		}
-		co.inWindow = true
 		for s := 0; s < k; s++ {
 			b := rootKey // maxKey when no root event is pending
 			if bounded {
@@ -521,22 +794,23 @@ func (co *coordinator) run(until time.Duration, bounded bool) {
 					b = lim
 				}
 			}
-			for t := 0; t < k; t++ {
-				if next[t] == maxKey || co.la[t][s] == time.Duration(math.MaxInt64) {
-					continue
-				}
-				if lim := (evKey{at: next[t].at + co.la[t][s]}); keyLess(lim, b) {
-					b = lim
+			for _, e := range co.laIn[s] {
+				if p := pend[e.from]; p != maxKey {
+					if lim := (evKey{at: p.at + e.d}); keyLess(lim, b) {
+						b = lim
+					}
 				}
 			}
-			bounds[s] <- b
+			co.bounds[s] = b
 		}
-		for s := 0; s < k; s++ {
-			<-done
-		}
+		co.fill ^= 1 // workers drain what senders filled last window
+		co.windows++
+		flushIn--
+		co.inWindow = true
+		co.dispatchWindow()
 		co.inWindow = false
-		if co.panicked != nil {
-			panic(co.panicked)
+		if p := co.takePanic(); p != nil {
+			panic(p)
 		}
 	}
 }

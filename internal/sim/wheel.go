@@ -20,17 +20,10 @@ type WheelTimer struct {
 	gen uint32 // generation guard against arena reuse
 }
 
-// wheelEntry is one armed timer in the wheel's arena. Entries are reused
-// through a free list, so arming timers in steady state does not allocate;
-// the generation counter invalidates stale WheelTimer handles cheaply,
-// which is what makes cancellation O(1) with no heap fix-up.
-type wheelEntry struct {
-	gen      uint32
-	fireTick int64
-	fn       func()
-	free     bool
-	nextFree int32
-}
+// wheelLive marks a live arena slot in the nextFree column: free slots
+// hold the next free index (or -1 at the list tail), so one sentinel
+// doubles as the liveness flag and keeps the arena at four columns.
+const wheelLive int32 = -2
 
 // slotRef is a reference from a slot to an arena entry. The generation is
 // checked when the slot drains so canceled timers are skipped without the
@@ -48,19 +41,33 @@ type slotRef struct {
 // bump. The price is coarseness — callbacks fire on the first tick
 // boundary at or after their deadline, never early, up to one tick late.
 //
+// The timer arena is laid out struct-of-arrays: the drain and cascade
+// loops touch only the gen column (stale-ref check) and the fireTick
+// column (due check), so skipping a canceled timer reads eight bytes
+// instead of dragging a 40-byte entry with its callback pointer through
+// the cache. The fn column is loaded only for timers that actually fire.
+//
 // The wheel only ticks while timers are armed, so it never keeps an
 // otherwise-drained Engine.Run alive.
 type Wheel struct {
-	p       *Proc
-	tick    time.Duration
-	fine    [wheelFineSlots][]slotRef
-	coarse  [wheelCoarseSlots][]slotRef
-	arena   []wheelEntry
-	free    int32     // head of the arena free list, -1 when empty
-	active  int       // armed (non-canceled) timers
-	curTick int64     // last processed tick number
-	ticking bool      // a tick event is pending on the engine
-	scratch []slotRef // cascade staging: slot slices share storage with
+	p      *Proc
+	tick   time.Duration
+	fine   [wheelFineSlots][]slotRef
+	coarse [wheelCoarseSlots][]slotRef
+	// Arena columns, indexed by slot. Entries are reused through the free
+	// list threaded into nextFree, so arming timers in steady state does
+	// not allocate; the generation counter invalidates stale WheelTimer
+	// handles cheaply, which is what makes cancellation O(1) with no heap
+	// fix-up.
+	gen      []uint32
+	fireTick []int64
+	fn       []func()
+	nextFree []int32
+	free     int32     // head of the arena free list, -1 when empty
+	active   int       // armed (non-canceled) timers
+	curTick  int64     // last processed tick number
+	ticking  bool      // a tick event is pending on the engine
+	scratch  []slotRef // cascade staging: slot slices share storage with
 	// the refs being walked, and a multi-lap entry may re-place into the
 	// very slot being drained, so cascading iterates a detached copy.
 }
@@ -116,13 +123,13 @@ func (w *Wheel) After(d time.Duration, fn func()) WheelTimer {
 	}
 
 	idx := w.alloc()
-	e := &w.arena[idx]
-	e.fireTick = fire
-	e.fn = fn
-	w.place(slotRef{idx: idx, gen: e.gen}, fire)
+	w.fireTick[idx] = fire
+	w.fn[idx] = fn
+	g := w.gen[idx]
+	w.place(slotRef{idx: idx, gen: g}, fire)
 	w.active++
 	w.ensureTicking()
-	return WheelTimer{idx: idx + 1, gen: e.gen}
+	return WheelTimer{idx: idx + 1, gen: g}
 }
 
 // Stop cancels the timer. It reports whether the call prevented the
@@ -135,11 +142,10 @@ func (w *Wheel) Stop(t WheelTimer) bool {
 		return false
 	}
 	idx := t.idx - 1
-	if int(idx) >= len(w.arena) {
+	if int(idx) >= len(w.gen) {
 		return false
 	}
-	e := &w.arena[idx]
-	if e.free || e.gen != t.gen {
+	if w.nextFree[idx] != wheelLive || w.gen[idx] != t.gen {
 		return false
 	}
 	w.release(idx)
@@ -153,29 +159,30 @@ func (w *Wheel) Active(t WheelTimer) bool {
 		return false
 	}
 	idx := t.idx - 1
-	return int(idx) < len(w.arena) && !w.arena[idx].free && w.arena[idx].gen == t.gen
+	return int(idx) < len(w.gen) && w.nextFree[idx] == wheelLive && w.gen[idx] == t.gen
 }
 
-// alloc takes an arena index from the free list, growing the arena when
-// it is dry.
+// alloc takes an arena index from the free list, growing every column
+// when it is dry.
 func (w *Wheel) alloc() int32 {
 	if w.free >= 0 {
 		idx := w.free
-		w.free = w.arena[idx].nextFree
-		w.arena[idx].free = false
+		w.free = w.nextFree[idx]
+		w.nextFree[idx] = wheelLive
 		return idx
 	}
-	w.arena = append(w.arena, wheelEntry{})
-	return int32(len(w.arena) - 1)
+	w.gen = append(w.gen, 0)
+	w.fireTick = append(w.fireTick, 0)
+	w.fn = append(w.fn, nil)
+	w.nextFree = append(w.nextFree, wheelLive)
+	return int32(len(w.gen) - 1)
 }
 
 // release invalidates and frees one arena entry.
 func (w *Wheel) release(idx int32) {
-	e := &w.arena[idx]
-	e.gen++
-	e.fn = nil
-	e.free = true
-	e.nextFree = w.free
+	w.gen[idx]++
+	w.fn[idx] = nil
+	w.nextFree[idx] = w.free
 	w.free = idx
 }
 
@@ -213,11 +220,10 @@ func (w *Wheel) RunEvent(int32) {
 		w.scratch = append(w.scratch[:0], w.coarse[s]...)
 		w.coarse[s] = w.coarse[s][:0]
 		for _, r := range w.scratch {
-			e := &w.arena[r.idx]
-			if e.free || e.gen != r.gen {
+			if w.gen[r.idx] != r.gen {
 				continue // canceled; reference was stale
 			}
-			w.place(r, e.fireTick)
+			w.place(r, w.fireTick[r.idx])
 		}
 	}
 
@@ -226,16 +232,15 @@ func (w *Wheel) RunEvent(int32) {
 	refs := w.fine[s]
 	w.fine[s] = w.fine[s][:0]
 	for _, r := range refs {
-		e := &w.arena[r.idx]
-		if e.free || e.gen != r.gen {
+		if w.gen[r.idx] != r.gen {
 			continue
 		}
-		if e.fireTick > w.curTick {
+		if ft := w.fireTick[r.idx]; ft > w.curTick {
 			// A coarse resident parked here >64 ticks out: not due yet.
-			w.place(r, e.fireTick)
+			w.place(r, ft)
 			continue
 		}
-		fn := e.fn
+		fn := w.fn[r.idx]
 		w.release(r.idx)
 		w.active--
 		fn()

@@ -185,7 +185,7 @@ func TestWheelMassCancel(t *testing.T) {
 	for i := range handles {
 		handles[i] = w.After(50*time.Millisecond, func() { t.Fatal("canceled timer fired") })
 	}
-	arenaAfterFirst := len(w.arena)
+	arenaAfterFirst := len(w.gen)
 	for _, h := range handles {
 		if !w.Stop(h) {
 			t.Fatal("Stop failed")
@@ -196,8 +196,8 @@ func TestWheelMassCancel(t *testing.T) {
 	for range handles {
 		w.After(10*time.Millisecond, func() { fired++ })
 	}
-	if len(w.arena) != arenaAfterFirst {
-		t.Fatalf("arena grew from %d to %d on re-arm", arenaAfterFirst, len(w.arena))
+	if len(w.gen) != arenaAfterFirst {
+		t.Fatalf("arena grew from %d to %d on re-arm", arenaAfterFirst, len(w.gen))
 	}
 	e.Run()
 	if fired != 100 {

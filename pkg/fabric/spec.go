@@ -44,6 +44,12 @@ type Spec struct {
 	// Shards runs the simulation on that many parallel engine shards.
 	// Every figure, table and fingerprint is bit-identical at any value.
 	Shards int `json:"shards,omitempty"`
+	// Procs is the GOMAXPROCS sweep of the scale experiment: each value
+	// re-runs the shard-count matrix at that parallelism so the bench
+	// artifact carries a speedup-vs-shards curve per core count. Empty
+	// means one pass at the ambient GOMAXPROCS. Deterministic outputs are
+	// unaffected (and asserted unchanged across passes).
+	Procs []int `json:"procs,omitempty"`
 	// Workload selects what runs on the fabric.
 	Workload WorkloadSpec `json:"workload,omitzero"`
 	// Scenario parameterizes the adversarial sweep (kind "sweep"): the

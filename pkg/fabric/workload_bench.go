@@ -46,7 +46,7 @@ func (r *Runner) runBench(spec Spec, out, errw io.Writer, res *Result) error {
 	case "forward":
 		r.emit(out, res, experiments.ForwardTable(experiments.RunForwardBench(seed, spec.Workload.Frames)))
 	case "scale":
-		t, bench, err := runScale(seed, spec.Workload.Bridges, spec.Shards, errw)
+		t, bench, err := runScale(seed, spec.Workload.Bridges, spec.Shards, spec.Procs, errw)
 		if err != nil {
 			return err
 		}
@@ -87,7 +87,10 @@ func (r *Runner) runBench(spec Spec, out, errw io.Writer, res *Result) error {
 }
 
 // benchRecord is one scale run's machine-dependent half, serialized for
-// the CI bench artifact.
+// the CI bench artifact. Records pair by (bridges, shards, gomaxprocs);
+// events/delivered/windows/barriers/exchanged are deterministic, the
+// wall-clock family (wall_ns, events_per_sec, frames_per_sec, wake_ns)
+// is not.
 type benchRecord struct {
 	Bridges      int     `json:"bridges"`
 	Shards       int     `json:"shards"`
@@ -95,34 +98,65 @@ type benchRecord struct {
 	LookaheadNS  int64   `json:"lookahead_ns"`
 	Events       uint64  `json:"events"`
 	Delivered    int     `json:"delivered"`
+	Windows      uint64  `json:"windows"`
+	Barriers     uint64  `json:"barriers"`
+	Exchanged    uint64  `json:"exchanged"`
+	WakeNS       int64   `json:"wake_ns"`
 	WallNS       int64   `json:"wall_ns"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	FramesPerSec float64 `json:"frames_per_sec"`
 }
 
-// runScale sweeps shard counts 1..maxShards (doubling) on one fabric and
-// renders the deterministic table; wall-clock figures go to errw and come
-// back as the JSON bench artifact.
-func runScale(seed int64, bridges, maxShards int, errw io.Writer) (*metrics.Table, []byte, error) {
+// runScale sweeps shard counts 1..maxShards (doubling) on one fabric —
+// once per requested GOMAXPROCS value — and renders the deterministic
+// table; wall-clock figures go to errw and come back as the JSON bench
+// artifact. The deterministic columns must not move across procs passes:
+// a mismatch is a coordinator bug and fails the run.
+func runScale(seed int64, bridges, maxShards int, procs []int, errw io.Writer) (*metrics.Table, []byte, error) {
 	// Shard counts: doubling from 1, always ending exactly at maxShards.
 	var counts []int
 	for k := 1; k < maxShards; k *= 2 {
 		counts = append(counts, k)
 	}
 	counts = append(counts, maxShards)
+	ambient := runtime.GOMAXPROCS(0)
+	if len(procs) == 0 {
+		procs = []int{ambient}
+	}
+	defer runtime.GOMAXPROCS(ambient)
+
 	var results []*experiments.ScaleResult
 	var records []benchRecord
-	for _, k := range counts {
-		cfg := experiments.DefaultScaleConfig(seed, k)
-		cfg.Bridges = bridges
-		sr := experiments.RunScale(cfg)
-		results = append(results, sr)
-		fmt.Fprintln(errw, experiments.ScaleBenchLine(sr))
-		records = append(records, benchRecord{
-			Bridges: sr.Bridges, Shards: k, GOMAXPROCS: runtime.GOMAXPROCS(0),
-			LookaheadNS: int64(sr.Lookahead), Events: sr.Events, Delivered: sr.Delivered,
-			WallNS: int64(sr.Wall), EventsPerSec: sr.EventsPerSec, FramesPerSec: sr.FramesPerSec,
-		})
+	byShards := make(map[int]*experiments.ScaleResult)
+	for _, p := range procs {
+		if p < 1 {
+			return nil, nil, fmt.Errorf("fabric: scale procs value %d", p)
+		}
+		runtime.GOMAXPROCS(p)
+		for _, k := range counts {
+			cfg := experiments.DefaultScaleConfig(seed, k)
+			cfg.Bridges = bridges
+			sr := experiments.RunScale(cfg)
+			if ref, ok := byShards[k]; !ok {
+				byShards[k] = sr
+				// The table reports deterministic columns only, so one row
+				// per shard count regardless of how many procs passes ran.
+				results = append(results, sr)
+			} else if ref.Events != sr.Events || ref.Delivered != sr.Delivered ||
+				ref.Windows != sr.Windows || ref.Barriers != sr.Barriers || ref.Exchanged != sr.Exchanged {
+				return nil, nil, fmt.Errorf(
+					"fabric: scale shards=%d diverged at GOMAXPROCS=%d: events=%d delivered=%d windows=%d barriers=%d exchanged=%d, want %d/%d/%d/%d/%d",
+					k, p, sr.Events, sr.Delivered, sr.Windows, sr.Barriers, sr.Exchanged,
+					ref.Events, ref.Delivered, ref.Windows, ref.Barriers, ref.Exchanged)
+			}
+			fmt.Fprintf(errw, "%s gomaxprocs=%d\n", experiments.ScaleBenchLine(sr), p)
+			records = append(records, benchRecord{
+				Bridges: sr.Bridges, Shards: k, GOMAXPROCS: p,
+				LookaheadNS: int64(sr.Lookahead), Events: sr.Events, Delivered: sr.Delivered,
+				Windows: sr.Windows, Barriers: sr.Barriers, Exchanged: sr.Exchanged, WakeNS: sr.WakeNS,
+				WallNS: int64(sr.Wall), EventsPerSec: sr.EventsPerSec, FramesPerSec: sr.FramesPerSec,
+			})
+		}
 	}
 	bench, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {

@@ -8,6 +8,7 @@ package repro
 // on every CI run without -bench.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -116,6 +117,60 @@ func TestBoundedTableChurnDoesNotAllocate(t *testing.T) {
 				t.Fatalf("bounded learning.Table churn allocates %.2f/op, want 0", allocs)
 			}
 		})
+	}
+}
+
+// TestShardedSteadyStateCoordinationDoesNotAllocate extends the gate to
+// the parallel coordinator (DESIGN.md §8): once paths are established on
+// a partitioned line, steady-state forwarding — windows dispatched
+// through the epoch barrier, cross-shard arrivals drained by the
+// destination workers — must stay allocation-free per window. The only
+// tolerated mallocs are the per-run worker spawns (one goroutine per
+// shard per Run call, amortized over that run's windows), which is why
+// the gate is a mallocs-per-window budget from runtime.MemStats rather
+// than testing.AllocsPerRun: spawning goroutines inside AllocsPerRun's
+// callback would charge scheduler bookkeeping to every iteration.
+func TestShardedSteadyStateCoordinationDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the gate runs in the non-race job")
+	}
+	built, frame := establishedLineSharded(t, 8, 2)
+	if k, ok := built.Net.Network.Sharded(); !ok || k != 2 {
+		t.Fatalf("expected a 2-shard line, got %d shards", k)
+	}
+	src := built.Host("H1").Port()
+	net := built.Net.Network
+	// Warm every pool: frame buffers, flights, remote flights, engine
+	// events, tap arenas, worker scheduler state.
+	for i := 0; i < 200; i++ {
+		src.Send(frame)
+		net.Run()
+	}
+	rx0 := built.Host("H2").Stats().FramesRx
+	w0 := net.CoordStats()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	const runs = 300
+	for i := 0; i < runs; i++ {
+		src.Send(frame)
+		net.Run()
+	}
+	runtime.ReadMemStats(&m1)
+	w1 := net.CoordStats()
+	windows := w1.Windows - w0.Windows
+	if windows < 2*runs {
+		// Each end-to-end frame traversal takes several lookahead windows
+		// on a 2-shard line; a collapse here means the workload stopped
+		// exercising the coordinator and the gate is vacuous.
+		t.Fatalf("only %d windows over %d runs — workload no longer drives the coordinator", windows, runs)
+	}
+	if got := built.Host("H2").Stats().FramesRx - rx0; got != runs {
+		t.Fatalf("delivered %d frames, want %d", got, runs)
+	}
+	perWindow := float64(m1.Mallocs-m0.Mallocs) / float64(windows)
+	if perWindow >= 1.0 {
+		t.Fatalf("sharded steady state allocates %.3f objects/window (%d mallocs over %d windows), want < 1",
+			perWindow, m1.Mallocs-m0.Mallocs, windows)
 	}
 }
 
