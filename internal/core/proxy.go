@@ -63,6 +63,16 @@ func (c *proxyCache) sweep(now time.Duration) {
 	}
 }
 
+// SweepProxy eagerly drops every expired proxy binding at now. The
+// amortized sweep in learn only runs while traffic arrives; a long-running
+// fabric that quiesces between sessions calls this at drain points so a
+// session ends with no corpses resident. No-op when the proxy is disabled.
+func (b *Bridge) SweepProxy(now time.Duration) {
+	if b.proxy != nil {
+		b.proxy.sweep(now)
+	}
+}
+
 // lookup returns a live binding.
 func (c *proxyCache) lookup(ip layers.Addr4, now time.Duration) (layers.MAC, bool) {
 	e, ok := c.ip2mac[ip]

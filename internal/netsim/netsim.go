@@ -293,6 +293,27 @@ func (n *Network) RunUntil(t time.Duration) {
 // Now returns the current virtual time.
 func (n *Network) Now() time.Duration { return n.Engine.Now() }
 
+// Quiescent reports whether nothing is scheduled anywhere: no control
+// engine events, and in a sharded fabric no shard events either (between
+// runs the coordinator's outboxes are drained by invariant, so pending
+// counts are the whole story). Call from driver context only — between
+// runs or inside a barrier event. A long-running driver uses this to park
+// instead of spinning bounded runs against an idle fabric: once quiescent,
+// virtual time only moves again when the driver schedules new work.
+func (n *Network) Quiescent() bool {
+	if n.Engine.Pending() > 0 {
+		return false
+	}
+	if n.co != nil {
+		for _, e := range n.co.shards {
+			if e.Pending() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // ScheduleLinkDown fails l at time t.
 func (n *Network) ScheduleLinkDown(t time.Duration, l *Link) {
 	n.Engine.At(t, func() { l.SetUp(false) })

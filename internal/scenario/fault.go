@@ -50,68 +50,9 @@ func FaultFamilies() []FaultFamily {
 	return []FaultFamily{FaultsLinkFlaps, FaultsBridgeRestarts, FaultsUnidirLoss, FaultsQueuePressure, FaultsPartition, FaultsMixed, FaultsHostMobility}
 }
 
-// FaultKind discriminates the ops a schedule is made of.
-type FaultKind uint8
-
-// Fault op kinds.
-const (
-	OpLinkDown FaultKind = iota
-	OpLinkUp
-	OpBridgeRestart
-	OpSetLoss
-	OpClearLoss
-	OpBurst
-	OpHostMove   // station re-homes to its spare jack and announces
-	OpHostReturn // station re-homes back to its original jack and announces
-)
-
-// FaultOp is one replayable fault action. Ops are pure data — indices into
-// the scenario's sorted name lists plus parameters — so a failing
-// schedule can be re-applied to a rebuilt instance, and shrunk to a
-// minimal failing subset by replaying subsets (see Shrink). At is relative
-// to the start of the fault phase.
-type FaultOp struct {
-	At   time.Duration
-	Kind FaultKind
-
-	Link int     // linkNames index (OpLinkDown/OpLinkUp/OpSetLoss/OpClearLoss)
-	Side int     // transmitting side for loss ops: 0 = A, 1 = B
-	Rate float64 // loss probability (OpSetLoss)
-
-	Bridge int // Bridges index (OpBridgeRestart)
-
-	Host int // hostNames index (OpHostMove/OpHostReturn)
-
-	Src, Dst int           // host indices (OpBurst)
-	Port     uint16        // UDP port the burst runs on (unique per op)
-	Count    int           // datagrams in the burst
-	Interval time.Duration // datagram spacing
-	Payload  int           // datagram payload bytes
-}
-
-// String renders the op for failure reports.
-func (op FaultOp) String() string {
-	switch op.Kind {
-	case OpLinkDown:
-		return fmt.Sprintf("t=%v link %d down", op.At, op.Link)
-	case OpLinkUp:
-		return fmt.Sprintf("t=%v link %d up", op.At, op.Link)
-	case OpBridgeRestart:
-		return fmt.Sprintf("t=%v bridge %d restart", op.At, op.Bridge)
-	case OpSetLoss:
-		return fmt.Sprintf("t=%v link %d side %d loss %.2f", op.At, op.Link, op.Side, op.Rate)
-	case OpClearLoss:
-		return fmt.Sprintf("t=%v link %d side %d loss clear", op.At, op.Link, op.Side)
-	case OpBurst:
-		return fmt.Sprintf("t=%v burst host %d -> host %d (%d x %dB @ %v)", op.At, op.Src, op.Dst, op.Count, op.Payload, op.Interval)
-	case OpHostMove:
-		return fmt.Sprintf("t=%v host %d moves to spare jack", op.At, op.Host)
-	case OpHostReturn:
-		return fmt.Sprintf("t=%v host %d returns to home jack", op.At, op.Host)
-	default:
-		return fmt.Sprintf("t=%v op(?)", op.At)
-	}
-}
+// FaultKind, FaultOp and their strict JSON codec live in ops.go: the op
+// vocabulary is exported (shared with the serving daemon), the schedule
+// generation below is the batch engine's own.
 
 // Describe renders an op against a concrete instance (names, not indices).
 func (ix *netIndex) describe(op FaultOp) string {

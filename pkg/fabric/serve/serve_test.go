@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pkg/fabric"
+)
+
+// soakSpec is the live-session fixture: a seeded random mesh with spare
+// jacks so every fault kind — host moves included — is in play.
+func soakSpec(shards int) fabric.Spec {
+	return fabric.Spec{
+		Seed:     11,
+		Shards:   shards,
+		Topology: fabric.TopologySpec{Family: "erdos-renyi", N: 10, P: 0.3, SpareJacks: true},
+	}
+}
+
+// TestServeLiveReplayFingerprint is the tentpole invariant: a live
+// session driven over a real socket by the seeded soak client — priority
+// pings under bursts, streams and a fault storm — logs every accepted op,
+// and replaying the log reproduces the live trace fingerprint (and the
+// whole session report) at shard counts 1, 2 and 4.
+func TestServeLiveReplayFingerprint(t *testing.T) {
+	var opLog bytes.Buffer
+	srv, err := New(Options{
+		Spec:    soakSpec(2),
+		Quantum: 5 * time.Millisecond,
+		OpLog:   &opLog,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+
+	res, err := Soak(SoakConfig{
+		Network:  "tcp",
+		Addr:     ln.Addr().String(),
+		Seed:     42,
+		Duration: 250 * time.Millisecond,
+		SLO:      50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if res.Priority.Count == 0 {
+		t.Fatal("soak recorded no priority probes")
+	}
+	live := srv.Wait()
+	if live == nil {
+		t.Fatal("no live report")
+	}
+	if live.LeakedFrames != 0 {
+		t.Fatalf("live session leaked %d frames", live.LeakedFrames)
+	}
+	if live.Ops == 0 || live.Events == 0 {
+		t.Fatalf("degenerate live session: ops=%d events=%d", live.Ops, live.Events)
+	}
+	if live.BurstOffered == 0 || live.BurstDelivered == 0 {
+		t.Fatalf("soak drove no burst traffic: offered=%d delivered=%d", live.BurstOffered, live.BurstDelivered)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		rep, err := Replay(bytes.NewReader(opLog.Bytes()), shards, io.Discard)
+		if err != nil {
+			t.Fatalf("replay shards=%d: %v", shards, err)
+		}
+		if rep.Fingerprint != live.Fingerprint || rep.Events != live.Events {
+			t.Fatalf("replay shards=%d fingerprint %#016x (%d events) != live %#016x (%d events)",
+				shards, rep.Fingerprint, rep.Events, live.Fingerprint, live.Events)
+		}
+		// The whole rendered report — classes, streams, bursts, tables,
+		// leaks — must reproduce, not just the fingerprint.
+		if rep.Text != live.Text {
+			t.Fatalf("replay shards=%d report differs from live:\n--- live ---\n%s--- replay ---\n%s",
+				shards, live.Text, rep.Text)
+		}
+	}
+}
+
+// testClient is a minimal raw NDJSON client for protocol-level tests.
+type testClient struct {
+	t    *testing.T
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+func dialTest(t *testing.T, addr string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return &testClient{t: t, conn: conn, sc: sc}
+}
+
+// raw sends one raw line and decodes the reply loosely (the reply shape
+// itself is pinned elsewhere; these tests care about OK/Error).
+func (c *testClient) raw(line string) Response {
+	c.t.Helper()
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		c.t.Fatalf("send: %v", err)
+	}
+	if !c.sc.Scan() {
+		c.t.Fatalf("no reply to %s (err=%v)", line, c.sc.Err())
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		c.t.Fatalf("bad reply %q: %v", c.sc.Bytes(), err)
+	}
+	return resp
+}
+
+func (c *testClient) expectErr(line, substr string) {
+	c.t.Helper()
+	resp := c.raw(line)
+	if resp.OK || resp.Error == "" {
+		c.t.Fatalf("request %s succeeded, want error containing %q", line, substr)
+	}
+	if !strings.Contains(resp.Error, substr) {
+		c.t.Fatalf("request %s failed with %q, want substring %q", line, resp.Error, substr)
+	}
+}
+
+// TestServeWireStrict pins the trust boundary: unknown fields, unknown
+// ops, unresolvable names and illegal ops are rejected with an error
+// response — and none of them consume a sequence number or reach the
+// op-log.
+func TestServeWireStrict(t *testing.T) {
+	var opLog bytes.Buffer
+	// No spare jacks: host moves must be rejected as illegal here.
+	srv, err := New(Options{
+		Spec:  fabric.Spec{Seed: 3, Topology: fabric.TopologySpec{Family: "ring", N: 4}},
+		OpLog: &opLog,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	c := dialTest(t, ln.Addr().String())
+
+	info := c.raw(`{"op":"info"}`)
+	if !info.OK || info.Info == nil || len(info.Info.Hosts) < 2 {
+		t.Fatalf("info failed: %+v", info)
+	}
+	h0, h1 := info.Info.Hosts[0], info.Info.Hosts[1]
+	if len(info.Info.Mobile) != 0 {
+		t.Fatalf("ring without spare jacks reports mobile hosts %v", info.Info.Mobile)
+	}
+
+	c.expectErr(`{"op":"bogus"}`, "unknown op")
+	c.expectErr(`{"op":"ping","sources":"x"}`, "bad request")
+	c.expectErr(fmt.Sprintf(`{"op":"ping","src":"nope","dst":%q}`, h1), "unknown host")
+	c.expectErr(fmt.Sprintf(`{"op":"ping","src":%q,"dst":%q}`, h0, h0), "src and dst are both")
+	c.expectErr(`{"op":"flap","link":"nope"}`, "unknown link")
+	c.expectErr(fmt.Sprintf(`{"op":"host-move","host":%q}`, h0), "spare jack")
+	c.expectErr(fmt.Sprintf(`{"op":"ping","src":%q,"dst":%q,"count":100000}`, h0, h1), "outside")
+	c.expectErr(`{"op":"ping","src":"a","dst":"b"} trailing`, "bad request")
+
+	// A rejected op consumes nothing: the first accepted op is seq 1.
+	ok := c.raw(fmt.Sprintf(`{"op":"ping","src":%q,"dst":%q,"class":"priority"}`, h0, h1))
+	if !ok.OK || ok.Seq != 1 {
+		t.Fatalf("first accepted op got seq %d (resp %+v), want 1", ok.Seq, ok)
+	}
+	if resp := c.raw(`{"op":"drain"}`); !resp.OK {
+		t.Fatalf("drain failed: %+v", resp)
+	}
+	stats := c.raw(`{"op":"stats"}`)
+	if !stats.OK || stats.Stats == nil {
+		t.Fatalf("stats failed: %+v", stats)
+	}
+	if stats.Stats.LiveFrames != 0 {
+		t.Fatalf("%d frames live after drain", stats.Stats.LiveFrames)
+	}
+	if pri := stats.Stats.Classes[ClassPriority]; pri.Count == 0 {
+		t.Fatalf("priority class empty after drained ping: %+v", stats.Stats.Classes)
+	}
+	metricsResp := c.raw(`{"op":"metrics"}`)
+	if !metricsResp.OK || !strings.Contains(metricsResp.Metrics, "fabricserve_class_latency_seconds") {
+		t.Fatalf("metrics exposition missing class series:\n%s", metricsResp.Metrics)
+	}
+	if !c.raw(`{"op":"shutdown"}`).OK {
+		t.Fatal("shutdown rejected")
+	}
+	rep := srv.Wait()
+	if rep.Ops != 2 {
+		t.Fatalf("session logged %d ops, want 2 (rejects must not log)", rep.Ops)
+	}
+	// Exactly header + two entries in the log.
+	lines := bytes.Count(bytes.TrimSpace(opLog.Bytes()), []byte("\n")) + 1
+	if lines != 3 {
+		t.Fatalf("op-log has %d lines, want 3 (header + 2 ops)", lines)
+	}
+}
+
+// TestReplayRejectsGarbage pins op-log strictness: empty logs, bad
+// versions, unknown fields and time regressions all fail loudly instead
+// of replaying something other than what ran.
+func TestReplayRejectsGarbage(t *testing.T) {
+	if _, err := Replay(strings.NewReader(""), 0, io.Discard); err == nil {
+		t.Fatal("empty op-log replayed")
+	}
+	if _, err := Replay(strings.NewReader(`{"fabricserve":9,"spec":{},"quantum":"10ms"}`+"\n"), 0, io.Discard); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version accepted (err=%v)", err)
+	}
+	header := `{"fabricserve":1,"spec":{"topology":{"family":"ring","n":3}},"quantum":"10ms"}`
+	if _, err := Replay(strings.NewReader(header+"\n"+`{"at":"5ms","seq":1,"zap":true}`+"\n"), 0, io.Discard); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("unknown entry field accepted (err=%v)", err)
+	}
+	backwards := header + "\n" +
+		`{"at":"20ms","seq":1,"heal":true}` + "\n" +
+		`{"at":"5ms","seq":2,"heal":true}` + "\n"
+	if _, err := Replay(strings.NewReader(backwards), 0, io.Discard); err == nil || !strings.Contains(err.Error(), "backwards") {
+		t.Fatalf("time regression accepted (err=%v)", err)
+	}
+	// A sound minimal log replays, and the report is shard-stable.
+	sound := header + "\n" + `{"at":"100ms","seq":1,"heal":true}` + "\n"
+	rep1, err := Replay(strings.NewReader(sound), 1, io.Discard)
+	if err != nil {
+		t.Fatalf("minimal log: %v", err)
+	}
+	rep2, err := Replay(strings.NewReader(sound), 2, io.Discard)
+	if err != nil {
+		t.Fatalf("minimal log shards=2: %v", err)
+	}
+	if rep1.Fingerprint != rep2.Fingerprint || rep1.Text != rep2.Text {
+		t.Fatal("minimal log replays differently at shards 1 vs 2")
+	}
+}

@@ -86,6 +86,13 @@ type TopologySpec struct {
 	// Profile is the figure2 link-delay profile: uniform, slow-diagonal
 	// or asymmetric.
 	Profile string `json:"profile,omitempty"`
+	// SpareJacks pre-cables every host of the host-per-bridge families
+	// with a second, initially-down access link on another edge bridge —
+	// the wall jack host-mobility ops re-home stations to. Without it a
+	// fabric has no legal host-move targets (fabricserve rejects those
+	// ops); builds without mobility leave it off, and the flag changes
+	// nothing else about the fabric.
+	SpareJacks bool `json:"spare_jacks,omitempty"`
 }
 
 // ProtocolSpec selects a registered protocol and carries its config as a
@@ -531,7 +538,8 @@ func (s Spec) Options() (topo.Options, error) {
 			Delay: s.Link.Delay.D(),
 			Queue: s.Link.QueueBytes,
 		},
-		WarmUp: s.WarmUp.D(),
-		Shards: s.Shards,
+		WarmUp:     s.WarmUp.D(),
+		Shards:     s.Shards,
+		SpareJacks: s.Topology.SpareJacks,
 	}, nil
 }
