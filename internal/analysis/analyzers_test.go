@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "sim", analysis.DeterminismAnalyzer)
+}
+
+// The blessed coordinator file may spawn goroutines without suppression.
+func TestDeterminismBlessedCoordinator(t *testing.T) {
+	analysistest.Run(t, "netsim", analysis.DeterminismAnalyzer)
+}
+
+func TestFrameOwnership(t *testing.T) {
+	analysistest.Run(t, "frameown", analysis.FrameOwnershipAnalyzer)
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "hotpath", analysis.HotPathAnalyzer)
+}
+
+func TestStrictSpec(t *testing.T) {
+	analysistest.Run(t, "strictspec", analysis.StrictSpecAnalyzer)
+}
+
+// A suppression without a justification reports the comment itself and
+// swallows the underlying diagnostic: one finding, not two.
+func TestMalformedSuppression(t *testing.T) {
+	diags := analysistest.Diagnostics(t, "suppress/sim", analysis.DeterminismAnalyzer)
+	if len(diags) != 1 || !strings.Contains(diags[0], "requires a justification") {
+		t.Fatalf("want exactly one malformed-suppression diagnostic, got %v", diags)
+	}
+}

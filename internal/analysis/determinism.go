@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// DeterminismAnalyzer enforces the reproduction's headline property at
+// compile time: same seed ⇒ byte-identical traces at every shard count
+// (DESIGN.md §6). The paper's discovery race (PAPER.md §2) only
+// reproduces when event order is exact, so inside trace-affecting
+// packages the analyzer forbids the four ways wall-clock or scheduler
+// nondeterminism classically leaks into a discrete-event core:
+//
+//  1. time.Now — virtual time comes from the engine; a wall clock read
+//     in protocol or engine code silently couples traces to host speed.
+//     Suppress with //fabriclint:wallclock <why> (timing *stats* that
+//     never feed event order are the legitimate use).
+//  2. math/rand global functions (rand.Intn, rand.Shuffle, ...) — the
+//     process-wide source is shared across shards and seeded who knows
+//     where. Per-entity seeded *rand.Rand streams (rand.New) are the
+//     blessed pattern and pass.
+//  3. map range statements whose body reaches an order-sensitive sink
+//     (scheduling, frame emission, tap/fingerprint recording): Go
+//     randomizes map iteration order per run, so any event or trace
+//     byte produced inside such a loop varies run to run. Sweeps and
+//     snapshots whose effect is order-independent pass untouched.
+//  4. go statements outside the blessed coordinator file — the sharded
+//     engine's one sanctioned source of parallelism (netsim/shard.go).
+//     Anything else reintroduces scheduling races the coordinator's
+//     barrier protocol exists to prevent.
+//
+// Scope: the packages whose code can affect a trace. Matching is by
+// package-path base so the analysistest fixtures exercise the real
+// predicate.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall clocks, global rand, order-sensitive map iteration and stray goroutines " +
+		"in trace-affecting packages (same seed must mean byte-identical traces)",
+	Run: runDeterminism,
+}
+
+// tracePkgBases are the trace-affecting packages, keyed by import-path
+// base name: the event engine, the network simulator, every protocol
+// implementation, topology/partitioning, the scenario engine, hosts,
+// the chassis, the timed experiments and the live serving loop.
+var tracePkgBases = map[string]bool{
+	"sim": true, "netsim": true, "core": true, "flowpath": true,
+	"topo": true, "scenario": true, "host": true, "bridge": true,
+	"experiments": true, "serve": true,
+}
+
+// blessedGoFiles are the files allowed to spawn goroutines without a
+// suppression comment: the shard coordinator's worker pool is the
+// parallel engine itself.
+var blessedGoFiles = map[string]bool{
+	"netsim/shard.go": true,
+}
+
+// orderSinkNames are method/function names through which an iteration
+// order becomes an event order or a trace byte: scheduling primitives,
+// frame transmission and flooding, tap emission and fingerprinting.
+var orderSinkNames = map[string]bool{
+	"Schedule": true, "ScheduleRunner": true, "ScheduleKeyed": true,
+	"ScheduleKeyedFunc": true, "At": true, "After": true,
+	"Send": true, "SendFrame": true, "FloodExcept": true,
+	"FloodBytesExcept": true, "emit": true, "Emit": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !tracePkgBases[pass.PkgBase()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.GoStmt:
+				checkGoStmt(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	obj := calleeObj(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	if isPkgFunc(obj, "time", "Now") {
+		if !pass.Suppressed("wallclock", call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"time.Now in trace-affecting package %s: virtual time comes from the engine; "+
+					"use sim clocks, or annotate //fabriclint:wallclock <why> for timing stats that never feed event order",
+				pass.PkgBase())
+		}
+		return
+	}
+	if path := obj.Pkg().Path(); path == "math/rand" || path == "math/rand/v2" {
+		// Only the package-level convenience functions draw from the
+		// shared global source; constructors and methods on explicit
+		// per-entity sources are the blessed pattern.
+		if _, isFunc := obj.(*types.Func); !isFunc {
+			return
+		}
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // method on *rand.Rand etc.
+		}
+		switch obj.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return
+		}
+		if !pass.Suppressed("nondeterministic", call.Pos()) {
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the process-global random source: use a per-entity seeded *rand.Rand "+
+					"(rand.New(rand.NewSource(seed))) so draws are a function of one entity's history",
+				path, obj.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map when the loop body
+// lexically reaches an order-sensitive sink. Go randomizes map
+// iteration, so everything such a loop schedules or emits lands in a
+// different order every run.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+		return
+	}
+	var sink *ast.CallExpr
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, obj := calleeName(pass.TypesInfo, call); orderSinkNames[name] || strings.Contains(name, "Fingerprint") {
+			// time.Time.After etc. are value methods, not schedulers.
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+				return true
+			}
+			sink = call
+			return false
+		}
+		return true
+	})
+	if sink == nil {
+		return
+	}
+	if pass.Suppressed("nondeterministic", rng.Pos()) {
+		return
+	}
+	name, _ := calleeName(pass.TypesInfo, sink)
+	pass.Reportf(rng.Pos(),
+		"map iteration order flows into %s: Go randomizes map range order, so scheduled events and trace bytes "+
+			"produced here differ run to run; iterate a sorted key slice, or annotate //fabriclint:nondeterministic <why>",
+		name)
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) (string, types.Object) {
+	obj := calleeObj(info, call)
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name, obj
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, obj
+	}
+	return "", obj
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	position := pass.Fset.Position(g.Pos())
+	key := filepath.Base(filepath.Dir(position.Filename)) + "/" + filepath.Base(position.Filename)
+	if blessedGoFiles[key] {
+		return
+	}
+	if pass.Suppressed("nondeterministic", g.Pos()) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine spawned outside the blessed coordinator (netsim/shard.go): parallelism in trace-affecting "+
+			"code must go through the shard barrier protocol, or be annotated //fabriclint:nondeterministic <why>")
+}

@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// StrictSpecAnalyzer enforces the Spec codec contract (DESIGN.md §9) at
+// registration sites. The fabric's one wire format is strict JSON —
+// unknown fields are rejected so a typo'd spec key fails loudly instead
+// of silently running the default experiment. Extensions plug in via
+// topo.RegisterProtocol / fabric.RegisterTopology, which places two
+// obligations on the registering package:
+//
+//   - every struct it decodes spec JSON into (the shadow *JSON configs,
+//     a topology builder's spec parameter) must carry a json tag on
+//     every exported field, so the wire name is declared rather than
+//     inherited from the Go identifier and renames cannot silently
+//     change the spec format;
+//   - the decode itself must go through a strict decoder
+//     (json.NewDecoder + DisallowUnknownFields, usually via a
+//     strictUnmarshal helper) — plain json.Unmarshal into a config
+//     struct accepts unknown keys and breaks the contract.
+//
+// Scope: packages that call RegisterProtocol or RegisterTopology.
+// Decodes into non-struct targets (scalars in custom UnmarshalJSON
+// methods, the SetOption merge map) are outside the contract and pass.
+// Suppress with //fabriclint:spec <why>.
+var StrictSpecAnalyzer = &Analyzer{
+	Name: "strictspec",
+	Doc: "packages registering protocols/topologies must decode spec JSON via a strict decoder " +
+		"into fully json-tagged structs",
+	Run: runStrictSpec,
+}
+
+func runStrictSpec(pass *Pass) error {
+	if !registersExtensions(pass) {
+		return nil
+	}
+	strictWrappers := strictWrapperFuncs(pass)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpecFunc(pass, fn, strictWrappers)
+		}
+	}
+	return nil
+}
+
+// isRegisterCall recognises topo.RegisterProtocol / fabric.RegisterTopology
+// (and same-package calls inside topo/fabric themselves), matching the
+// defining package by base name so fixtures exercise the real predicate.
+func isRegisterCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	obj := calleeObj(pass.TypesInfo, call)
+	if obj == nil {
+		return "", false
+	}
+	name := obj.Name()
+	base := pkgBaseOf(obj)
+	if name == "RegisterProtocol" && (base == "topo" || base == "fabric") {
+		return name, true
+	}
+	if name == "RegisterTopology" && base == "fabric" {
+		return name, true
+	}
+	return "", false
+}
+
+func registersExtensions(pass *Pass) bool {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		found := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if _, ok := isRegisterCall(pass, call); ok {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// strictWrapperFuncs collects package-level functions whose body calls
+// DisallowUnknownFields — strictUnmarshal-style helpers. A decode routed
+// through one inherits its strictness, and its pointer-to-struct
+// arguments are decode targets for the tag check.
+func strictWrapperFuncs(pass *Pass) map[types.Object]bool {
+	wrappers := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if bodyCallsDisallowUnknown(fn.Body) {
+				if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+					wrappers[obj] = true
+				}
+			}
+		}
+	}
+	return wrappers
+}
+
+func bodyCallsDisallowUnknown(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "DisallowUnknownFields" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkSpecFunc(pass *Pass, fn *ast.FuncDecl, strictWrappers map[types.Object]bool) {
+	// Decoder variables made strict somewhere in this function.
+	strictDecoders := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "DisallowUnknownFields" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				strictDecoders[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pass.TypesInfo, call)
+
+		// json.Unmarshal into a struct: inherently lax.
+		if isPkgFunc(obj, "encoding/json", "Unmarshal") && len(call.Args) == 2 {
+			if st, _ := structTarget(pass, call.Args[1]); st != nil {
+				if !pass.Suppressed("spec", call.Pos()) {
+					pass.Reportf(call.Pos(),
+						"json.Unmarshal into a config struct in a registering package accepts unknown fields: "+
+							"decode through a strict decoder (json.NewDecoder + DisallowUnknownFields)")
+				}
+				checkStructTags(pass, call.Pos(), st, structTargetName(call.Args[1]))
+			}
+			return true
+		}
+
+		// (*json.Decoder).Decode: strict only if the decoder variable was
+		// DisallowUnknownFields'd in this function.
+		if obj != nil && obj.Name() == "Decode" {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isJSONDecoder(pass.TypesInfo, sel.X) {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					dobj := pass.TypesInfo.Uses[id]
+					if dobj != nil && !strictDecoders[dobj] && !pass.Suppressed("spec", call.Pos()) {
+						pass.Reportf(call.Pos(),
+							"Decode on a json.Decoder without DisallowUnknownFields in a registering package: "+
+								"unknown spec keys must be rejected, not dropped")
+					}
+				}
+				if len(call.Args) == 1 {
+					if st, _ := structTarget(pass, call.Args[0]); st != nil {
+						checkStructTags(pass, call.Pos(), st, structTargetName(call.Args[0]))
+					}
+				}
+			}
+			return true
+		}
+
+		// Same-package strict wrapper (strictUnmarshal): its
+		// pointer-to-struct arguments are decode targets.
+		if obj != nil && strictWrappers[obj] {
+			for _, arg := range call.Args {
+				if st, _ := structTarget(pass, arg); st != nil {
+					checkStructTags(pass, call.Pos(), st, structTargetName(arg))
+				}
+			}
+			return true
+		}
+
+		// RegisterTopology: the builder's spec parameter is decoded from
+		// the Spec file, so its struct type must be fully tagged.
+		if name, ok := isRegisterCall(pass, call); ok && name == "RegisterTopology" && len(call.Args) == 2 {
+			if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok {
+				if sig, ok := types.Unalias(tv.Type).Underlying().(*types.Signature); ok && sig.Params().Len() >= 2 {
+					pt := sig.Params().At(1).Type()
+					if st, ok := types.Unalias(pt).Underlying().(*types.Struct); ok {
+						checkStructTags(pass, call.Pos(), st, typeName(pt))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isJSONDecoder reports whether e has type *encoding/json.Decoder (or a
+// fixture stand-in: *Decoder from a package with base name "json").
+func isJSONDecoder(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	n := namedOrNil(tv.Type)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Decoder" && pkgBaseOf(n.Obj()) == "json"
+}
+
+// structTarget resolves a decode-target argument (&x, or a
+// pointer-to-struct expression) to the struct type being populated.
+// Named types with a custom UnmarshalJSON are their own codec and are
+// skipped — the contract applies to the default field-wise decode.
+func structTarget(pass *Pass, arg ast.Expr) (*types.Struct, types.Type) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return nil, nil
+	}
+	t := types.Unalias(tv.Type)
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return nil, nil
+	}
+	elem := types.Unalias(ptr.Elem())
+	if hasCustomUnmarshal(elem) {
+		return nil, nil
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return st, elem
+}
+
+func hasCustomUnmarshal(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for _, typ := range []types.Type{named, types.NewPointer(named)} {
+		if m, _, _ := types.LookupFieldOrMethod(typ, true, named.Obj().Pkg(), "UnmarshalJSON"); m != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func structTargetName(arg ast.Expr) string {
+	if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+		if id, ok := ast.Unparen(un.X).(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return "target"
+}
+
+func typeName(t types.Type) string {
+	if n := namedOrNil(t); n != nil {
+		return n.Obj().Name()
+	}
+	return "spec"
+}
+
+// checkStructTags reports every exported, non-embedded field of st that
+// lacks a json tag. Fields with positions in the current fset are
+// reported in place; imported structs fall back to the decode site.
+func checkStructTags(pass *Pass, callPos token.Pos, st *types.Struct, what string) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() || f.Embedded() {
+			continue
+		}
+		// Custom-codec field types (e.g. topo.Duration) still need a tag;
+		// the tag names the key, the codec shapes the value.
+		if reflect.StructTag(st.Tag(i)).Get("json") != "" {
+			continue
+		}
+		pos := f.Pos()
+		if pos == token.NoPos || pass.Fset.File(pos) == nil {
+			pos = callPos
+		}
+		if pass.Suppressed("spec", pos) {
+			continue
+		}
+		pass.Reportf(pos,
+			"exported field %s of spec-decoded struct %s has no json tag: the wire name must be declared, "+
+				"not inherited from the Go identifier (renames would silently change the spec format)",
+			f.Name(), what)
+	}
+}

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments
+//
+// A diagnostic is suppressed by a comment of the form
+//
+//	//fabriclint:<kind> <justification>
+//
+// placed either at the end of the offending line or alone on the line
+// immediately above it. The justification is mandatory: a suppression
+// explains *why* the contract does not apply at this site (e.g. "wall
+// clock feeds wake-latency stats only, never event order"). A bare
+// //fabriclint:<kind> with no justification is itself reported — an
+// unexplained exemption is how contracts rot.
+//
+// Kinds in use: wallclock (time.Now in trace-affecting code),
+// nondeterministic (global rand, ordered map iteration, goroutine
+// spawns), ownership (frame borrow/Retain contract), alloc (hot-path
+// allocation constructs). The grammar is shared; each analyzer consults
+// only its own kinds.
+
+const suppressPrefix = "//fabriclint:"
+
+type suppression struct {
+	kind          string
+	justification string
+	pos           token.Pos
+}
+
+// buildSuppressions indexes every fabriclint comment in the pass by
+// (filename, line). A whole-line comment suppresses the next line; a
+// trailing comment suppresses its own line.
+func (p *Pass) buildSuppressions() {
+	if p.suppressions != nil {
+		return
+	}
+	p.suppressions = map[string]map[int][]suppression{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, suppressPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, suppressPrefix)
+				kind := rest
+				just := ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					kind, just = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.suppressions[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]suppression{}
+					p.suppressions[pos.Filename] = byLine
+				}
+				s := suppression{kind: kind, justification: just, pos: c.Pos()}
+				// A comment on its own line covers the following line;
+				// a trailing comment covers its own.
+				line := pos.Line
+				if p.commentOwnsLine(f, c, line) {
+					line++
+				}
+				byLine[line] = append(byLine[line], s)
+			}
+		}
+	}
+}
+
+// commentOwnsLine reports whether c is the first thing on its line (a
+// whole-line comment) rather than trailing code.
+func (p *Pass) commentOwnsLine(f *ast.File, c *ast.Comment, line int) bool {
+	tf := p.Fset.File(c.Pos())
+	if tf == nil {
+		return false
+	}
+	// If any non-comment node of the file starts earlier on the same
+	// line, the comment trails code. Scanning the raw offsets would need
+	// the source; comparing against the line start via column is enough:
+	// a whole-line comment's column is its indentation, and code before
+	// it would have produced a smaller column for some token — but we do
+	// not have per-token lines here. Use the cheap exact rule instead:
+	// the comment owns the line iff no AST node on that line begins
+	// before it.
+	owns := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !owns {
+			return false
+		}
+		if n.Pos() == token.NoPos {
+			return true
+		}
+		if p.Fset.Position(n.Pos()).Line == line && n.Pos() < c.Pos() {
+			if _, isComment := n.(*ast.Comment); !isComment {
+				if _, isGroup := n.(*ast.CommentGroup); !isGroup {
+					if _, isFile := n.(*ast.File); !isFile {
+						owns = false
+					}
+				}
+			}
+		}
+		return n.Pos() <= c.Pos() || p.Fset.Position(n.Pos()).Line <= line
+	})
+	return owns
+}
+
+// Suppressed reports whether a diagnostic of the given kind at pos is
+// covered by a well-formed suppression comment. A matching comment with
+// an empty justification does not suppress; instead it is reported once
+// as malformed.
+func (p *Pass) Suppressed(kind string, pos token.Pos) bool {
+	p.buildSuppressions()
+	position := p.Fset.Position(pos)
+	for _, s := range p.suppressions[position.Filename][position.Line] {
+		if s.kind != kind {
+			continue
+		}
+		if s.justification == "" {
+			p.Reportf(s.pos, "fabriclint:%s suppression requires a justification", kind)
+			return true // suppressed-but-malformed: one diagnostic, not two
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+// Package fabric is a fixture stand-in for repro/pkg/fabric's topology
+// registry surface.
+package fabric
+
+// RegisterTopology mirrors the real registration entry point. The
+// builder is typed any so fixtures can pass literals of any signature;
+// the analyzer reads the literal's own type.
+func RegisterTopology(name string, build any) {}

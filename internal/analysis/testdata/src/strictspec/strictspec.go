@@ -1,0 +1,87 @@
+// Package strictspec exercises the strictspec analyzer: a package that
+// registers protocols/topologies must decode spec JSON strictly, into
+// fully json-tagged structs.
+package strictspec
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"fabric"
+	"topo"
+)
+
+type looseConfig struct {
+	LockTimeout int  `json:"lock_timeout"`
+	Proxy       bool // want "no json tag"
+}
+
+type taggedConfig struct {
+	LockTimeout int  `json:"lock_timeout"`
+	Proxy       bool `json:"proxy"`
+}
+
+type badSpec struct {
+	Nodes int // want "no json tag"
+}
+
+type goodSpec struct {
+	Nodes int `json:"nodes"`
+}
+
+type legacyConfig struct {
+	//fabriclint:spec frozen pre-tagging wire format; key equals the field name by construction
+	Count int
+}
+
+func strictUnmarshal(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func register() {
+	topo.RegisterProtocol(topo.Definition{
+		Name:      "loose",
+		NewConfig: func() any { return new(taggedConfig) },
+		DecodeConfig: func(raw []byte) (any, error) {
+			var c looseConfig
+			if err := json.Unmarshal(raw, &c); err != nil { // want "accepts unknown fields"
+				return nil, err
+			}
+			return &c, nil
+		},
+	})
+	fabric.RegisterTopology("bad", func(opts int, t badSpec) int { return 0 })
+	fabric.RegisterTopology("good", func(opts int, t goodSpec) int { return 0 })
+}
+
+func laxDecode(raw []byte) (*taggedConfig, error) {
+	var c taggedConfig
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	if err := dec.Decode(&c); err != nil { // want "without DisallowUnknownFields"
+		return nil, err
+	}
+	return &c, nil
+}
+
+func strictDecode(raw []byte) (*taggedConfig, error) {
+	var c taggedConfig
+	if err := strictUnmarshal(raw, &c); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+func legacyDecode(raw []byte) (*legacyConfig, error) {
+	var c legacyConfig
+	err := strictUnmarshal(raw, &c)
+	return &c, err
+}
+
+func scalarOK(raw []byte) (string, error) {
+	// Non-struct targets (custom scalar codecs) are outside the contract.
+	var s string
+	err := json.Unmarshal(raw, &s)
+	return s, err
+}

@@ -1,0 +1,14 @@
+// Package topo is a fixture stand-in for repro/internal/topo's registry
+// surface: just enough for the strictspec fixtures to register a
+// protocol.
+package topo
+
+// Definition mirrors the registry entry shape.
+type Definition struct {
+	Name         string
+	NewConfig    func() any
+	DecodeConfig func(raw []byte) (any, error)
+}
+
+// RegisterProtocol mirrors the real registration entry point.
+func RegisterProtocol(def Definition) {}

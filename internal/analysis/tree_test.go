@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestTreeIsClean runs the full fabricvet suite over the repository and
+// requires zero diagnostics: the contracts hold on the shipped tree,
+// and every suppression carries a justification. This is the tier-1
+// face of the CI lint job — a contract regression fails `go test ./...`
+// before it ever reaches the vettool.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := wd
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			t.Fatalf("no go.mod above %s", wd)
+		}
+		root = parent
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags := analysis.Run(analysis.All(), pkgs)
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		rel, relErr := filepath.Rel(root, pos.Filename)
+		if relErr != nil {
+			rel = pos.Filename
+		}
+		t.Errorf("%s:%d:%d: [%s] %s", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+}

@@ -188,6 +188,8 @@ func (c *Chassis) SameNeighbor(p, q *netsim.Port) bool {
 // HandleFrame implements netsim.Node: HELLOs are consumed here, everything
 // else goes to the protocol. The frame's pre-decoded view makes the HELLO
 // check a pair of field reads instead of a parse.
+//
+//fabric:hotpath
 func (c *Chassis) HandleFrame(p *netsim.Port, f *netsim.Frame) {
 	if v := f.View(); v.IsHello() {
 		c.stats.HellosReceived++
@@ -227,6 +229,8 @@ func (c *Chassis) sendHello(p *netsim.Port) {
 // flood everywhere) without copying — every egress shares the one pooled
 // buffer. Ports transmit in cabling order, keeping the race between
 // flooded copies deterministic for a given topology and seed.
+//
+//fabric:hotpath
 func (c *Chassis) FloodExcept(in *netsim.Port, f *netsim.Frame) {
 	for _, p := range c.ports {
 		if p != in && p.Up() {

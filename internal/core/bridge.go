@@ -252,6 +252,8 @@ func (b *Bridge) OnPortStatus(p *netsim.Port, up bool) {
 // frame arrives with its view already decoded, so no header is parsed
 // here or anywhere below — the whole forwarding decision runs on the
 // flat FrameView fields.
+//
+//fabric:hotpath
 func (b *Bridge) OnFrame(in *netsim.Port, f *netsim.Frame) {
 	v := f.View()
 	if v.IsMulticast() {
@@ -273,6 +275,8 @@ func pathEstablishingBroadcast(v *layers.FrameView) bool {
 
 // handleBroadcast implements §2.1.1's locking race and §2.1.3's loop-free
 // flooding.
+//
+//fabric:hotpath
 func (b *Bridge) handleBroadcast(in *netsim.Port, f *netsim.Frame, v *layers.FrameView) {
 	now := b.Now()
 	src := v.SrcKey
@@ -355,6 +359,8 @@ func pathEstablishingUnicast(v *layers.FrameView) bool {
 
 // handleUnicast implements §2.1.2 (reply confirmation), §2.1.3 (path
 // forwarding) and the §2.1.4 repair trigger.
+//
+//fabric:hotpath
 func (b *Bridge) handleUnicast(in *netsim.Port, f *netsim.Frame, v *layers.FrameView) {
 	now := b.Now()
 	src, dst := v.SrcKey, v.DstKey

@@ -82,7 +82,7 @@ func RunForwardBench(seed int64, frames int) *ForwardResult {
 		senders[i] = built.Host(fmt.Sprintf("H%d", p.src)).Port()
 	}
 
-	start := time.Now()
+	start := time.Now() //fabriclint:wallclock wall-clock throughput report; event order is driven by Run, not this stamp
 	for i := 0; i < frames; i++ {
 		j := i % len(pairs)
 		senders[j].Send(frameFor[j])

@@ -126,7 +126,7 @@ func RunScale(cfg ScaleConfig) *ScaleResult {
 
 	eventsBefore := built.Network.Processed()
 	coordBefore := built.Network.CoordStats()
-	start := time.Now()
+	start := time.Now() //fabriclint:wallclock measures wall speedup of the same virtual workload; traces are compared separately
 	built.RunFor(cfg.Window + 10*time.Millisecond)
 	built.Run()
 	wall := time.Since(start)

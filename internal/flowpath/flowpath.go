@@ -220,6 +220,8 @@ func (b *Bridge) Restart() {
 }
 
 // OnFrame implements bridge.Protocol.
+//
+//fabric:hotpath
 func (b *Bridge) OnFrame(in *netsim.Port, f *netsim.Frame) {
 	v := f.View()
 	if v.IsMulticast() {
@@ -253,6 +255,8 @@ func pathEstablishingUnicast(v *layers.FrameView) bool {
 // confirmed state. The one Flow-Path refinement: a broadcast arriving on
 // an edge port learns the attached station durably, so this bridge can
 // answer future PathRequests for it (the study's edge host table).
+//
+//fabric:hotpath
 func (b *Bridge) handleBroadcast(in *netsim.Port, f *netsim.Frame, v *layers.FrameView) {
 	now := b.Now()
 	src := v.SrcKey
@@ -303,6 +307,8 @@ func (b *Bridge) handleBroadcast(in *netsim.Port, f *netsim.Frame, v *layers.Fra
 
 // handleUnicast forwards data on pair entries, confirms pairs from
 // establishing replies, and triggers pair repair on misses.
+//
+//fabric:hotpath
 func (b *Bridge) handleUnicast(in *netsim.Port, f *netsim.Frame, v *layers.FrameView) {
 	now := b.Now()
 	src, dst := v.SrcKey, v.DstKey

@@ -147,6 +147,8 @@ func (t *TCPPath) Restart() {
 }
 
 // OnFrame implements bridge.Protocol.
+//
+//fabric:hotpath
 func (t *TCPPath) OnFrame(in *netsim.Port, f *netsim.Frame) {
 	v := f.View()
 	if !v.HasTCP || v.IsMulticast() {

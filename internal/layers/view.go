@@ -49,6 +49,8 @@ type FrameView struct {
 
 // Decode resets v from frame. It never allocates; undecodable inner
 // layers simply leave their Has flag clear.
+//
+//fabric:hotpath
 func (v *FrameView) Decode(frame []byte) {
 	*v = FrameView{}
 	if len(frame) < EthernetHeaderLen {

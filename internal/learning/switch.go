@@ -87,6 +87,8 @@ func (s *Switch) OnPortStatus(p *netsim.Port, up bool) {
 
 // OnFrame implements bridge.Protocol: the whole decision runs on the
 // frame's pre-decoded view and packed keys; nothing is parsed or copied.
+//
+//fabric:hotpath
 func (s *Switch) OnFrame(in *netsim.Port, f *netsim.Frame) {
 	now := s.Now()
 	v := f.View()

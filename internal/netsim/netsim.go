@@ -458,6 +458,8 @@ func (p *Port) Send(frame []byte) {
 // SendFrame transmits f out this port without copying. The link takes its
 // own reference for the flight; the caller's reference is untouched, so
 // forwarding a borrowed frame from inside HandleFrame needs no Retain.
+//
+//fabric:hotpath
 func (p *Port) SendFrame(f *Frame) {
 	if !p.link.admit(p, f.Bytes(), f.id) {
 		return
@@ -598,6 +600,8 @@ var flightPool = sync.Pool{New: func() any { return new(flight) }}
 // the arrival event (it is scheduled first at an earlier-or-equal time),
 // so the flight can be recycled once arrival runs — or at txDone when the
 // arrival was shipped across a shard boundary and no local arrival exists.
+//
+//fabric:hotpath
 func (fl *flight) RunEvent(arg int32) {
 	l := fl.link
 	if arg == flightTxDone {
@@ -622,6 +626,8 @@ func (fl *flight) RunEvent(arg int32) {
 
 // deliver is the shared arrival tail of local flights and cross-shard
 // remote flights: epoch check, stats, tap, handoff to the node.
+//
+//fabric:hotpath
 func deliver(e *sim.Engine, l *Link, from, to *Port, f *Frame, epoch uint64) {
 	if l.epoch != epoch || !l.up {
 		// The frame was in flight when the link flapped. On a boundary
@@ -658,6 +664,8 @@ type remoteFlight struct {
 var remoteFlightPool = sync.Pool{New: func() any { return new(remoteFlight) }}
 
 // RunEvent implements sim.Runner.
+//
+//fabric:hotpath
 func (rf *remoteFlight) RunEvent(int32) {
 	e, l, from, f, epoch := rf.eng, rf.link, rf.from, rf.frame, rf.epoch
 	*rf = remoteFlight{}
@@ -671,6 +679,8 @@ func (rf *remoteFlight) RunEvent(int32) {
 // allocation-free. id is the pooled frame's identity when one exists
 // (SendFrame), zero on the origination path (Send) where the frame has
 // not been materialized yet.
+//
+//fabric:hotpath
 func (l *Link) admit(from *Port, frame []byte, id uint64) bool {
 	e := l.proc[from.side].Engine()
 	now := e.Now()
@@ -705,6 +715,8 @@ func serTime(rate int64, wire int) time.Duration {
 }
 
 // transmit queues an admitted frame for serialization and delivery.
+//
+//fabric:hotpath
 func (l *Link) transmit(from *Port, f *Frame) {
 	p := l.proc[from.side]
 	e := p.Engine()

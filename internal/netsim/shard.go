@@ -337,6 +337,8 @@ func (n *Network) Processed() uint64 {
 // ship queues one cross-shard arrival into the fill-side outbox; called by
 // the sending shard's worker during a window (or by a barrier event),
 // drained by the destination's worker at the start of the next window.
+//
+//fabric:hotpath
 func (co *coordinator) ship(from, to int, rec remoteRec) {
 	f := co.fill
 	co.out[f][from][to] = append(co.out[f][from][to], rec)
@@ -347,6 +349,8 @@ func (co *coordinator) ship(from, to int, rec remoteRec) {
 
 // inject materializes one outbox record as a keyed event on its
 // destination engine and clears the record (frame ownership transfers).
+//
+//fabric:hotpath
 func (co *coordinator) inject(to int, rec *remoteRec) {
 	rf := remoteFlightPool.Get().(*remoteFlight)
 	rf.eng = co.shards[to]
@@ -361,6 +365,8 @@ func (co *coordinator) inject(to int, rec *remoteRec) {
 // drainInbox injects everything buffered for shard s in outbox buffer buf
 // and reports how many records moved. During a window only shard s's own
 // worker touches column s of the drain-side buffer, so no lock is needed.
+//
+//fabric:hotpath
 func (co *coordinator) drainInbox(buf, s int) uint64 {
 	var n uint64
 	for from := range co.out[buf] {
@@ -382,6 +388,8 @@ func (co *coordinator) drainInbox(buf, s int) uint64 {
 // buffers, restoring the invariant that run() returns with empty
 // outboxes. Safe whenever the workers are parked; the records' keys all
 // sit above the bounded horizon (that is what made returning legal).
+//
+//fabric:hotpath
 func (co *coordinator) drainOutboxes() {
 	for buf := 0; buf < 2; buf++ {
 		for s := range co.shards {
@@ -394,6 +402,8 @@ func (co *coordinator) drainOutboxes() {
 // buffer records a tap observation in the emitting shard's buffer, frame
 // bytes copied into the shard arena, stamped with the executing event's
 // ordering key.
+//
+//fabric:hotpath
 func (co *coordinator) buffer(e *sim.Engine, ev TapEvent) {
 	ts := &co.tap[e.ID()]
 	_, owner, oseq := e.CurKey()
@@ -583,7 +593,7 @@ func (co *coordinator) dispatchWindow() {
 	g := &co.wg
 	g.mu.Lock()
 	g.remaining = len(co.shards)
-	co.wakeStamp = time.Now()
+	co.wakeStamp = time.Now() //fabriclint:wallclock wake-latency stats only; never read by event scheduling
 	g.epoch++
 	g.wake.Broadcast()
 	for g.remaining > 0 {

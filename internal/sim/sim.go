@@ -186,6 +186,7 @@ func keyBelow(at time.Duration, owner, oseq uint64, bAt time.Duration, bOwner, b
 // no container/heap interface dispatch on the hot path.
 type eventHeap []entry
 
+//fabric:hotpath
 func (h *eventHeap) push(en entry) {
 	q := append(*h, en)
 	i := len(q) - 1
@@ -200,6 +201,7 @@ func (h *eventHeap) push(en entry) {
 	*h = q
 }
 
+//fabric:hotpath
 func (h *eventHeap) popMin() entry {
 	q := *h
 	top := q[0]
@@ -302,6 +304,8 @@ func (p *Proc) Schedule(t time.Duration, fn func()) {
 
 // ScheduleRunner enqueues r.RunEvent(arg) at absolute time t under this
 // identity (see Engine.ScheduleRunner).
+//
+//fabric:hotpath
 func (p *Proc) ScheduleRunner(t time.Duration, r Runner, arg int32) {
 	if r == nil {
 		panic("sim: nil event runner")
@@ -427,6 +431,8 @@ func (e *Engine) At(t time.Duration, fn func()) *Timer {
 
 // alloc takes an arena slot from the free list, growing the arena when it
 // is dry.
+//
+//fabric:hotpath
 func (e *Engine) alloc() int32 {
 	if e.freeHead >= 0 {
 		idx := e.freeHead
@@ -441,6 +447,8 @@ func (e *Engine) alloc() int32 {
 
 // release invalidates and frees one arena slot. Called before the callback
 // runs so the callback may itself schedule into the recycled slot.
+//
+//fabric:hotpath
 func (e *Engine) release(idx int32) {
 	a := &e.arena[idx]
 	a.gen++
@@ -462,6 +470,8 @@ func (e *Engine) release(idx int32) {
 // decision, never a correctness one. (An earlier draft binary-inserted
 // out-of-order keys into the spill; same-timestamp bursts with shuffled
 // owner ids turned that into quadratic memmove traffic.)
+//
+//fabric:hotpath
 func (e *Engine) enqueue(en entry) {
 	if e.inBatch && keyBelow(en.at, en.owner, en.oseq, e.boundAt, e.boundOwner, e.boundSeq) {
 		if n := len(e.spill); n-e.spillPos < maxSpill &&
@@ -502,6 +512,8 @@ func (e *Engine) scheduleFunc(t time.Duration, owner, oseq uint64, fn func()) {
 }
 
 // scheduleRunner is scheduleFunc for Runner events: fully allocation-free.
+//
+//fabric:hotpath
 func (e *Engine) scheduleRunner(t time.Duration, owner, oseq uint64, r Runner, arg int32) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -526,6 +538,8 @@ func (e *Engine) Schedule(t time.Duration, fn func()) {
 // slot; because the callback is an interface rather than a closure, a
 // caller that reuses its Runner objects schedules with zero allocations —
 // the netsim hot path depends on this (via Proc.ScheduleRunner).
+//
+//fabric:hotpath
 func (e *Engine) ScheduleRunner(t time.Duration, r Runner, arg int32) {
 	e.root.ScheduleRunner(t, r, arg)
 }
@@ -566,6 +580,8 @@ func (e *Engine) After(d time.Duration, fn func()) *Timer {
 // execute runs one validated entry's callback: clock advance, causal
 // stamp, slot release (before the call, so the callback can reuse it),
 // dispatch.
+//
+//fabric:hotpath
 func (e *Engine) execute(en *entry, a *event) {
 	e.now = en.at
 	e.curAt, e.curOwner, e.curSeq = en.at, en.owner, en.oseq
@@ -613,6 +629,8 @@ func (e *Engine) Step() bool {
 // cap overflow). Taking the minimum key across the three sources every
 // step makes the execution order identical to the unbatched engine's,
 // whatever the routing decided.
+//
+//fabric:hotpath
 func (e *Engine) drain(boundAt time.Duration, boundOwner, boundSeq uint64, stopAt uint64) int {
 	n := 0
 	for {

@@ -164,6 +164,8 @@ func (w *Wheel) Active(t WheelTimer) bool {
 
 // alloc takes an arena index from the free list, growing every column
 // when it is dry.
+//
+//fabric:hotpath
 func (w *Wheel) alloc() int32 {
 	if w.free >= 0 {
 		idx := w.free
@@ -179,6 +181,8 @@ func (w *Wheel) alloc() int32 {
 }
 
 // release invalidates and frees one arena entry.
+//
+//fabric:hotpath
 func (w *Wheel) release(idx int32) {
 	w.gen[idx]++
 	w.fn[idx] = nil
@@ -188,6 +192,8 @@ func (w *Wheel) release(idx int32) {
 
 // place files a reference into the fine or coarse level by distance from
 // the cursor.
+//
+//fabric:hotpath
 func (w *Wheel) place(r slotRef, fire int64) {
 	if fire-w.curTick < wheelFineSlots {
 		s := int(fire % wheelFineSlots)
@@ -210,6 +216,8 @@ func (w *Wheel) ensureTicking() {
 // RunEvent implements Runner: one wheel tick. It advances the cursor,
 // cascades the coarse slot on fine-wheel wrap-around, drains the due fine
 // slot, and re-arms itself while timers remain.
+//
+//fabric:hotpath
 func (w *Wheel) RunEvent(int32) {
 	w.ticking = false
 	w.curTick++

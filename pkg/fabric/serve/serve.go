@@ -201,7 +201,7 @@ func newServer(o Options) (*Server, error) {
 		classes:    map[string]*classAgg{},
 		reqCh:      make(chan *request, 64),
 		doneCh:     make(chan struct{}),
-		wallStart:  time.Now(),
+		wallStart:  time.Now(), //fabriclint:wallclock uptime reporting in status replies; the fabric runs on virtual time
 	}
 	if s.out == nil {
 		s.out = io.Discard
@@ -248,6 +248,7 @@ func New(o Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	//fabriclint:nondeterministic single serving loop owns the engine; requests are serialized through reqCh
 	go s.loop()
 	return s, nil
 }
@@ -258,6 +259,7 @@ func New(o Options) (*Server, error) {
 // (bounded by the teardown deadline) before returning, so a caller may
 // exit as soon as Serve does.
 func (s *Server) Serve(ln net.Listener) error {
+	//fabriclint:nondeterministic unblocks Accept on shutdown; never touches the engine
 	go func() {
 		<-s.doneCh
 		ln.Close()
@@ -275,6 +277,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 		}
 		wg.Add(1)
+		//fabriclint:nondeterministic per-connection reader; ops reach the engine only via the serialized reqCh
 		go func() {
 			defer wg.Done()
 			s.serveConn(conn)
@@ -333,13 +336,14 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	connDone := make(chan struct{})
 	defer close(connDone)
+	//fabriclint:nondeterministic connection teardown watchdog; no engine access
 	go func() {
 		select {
 		case <-s.doneCh:
 			// Kick the blocked scanner with a deadline rather than an
 			// immediate close, so an in-flight reply (the shutdown ack)
 			// still flushes before the deferred close tears down.
-			conn.SetDeadline(time.Now().Add(200 * time.Millisecond))
+			conn.SetDeadline(time.Now().Add(200 * time.Millisecond)) //fabriclint:wallclock socket teardown deadline; I/O plumbing, not simulation time
 		case <-connDone:
 		}
 	}()

@@ -61,7 +61,7 @@ func dialRetry(network, addr string, timeout time.Duration) (*client, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //fabriclint:wallclock dial-retry budget for reaching a live daemon; not simulation time
 	var lastErr error
 	for {
 		conn, err := net.DialTimeout(network, addr, time.Second)
@@ -71,7 +71,7 @@ func dialRetry(network, addr string, timeout time.Duration) (*client, error) {
 			return c, nil
 		}
 		lastErr = err
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //fabriclint:wallclock dial-retry budget check; not simulation time
 			return nil, fmt.Errorf("serve: dial %s %s: %w", network, addr, lastErr)
 		}
 		time.Sleep(100 * time.Millisecond)
